@@ -1,0 +1,22 @@
+"""A10 — traceroute sampling bias (Lakhina et al.)."""
+
+import math
+
+from conftest import run_once
+
+from repro.experiments import run_a10
+
+
+def test_a10_sampling_bias(benchmark, record_experiment):
+    result = run_once(benchmark, run_a10, n=1500, mean_degree=16.0)
+    record_experiment(result)
+    # Shape: the ground truth has no internet-like tail...
+    true_gamma = result.notes["true_gamma"]
+    assert math.isnan(true_gamma) or true_gamma > 4.0
+    # ...but one monitor's view looks like an AS map (the famous artifact)...
+    assert result.notes["illusion_present"] == 1.0
+    assert result.notes["few_monitor_gamma"] < 3.5
+    assert result.notes["few_monitor_gini"] > result.notes["true_gini"] + 0.1
+    # ...and monitor diversity dissolves the illusion.
+    many_gamma = result.notes["many_monitor_gamma"]
+    assert math.isnan(many_gamma) or many_gamma > result.notes["few_monitor_gamma"] + 1.0

@@ -1,0 +1,19 @@
+"""A11 — community structure across models."""
+
+from conftest import run_once
+
+from repro.experiments import run_a11
+
+
+def test_a11_community_structure(benchmark, record_experiment):
+    result = run_once(benchmark, run_a11, n=1500)
+    record_experiment(result)
+    # Shape: explicit domain hierarchy is strongly modular...
+    assert result.notes["q_transit_stub"] > 0.6
+    # ...while hub-stitched topologies collapse into one label under
+    # label propagation.
+    assert result.notes["q_barabasi_albert"] < 0.15
+    assert result.notes["reference_modularity"] < 0.3
+    headers, rows = result.tables["modularity by model"]
+    by_model = {row[0]: row for row in rows}
+    assert by_model["transit-stub"][1] > 10  # many recovered stub domains

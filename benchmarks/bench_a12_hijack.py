@@ -1,0 +1,22 @@
+"""A12 — prefix hijack exposure (Ballani–Francis–Zhang)."""
+
+from conftest import run_once
+
+from repro.experiments import run_a12
+
+
+def test_a12_hijack_exposure(benchmark, record_experiment):
+    result = run_once(benchmark, run_a12, n=1200)
+    record_experiment(result)
+    # Shape: capture is monotone in the attacker's hierarchy position...
+    assert (
+        result.notes["tier1_capture"]
+        > result.notes["mid_capture"]
+        > result.notes["stub_capture"]
+    )
+    # ...a tier-1 attacker poisons the majority of the internet...
+    assert result.notes["tier1_capture"] > 0.5
+    # ...a stub attacker poisons almost nobody...
+    assert result.notes["stub_capture"] < 0.15
+    # ...and the victim's customer cone stays overwhelmingly loyal.
+    assert result.notes["victim_cone_loyalty"] > 0.85

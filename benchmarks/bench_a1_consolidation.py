@@ -1,0 +1,17 @@
+"""A1 — transit market consolidation (design-choice ablation)."""
+
+from conftest import run_once
+
+from repro.experiments import run_a1
+
+
+def test_a1_market_consolidation(benchmark, record_experiment):
+    result = run_once(benchmark, run_a1, n=1000, rounds=6, num_flows=1200)
+    record_experiment(result)
+    # Shape: the provider market hollows out while the internet survives.
+    assert result.notes["provider_shrink_ratio"] < 0.5
+    assert result.notes["as_survival_ratio"] > 0.6
+    # Revenue concentrates as carriers exit.
+    assert result.notes["hhi_trend"] > -0.01
+    # Re-homing keeps the surviving market routable.
+    assert result.notes["final_unroutable"] < 0.15

@@ -1,0 +1,22 @@
+"""A2 — reinforcement parameter r sweep (design-choice ablation)."""
+
+from conftest import run_once
+
+from repro.experiments import run_a2
+
+
+def test_a2_reinforcement_sweep(benchmark, record_experiment):
+    result = run_once(benchmark, run_a2, n=1200)
+    record_experiment(result)
+    headers, rows = result.tables["r sweep"]
+    by_r = {row[0]: row for row in rows}
+    # Shape: gamma is r-stable in the interior (the published claim)...
+    assert abs(result.notes["gamma_low_r"] - result.notes["gamma_high_r"]) < 0.25
+    # ...clustering falls as reinforcement concentrates bandwidth into
+    # fewer, fatter links...
+    assert by_r[0.95][2] < by_r[0.0][2]
+    # ...and r -> 1 suppresses the maximum degree (big peers burn their
+    # activity on parallel links to each other).
+    assert by_r[0.95][4] < by_r[0.0][4]
+    # Multi-edge mass rises monotonically-ish with r.
+    assert by_r[0.95][5] >= by_r[0.0][5]

@@ -1,0 +1,26 @@
+"""A3 — attack and failure tolerance (Albert–Jeong–Barabási)."""
+
+import math
+
+from conftest import run_once
+
+from repro.experiments import run_a3
+
+
+def test_a3_attack_tolerance(benchmark, record_experiment):
+    result = run_once(benchmark, run_a3, n=1200, steps=15)
+    record_experiment(result)
+    headers, rows = result.tables["tolerance summary"]
+    by_model = {row[0]: row for row in rows}
+    for name, row in by_model.items():
+        random_survival, attack_survival = row[1], row[2]
+        random_critical, attack_critical = row[3], row[4]
+        # Shape: random failure never collapses the giant within the sweep...
+        assert math.isnan(random_critical), name
+        assert random_survival > 0.15, name
+        # ...targeted attack destroys every topology well before 50%.
+        assert attack_survival < 0.05, name
+        assert attack_critical < 0.45, name
+    # Hub-dominated maps collapse earlier under attack than ER.
+    assert by_model["reference"][4] < by_model["erdos-renyi"][4]
+    assert by_model["serrano"][4] < by_model["erdos-renyi"][4]

@@ -1,0 +1,19 @@
+"""A4 — SIS epidemic threshold (Pastor-Satorras–Vespignani)."""
+
+from conftest import run_once
+
+from repro.experiments import run_a4
+
+
+def test_a4_epidemic_threshold(benchmark, record_experiment):
+    result = run_once(benchmark, run_a4, n=1000)
+    record_experiment(result)
+    # Shape: the heavy-tailed maps sustain an endemic state at infection
+    # rates well below the ER onset (the vanishing-threshold result)...
+    assert result.notes["reference_onset_beta"] < result.notes["er_onset_beta"]
+    assert result.notes["pfp_onset_beta"] <= result.notes["reference_onset_beta"] * 2
+    # ...and the spectral prediction beta_c = mu/lambda1 sits at or below
+    # the observed onset.
+    assert result.notes["reference_spectral_threshold"] <= (
+        result.notes["reference_onset_beta"] * 2.5
+    )

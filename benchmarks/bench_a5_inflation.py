@@ -1,0 +1,20 @@
+"""A5 — policy path inflation (valley-free vs shortest paths)."""
+
+from conftest import run_once
+
+from repro.experiments import run_a5
+
+
+def test_a5_path_inflation(benchmark, record_experiment):
+    result = run_once(benchmark, run_a5, n=1500, num_destinations=25)
+    record_experiment(result)
+    headers, rows = result.tables["inflation summary"]
+    for row in rows:
+        name, mean_shortest, mean_policy, mean_extra, inflated, unreachable = row
+        # Shape: policy never shortens paths, inflates a minority of pairs
+        # by well under a hop on average, and strands almost nobody.
+        assert mean_policy >= mean_shortest - 1e-9, name
+        assert 0.0 <= mean_extra < 1.0, name
+        assert inflated < 0.5, name
+        assert unreachable < 0.1, name
+    assert result.notes["reference_mean_inflation"] >= 0.0

@@ -1,0 +1,24 @@
+"""A7 — BGP convergence dynamics on growing topologies."""
+
+from conftest import run_once
+
+from repro.experiments import run_a7
+
+
+def test_a7_bgp_convergence(benchmark, record_experiment):
+    result = run_once(
+        benchmark, run_a7, sizes=(300, 600, 1200, 2400), destinations_per_size=3
+    )
+    record_experiment(result)
+    # Shape: the small world keeps rounds flat across an order of
+    # magnitude in size...
+    assert result.notes["rounds_largest"] <= result.notes["rounds_smallest"] + 3
+    assert result.notes["rounds_largest"] < 12
+    # ...messages stay near-linear in network size (each edge carries O(1)
+    # advertisements per prefix)...
+    assert result.notes["message_scaling_exponent"] < 1.6
+    assert result.notes["max_messages_per_edge"] < 3.0
+    # ...and hub failure reconvergence stays as shallow as cold start.
+    headers, rows = result.tables["convergence scaling"]
+    for row in rows:
+        assert row[5] <= row[2] + 3

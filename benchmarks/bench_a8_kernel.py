@@ -1,0 +1,19 @@
+"""A8 — attachment-kernel measurement (Jeong–Néda–Barabási)."""
+
+from conftest import run_once
+
+from repro.experiments import run_a8
+
+
+def test_a8_attachment_kernels(benchmark, record_experiment):
+    result = run_once(benchmark, run_a8, n1=1500, n2=3000)
+    record_experiment(result)
+    # Shape: linear-preference models measure a ≈ 1...
+    assert abs(result.notes["kernel_barabasi-albert"] - 1.0) < 0.15
+    assert abs(result.notes["kernel_glp"] - 1.0) < 0.2
+    # ...the positive-feedback kernel measures above plain BA...
+    assert result.notes["kernel_pfp"] > result.notes["kernel_barabasi-albert"]
+    # ...and every measured kernel is strongly degree-dependent (a >> 0,
+    # ruling out uniform attachment).
+    for key, value in result.notes.items():
+        assert value > 0.6, key

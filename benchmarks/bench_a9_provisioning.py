@@ -1,0 +1,20 @@
+"""A9 — provisioning adequacy: does supply sit where demand lands?"""
+
+from conftest import run_once
+
+from repro.experiments import run_a9
+
+
+def test_a9_provisioning_adequacy(benchmark, record_experiment):
+    result = run_once(benchmark, run_a9, n=1200, num_flows=2500)
+    record_experiment(result)
+    # Shape: the supply/demand equilibrium is real — ASes that provisioned
+    # more bandwidth carry correspondingly more routed volume...
+    assert result.notes["node_rank_correlation"] > 0.4
+    # ...fat links attract a disproportionate volume share (top 10% of
+    # capacity carries >> 10% of traffic)...
+    assert result.notes["fat_link_volume_share"] > 0.2
+    # ...and per-link demand at least weakly follows provisioning.
+    assert result.notes["link_rank_correlation"] > 0.1
+    # Load concentration mirrors capacity concentration (both heavy).
+    assert result.notes["carried_gini"] > 0.5

@@ -1,0 +1,18 @@
+"""F1 — growth-rate figure: fit alpha, beta, delta to the timeline."""
+
+from conftest import run_once
+
+from repro.experiments import run_f1
+
+
+def test_f1_growth_rates(benchmark, record_experiment):
+    result = run_once(benchmark, run_f1)
+    record_experiment(result)
+    # Shape: rates recovered near published values, correct ordering.
+    assert abs(result.notes["alpha"] - 0.036) < 0.004
+    assert abs(result.notes["beta"] - 0.0304) < 0.004
+    assert abs(result.notes["delta"] - 0.0330) < 0.004
+    assert result.notes["ordering_alpha_gt_delta"] == 1.0
+    assert result.notes["ordering_delta_gt_beta"] == 1.0
+    # Derived: average degree grows slowly with N (delta/beta - 1 ~ 0.09).
+    assert 0.0 < result.notes["avg_degree_exponent"] < 0.25

@@ -1,0 +1,23 @@
+"""F2 — degree CCDF figure across the full roster."""
+
+import math
+
+from conftest import run_once
+
+from repro.experiments import run_f2
+
+
+def test_f2_degree_ccdf(benchmark, record_experiment):
+    result = run_once(benchmark, run_f2, n=1200, seed=1)
+    record_experiment(result)
+    # Shape: the reference has an AS-like exponent...
+    assert 1.9 < result.notes["reference_gamma"] < 2.5
+    # ...and most heavy-tail models land in the AS-like band while the
+    # random/geometric baselines do not.
+    assert result.notes["models_with_as_like_tail"] >= 5
+    headers, rows = result.tables["fitted degree exponents"]
+    gamma_by_model = {row[0]: row[3] for row in rows}
+    for flat_model in ("erdos-renyi", "waxman", "transit-stub"):
+        gamma = gamma_by_model[flat_model]
+        assert isinstance(gamma, float)
+        assert math.isnan(gamma) or gamma > 2.8, flat_model

@@ -1,0 +1,19 @@
+"""F3 — clustering spectrum c(k) figure."""
+
+from conftest import run_once
+
+from repro.experiments import run_f3
+
+
+def test_f3_clustering_spectrum(benchmark, record_experiment):
+    result = run_once(benchmark, run_f3, n=1500, seed=2)
+    record_experiment(result)
+    headers, rows = result.tables["c(k) decay slopes (c ~ k^-s)"]
+    slope = {row[0]: row[2] for row in rows}
+    mean_c = {row[0]: row[1] for row in rows}
+    # Shape: the reference's spectrum decays (hierarchy)...
+    assert result.notes["reference_decay_slope"] > 0.4
+    # ...the weighted-growth model reproduces a decaying spectrum...
+    assert slope["serrano"] > 0.3
+    # ...while plain BA is much flatter and lower.
+    assert mean_c["barabasi-albert"] < mean_c["serrano"]

@@ -1,0 +1,20 @@
+"""F4 — normalized knn(k) degree-correlation figure."""
+
+from conftest import run_once
+
+from repro.experiments import run_f4
+
+
+def test_f4_knn_spectrum(benchmark, record_experiment):
+    result = run_once(benchmark, run_f4, n=1500, seed=3)
+    record_experiment(result)
+    headers, rows = result.tables["degree correlations"]
+    r = {row[0]: row[1] for row in rows}
+    # Shape: reference and weighted-growth models are disassortative...
+    assert result.notes["reference_assortativity"] < -0.1
+    assert r["serrano"] < -0.1
+    assert r["pfp"] < -0.1
+    # ...plain BA is much closer to neutral...
+    assert r["barabasi-albert"] > r["serrano"] + 0.05
+    # ...and distance constraints push r further negative.
+    assert result.notes["distance_disassortativity_shift"] < 0.02

@@ -1,0 +1,17 @@
+"""F5 — betweenness centrality distribution figure."""
+
+from conftest import run_once
+
+from repro.experiments import run_f5
+
+
+def test_f5_betweenness_ccdf(benchmark, record_experiment):
+    result = run_once(benchmark, run_f5, n=1200, pivots=150, seed=4)
+    record_experiment(result)
+    headers, rows = result.tables["betweenness concentration"]
+    spread = {row[0]: row[2] for row in rows}
+    # Shape: hub-dominated topologies concentrate load orders of magnitude
+    # above the ER baseline.
+    assert result.notes["serrano_vs_er_spread_ratio"] > 3.0
+    assert spread["pfp"] > spread["erdos-renyi"]
+    assert spread["reference"] > spread["erdos-renyi"]

@@ -1,0 +1,18 @@
+"""F6 — k-core decomposition profile figure."""
+
+from conftest import run_once
+
+from repro.experiments import run_f6
+
+
+def test_f6_kcore_profiles(benchmark, record_experiment):
+    result = run_once(benchmark, run_f6, n=1500, seed=5)
+    record_experiment(result)
+    headers, rows = result.tables["core depth"]
+    coreness = {row[0]: row[1] for row in rows}
+    # Shape: the reference has a deep nucleus; BA is pinned at m; the
+    # weighted-growth models approach the reference's depth.
+    assert coreness["reference"] >= 8
+    assert coreness["barabasi-albert"] == 2
+    assert coreness["serrano-distance"] >= 0.5 * coreness["reference"]
+    assert coreness["erdos-renyi"] <= 4

@@ -1,0 +1,17 @@
+"""F7 — normalized rich-club spectrum figure."""
+
+from conftest import run_once
+
+from repro.experiments import run_f7
+
+
+def test_f7_rich_club(benchmark, record_experiment):
+    result = run_once(benchmark, run_f7, n=1200, seed=6)
+    record_experiment(result)
+    headers, rows = result.tables["top-decile normalized rich club"]
+    rho = {row[0]: row[1] for row in rows}
+    # Shape: the feedback models maintain a rich club at or above the
+    # degree-preserving null; plain BA does not exceed it (Colizza 2006).
+    assert rho["pfp"] > 0.9
+    assert result.notes["pfp_minus_ba_rho"] > -0.2
+    assert rho["barabasi-albert"] < 1.3

@@ -1,0 +1,18 @@
+"""F8 — shortest-path-length distribution figure."""
+
+from conftest import run_once
+
+from repro.experiments import run_f8
+
+
+def test_f8_path_lengths(benchmark, record_experiment):
+    result = run_once(benchmark, run_f8, n=1500, max_sources=250, seed=7)
+    record_experiment(result)
+    headers, rows = result.tables["path statistics"]
+    mean_l = {row[0]: row[1] for row in rows}
+    # Shape: small world everywhere except geometric Waxman, which
+    # stretches paths without hub shortcuts.
+    assert 2.5 < result.notes["reference_mean_path"] < 4.5
+    assert mean_l["serrano"] < 4.5
+    assert mean_l["glp"] < 5.0
+    assert result.notes["waxman_vs_reference_path_ratio"] > 1.2

@@ -1,0 +1,35 @@
+"""Full-scale validation: the weighted-growth model at 2001-map size.
+
+The other benches run at reduced sizes for speed; this one generates the
+model at N = 11 000 — the size of the May 2001 AS map the literature
+measured — and checks the battery against the published values directly
+(no synthetic reference involved).
+"""
+
+from repro.core import summarize
+from repro.datasets import PUBLISHED_AS_MAP_TARGETS
+from repro.generators import SerranoGenerator
+
+
+def test_full_scale_2001_map(benchmark, record_experiment):
+    graph = benchmark.pedantic(
+        SerranoGenerator().generate, args=(11_000,), kwargs={"seed": 2001},
+        rounds=1, iterations=1,
+    )
+    summary = summarize(graph, path_samples=200, seed=0)
+    print()
+    print(summary)
+
+    targets = PUBLISHED_AS_MAP_TARGETS
+    # Degree exponent in the published 2.1-2.3 band (within fit noise).
+    assert abs(summary.degree_exponent - targets["degree_exponent"]) < 0.25
+    # Disassortativity right on the published r = -0.19.
+    assert abs(summary.assortativity - targets["assortativity"]) < 0.06
+    # Small world at the published scale.
+    assert abs(summary.average_path_length - targets["average_path_length"]) < 0.6
+    # Core depth comparable to the AS+ map's ~25 shells.
+    assert abs(summary.degeneracy - targets["coreness"]) <= 8
+    # Clustering within a factor ~2 of the AS+ map.
+    assert summary.average_clustering > 0.5 * targets["average_clustering"] * 0.5
+    # Hub scaling: the largest AS connects to a macroscopic fraction.
+    assert summary.max_degree_fraction > 0.05

@@ -1,0 +1,80 @@
+"""Microbenchmarks for the core algorithms.
+
+Unlike the experiment benches (one run, shape assertions), these measure
+raw algorithm throughput with repeated rounds — the numbers to watch when
+optimizing the engine.  Graphs are built once per session.
+"""
+
+import pytest
+
+from repro.generators import BarabasiAlbertGenerator, SerranoGenerator
+from repro.graph import (
+    approximate_betweenness,
+    core_numbers,
+    cycle_counts_3_4_5,
+    path_length_distribution,
+    rich_club_coefficient,
+    triangles_per_node,
+)
+from repro.stats import FenwickSampler
+
+
+@pytest.fixture(scope="module")
+def ba_2k():
+    return BarabasiAlbertGenerator(m=2).generate(2000, seed=1)
+
+
+@pytest.fixture(scope="module")
+def ba_10k():
+    return BarabasiAlbertGenerator(m=2).generate(10_000, seed=1)
+
+
+def test_micro_fenwick_sampling(benchmark):
+    sampler = FenwickSampler(range(1, 10_001), seed=1)
+
+    def draw_batch():
+        for _ in range(10_000):
+            sampler.sample()
+
+    benchmark(draw_batch)
+
+
+def test_micro_kcore_10k(benchmark, ba_10k):
+    result = benchmark(core_numbers, ba_10k)
+    assert max(result.values()) == 2
+
+
+def test_micro_triangles_2k(benchmark, ba_2k):
+    result = benchmark(triangles_per_node, ba_2k)
+    assert sum(result.values()) > 0
+
+
+def test_micro_cycles_2k(benchmark, ba_2k):
+    result = benchmark(cycle_counts_3_4_5, ba_2k)
+    assert result[3] > 0
+
+
+def test_micro_betweenness_pivots(benchmark, ba_2k):
+    result = benchmark(
+        approximate_betweenness, ba_2k, num_pivots=50, seed=2
+    )
+    assert max(result.values()) > 0
+
+
+def test_micro_sampled_paths(benchmark, ba_10k):
+    stats = benchmark(
+        path_length_distribution, ba_10k, max_sources=50, seed=3
+    )
+    assert stats.mean > 1
+
+def test_micro_rich_club_2k(benchmark, ba_2k):
+    result = benchmark(rich_club_coefficient, ba_2k)
+    assert result
+
+
+def test_micro_serrano_generation(benchmark):
+    generator = SerranoGenerator()
+    graph = benchmark.pedantic(
+        generator.generate, args=(1000,), kwargs={"seed": 4}, rounds=2, iterations=1
+    )
+    assert graph.num_nodes == 1000

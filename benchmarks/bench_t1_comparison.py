@@ -1,0 +1,22 @@
+"""T1 — the generator comparison table (Bu–Towsley-style shoot-out)."""
+
+from conftest import run_once
+
+from repro.experiments import run_t1
+
+
+def test_t1_generator_comparison(benchmark, record_experiment):
+    result = run_once(benchmark, run_t1, n=1000, seeds=2)
+    record_experiment(result)
+    headers, ranking = result.tables["ranking (best first)"]
+    order = [name for name, _ in ranking]
+    scores = dict(ranking)
+    # Shape: the weighted-growth models lead the field...
+    assert order[0].startswith("serrano")
+    assert "serrano" in order[:3] and "serrano-distance" in order[:3]
+    # ...degree-driven AS-fitted models beat plain BA...
+    assert scores["glp"] < scores["barabasi-albert"]
+    assert scores["pfp"] < scores["barabasi-albert"]
+    # ...and the no-heavy-tail baselines trail the heavy-tail field.
+    for baseline in ("erdos-renyi", "waxman"):
+        assert scores[baseline] > scores["glp"], baseline

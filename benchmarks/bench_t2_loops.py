@@ -1,0 +1,22 @@
+"""T2 — cycle-count scaling exponents xi(3), xi(4), xi(5)."""
+
+from conftest import run_once
+
+from repro.experiments import run_t2
+
+
+def test_t2_loop_scaling(benchmark, record_experiment):
+    result = run_once(
+        benchmark, run_t2, sizes=(400, 800, 1600, 3200), seeds=2
+    )
+    record_experiment(result)
+    for key in ("without", "with"):
+        xi3 = result.notes[f"xi_3_{key}"]
+        xi4 = result.notes[f"xi_4_{key}"]
+        xi5 = result.notes[f"xi_5_{key}"]
+        # Shape: superlinear growth, ordered in h, near the published band
+        # (AS map: 1.45 / 2.07 / 2.45; original model: 1.6 / 2.2 / 2.7).
+        assert xi3 < xi4 < xi5, key
+        assert 1.2 < xi3 < 2.3, key
+        assert 1.8 < xi4 < 3.0, key
+        assert 2.1 < xi5 < 3.7, key

@@ -1,0 +1,24 @@
+"""T3 — ISP economics table: tier P&L and market concentration."""
+
+from conftest import run_once
+
+from repro.experiments import run_t3
+
+
+def test_t3_isp_economics(benchmark, record_experiment):
+    result = run_once(benchmark, run_t3, n=1000, num_flows=1200, seed=9)
+    record_experiment(result)
+    headers, rows = result.tables["market summary"]
+    by_model = {row[0]: row for row in rows}
+    # Shape: heavy-tailed topologies concentrate transit revenue far more
+    # than the flat ER hierarchy...
+    assert result.notes["serrano_vs_er_hhi_ratio"] > 1.5
+    # ...tier-1 ASes on the weighted-growth topology all break even...
+    assert by_model["serrano"][2] == 1.0
+    # ...hierarchical topologies route essentially all demand valley-free...
+    for model in ("serrano", "glp", "pfp"):
+        assert by_model[model][4] < 0.2, model
+    # ...while the flat ER topology cannot support a transit economy at
+    # all: with no degree hierarchy almost every edge is a peering, and
+    # valley-free routing (at most one peer hop) strands most pairs.
+    assert by_model["erdos-renyi"][4] > 0.5

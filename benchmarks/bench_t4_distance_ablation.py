@@ -1,0 +1,19 @@
+"""T4 — ablation table: distance constraints on vs off."""
+
+from conftest import run_once
+
+from repro.experiments import run_t4
+
+
+def test_t4_distance_ablation(benchmark, record_experiment):
+    result = run_once(benchmark, run_t4, n=1200, seeds=2)
+    record_experiment(result)
+    # Shape: geography adds a disassortative component while the degree
+    # exponent stays put (the original distance-constraint claim).
+    assert result.notes["assortativity_shift"] < 0.03
+    assert abs(result.notes["gamma_shift"]) < 0.3
+    headers, rows = result.tables["distance ablation (seed means)"]
+    values = {row[0]: (row[1], row[3]) for row in rows}
+    without_c, with_c = values["average_clustering"]
+    # Clustering survives the geographic constraint.
+    assert with_c > 0.5 * without_c

@@ -1,0 +1,43 @@
+"""Benchmark harness plumbing.
+
+Each bench runs one experiment exactly once under pytest-benchmark timing
+(rounds=1 — these are end-to-end experiment harnesses, not microbenchmarks),
+asserts the experiment's expected *shape*, and writes the rendered
+paper-style output to ``benchmarks/output/<id>.txt`` so the regenerated
+tables/figures persist as artifacts.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session")
+def output_dir() -> Path:
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    return OUTPUT_DIR
+
+
+@pytest.fixture
+def record_experiment(output_dir):
+    """Write an ExperimentResult's rendering to the output directory."""
+
+    def _record(result) -> str:
+        text = result.render()
+        (output_dir / f"{result.experiment_id.lower()}.txt").write_text(
+            text + "\n", encoding="utf-8"
+        )
+        print()
+        print(text)
+        return text
+
+    return _record
+
+
+def run_once(benchmark, fn, **kwargs):
+    """Run *fn* exactly once under benchmark timing and return its result."""
+    return benchmark.pedantic(fn, kwargs=kwargs, rounds=1, iterations=1)

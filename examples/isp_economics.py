@@ -1,0 +1,95 @@
+"""ISP economics: but can you make a living?
+
+Run:
+
+    python examples/isp_economics.py [n]
+
+Grows a weighted supply/demand internet (users, bandwidth adaptation,
+geography), then runs the full economics pipeline on it: business
+relationships, valley-free routing of a gravity traffic matrix, and one
+month of transit/peering/retail settlement.  Prints each tier's books and
+answers the keynote's question per tier.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.core import format_table
+from repro.economics import (
+    PricingModel,
+    assign_relationships,
+    gravity_flows,
+    route_flows,
+    settle_market,
+)
+from repro.generators import SerranoGenerator
+from repro.graph import giant_component
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 1500
+
+    print(f"Growing a {n}-AS internet with the weighted supply/demand model...")
+    run = SerranoGenerator(distance=True).generate_detailed(n, seed=2026)
+    graph = giant_component(run.graph)
+    users = {node: run.users[node] for node in graph.nodes()}
+    print(f"  {graph!r}")
+    print(f"  total users: {sum(users.values()):,}")
+    print()
+
+    print("Assigning business relationships (Gao-style hierarchy)...")
+    rels = assign_relationships(graph)
+    c2p, p2p = rels.counts()
+    tiers = rels.tiers()
+    print(f"  {c2p} customer->provider links, {p2p} peerings, "
+          f"{len(rels.tier_one())} tier-1 ASes")
+    print()
+
+    print("Routing a gravity traffic matrix valley-free...")
+    matrix = gravity_flows(users, num_flows=3000, total_volume=1_000_000, seed=5)
+    traffic = route_flows(graph, rels, matrix)
+    routed = matrix.total_volume - traffic.unroutable
+    print(f"  routed {routed:,.0f} of {matrix.total_volume:,.0f} units "
+          f"({traffic.unroutable / matrix.total_volume:.1%} stranded)")
+    print()
+
+    pricing = PricingModel(
+        transit_price=1.0,     # per unit crossing a transit link
+        retail_price=2.0,      # per subscriber per month
+        peering_cost=50.0,     # per peering port per month
+        carriage_cost=0.05,    # backbone opex per unit carried
+        link_cost=10.0,        # per adjacent link per month
+    )
+    print("Settling one month of books...")
+    report = settle_market(graph, rels, traffic, users=users, pricing=pricing)
+    rows = [
+        [tier, count, mean_profit, mean_transit, f"{frac:.0%}"]
+        for tier, count, mean_profit, mean_transit, frac in report.tier_summary()
+    ]
+    print(format_table(
+        ["tier", "ASes", "mean profit", "mean transit revenue", "profitable"],
+        rows,
+        title="Monthly books by tier",
+    ))
+    print()
+    print(f"Transit revenue concentration (HHI): "
+          f"{report.transit_revenue_concentration():.3f}")
+    print(f"Overall profitable fraction:         "
+          f"{report.profitable_fraction():.1%}")
+    print()
+
+    # The keynote's question, answered per tier.
+    tier1_frac = report.profitable_fraction(tier=1)
+    deepest = max(tiers.values())
+    stub_frac = report.profitable_fraction(tier=deepest)
+    print("So, can you make a living modeling... er, running an AS?")
+    print(f"  - at tier 1:  {'yes' if tier1_frac > 0.8 else 'mostly not'} "
+          f"({tier1_frac:.0%} profitable — transit pays)")
+    print(f"  - at tier {deepest} (stubs): "
+          f"{'yes' if stub_frac > 0.8 else 'only with enough subscribers'} "
+          f"({stub_frac:.0%} profitable)")
+
+
+if __name__ == "__main__":
+    main()

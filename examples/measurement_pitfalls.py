@@ -1,0 +1,88 @@
+"""Measurement pitfalls: is your power law real?
+
+Run:
+
+    python examples/measurement_pitfalls.py [n]
+
+The keynote era's sharpest methodological fight, reenacted in one script:
+
+1. **Sampling bias** (Lakhina et al.) — traceroute-style sampling from one
+   monitor makes a boring random graph look like an internet map;
+2. **Null models** (Maslov–Sneppen / dK-series) — once you *have* a real
+   heavy-tailed map, which of its features go beyond the degree sequence?
+"""
+
+from __future__ import annotations
+
+import math
+import sys
+
+from repro.analysis import traceroute_sample
+from repro.core import format_table, summarize
+from repro.datasets import reference_as_map
+from repro.generators import ErdosRenyiGnm, dk2_rewired, rewired_reference
+from repro.graph import giant_component
+from repro.stats import empirical_ccdf, fit_powerlaw_auto_xmin, gini_coefficient
+from repro.viz import multi_scatter
+
+
+def fitted_gamma(graph) -> float:
+    """Best-effort degree exponent; NaN when no tail fits."""
+    try:
+        return fit_powerlaw_auto_xmin(
+            list(graph.degrees().values()), min_tail=50
+        ).gamma
+    except ValueError:
+        return float("nan")
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 1500
+
+    print("PART 1 — the artifact: sampling a dense random graph")
+    truth = giant_component(ErdosRenyiGnm(m=8 * n).generate(n, seed=1))
+    rows = [["ground truth", truth.num_edges, fitted_gamma(truth),
+             gini_coefficient(truth.degrees().values())]]
+    curves = {"truth": empirical_ccdf(list(truth.degrees().values())).as_points()}
+    for monitors in (1, 3, 10):
+        view = traceroute_sample(truth, num_monitors=monitors, seed=2)
+        degrees = list(view.degrees().values())
+        rows.append([f"{monitors} monitor view", view.num_edges,
+                     fitted_gamma(view), gini_coefficient(degrees)])
+        curves[f"{monitors} monitors"] = empirical_ccdf(degrees).as_points()
+    print(format_table(
+        ["view", "edges seen", "fitted gamma", "degree Gini"], rows,
+    ))
+    print()
+    print(multi_scatter(curves, width=56, height=14, log_x=True, log_y=True,
+                        title="degree CCDFs: truth vs sampled views"))
+    print()
+    gamma_one = rows[1][2]
+    print(f"One monitor fits gamma = {gamma_one:.2f} — an 'internet-like' tail")
+    print("conjured out of a Poisson graph. Monitor diversity dissolves it.")
+    print()
+
+    print("PART 2 — the nulls: what survives degree-preserving rewiring?")
+    reference = reference_as_map(n)
+    null_1k = rewired_reference(reference, swaps_per_edge=8, seed=3)
+    null_2k = dk2_rewired(reference, swaps_per_edge=8, seed=3)
+    summaries = {
+        "reference": summarize(reference, seed=0),
+        "2K null": summarize(null_2k, name="2K null", seed=0),
+        "1K null": summarize(null_1k, name="1K null", seed=0),
+    }
+    rows = []
+    for metric in ("average_degree", "degree_exponent", "average_clustering",
+                   "assortativity", "average_path_length", "degeneracy"):
+        rows.append([metric] + [s.as_dict()[metric] for s in summaries.values()])
+    print(format_table(["metric"] + list(summaries), rows))
+    print()
+    print("The 2K null pins assortativity exactly (it is a joint-degree-")
+    print("matrix property); with a tail this heavy, even the 1K null stays")
+    print("close everywhere — most 'structure' rides on the degree sequence.")
+    print()
+    print("Moral: model the internet, but audit the measurement first.")
+
+
+if __name__ == "__main__":
+    main()

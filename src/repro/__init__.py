@@ -1,0 +1,67 @@
+"""repro — an internet topology modeling toolkit.
+
+Generate AS-level topologies with every classic model family, measure them
+with the full validation battery, compare them against a reference map, and
+run inter-domain economics on top.
+
+Quickstart::
+
+    import repro
+
+    graph = repro.generate("glp", n=3000, seed=7)
+    print(repro.summarize(graph))
+    result = repro.compare(graph, repro.reference_as_map(3000))
+    print(result)
+
+Subpackages:
+
+* :mod:`repro.graph` — graph engine and metric algorithms (from scratch);
+* :mod:`repro.stats` — power-law fitting, growth fitting, sampling;
+* :mod:`repro.geometry` — planes, fractal point sets, distance kernels;
+* :mod:`repro.environment` — user pools and growth schedules;
+* :mod:`repro.generators` — the 12-family topology generator suite;
+* :mod:`repro.economics` — relationships, valley-free routing, markets;
+* :mod:`repro.datasets` — frozen reference AS map and growth timeline;
+* :mod:`repro.core` — metric battery, comparison, calibration, registry.
+"""
+
+from __future__ import annotations
+
+from .core.compare import ComparisonResult, compare_graphs, compare_summaries
+from .core.metrics import TopologySummary, summarize
+from .core.registry import available_models, make_generator
+from .datasets.asmap import reference_as_map
+from .graph.graph import Graph
+from .stats.rng import SeedLike
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "Graph",
+    "generate",
+    "summarize",
+    "compare",
+    "available_models",
+    "make_generator",
+    "reference_as_map",
+    "TopologySummary",
+    "ComparisonResult",
+    "compare_summaries",
+    "compare_graphs",
+]
+
+
+def generate(model: str, n: int, seed: SeedLike = None, **params) -> Graph:
+    """Generate a topology from a registered *model* name.
+
+    >>> g = generate("barabasi-albert", n=100, seed=1, m=2)
+    >>> g.num_nodes
+    100
+    """
+    return make_generator(model, **params).generate(n, seed=seed)
+
+
+def compare(model_graph: Graph, target_graph: Graph, seed: int = 0) -> ComparisonResult:
+    """Compare a model topology against a target over the default battery."""
+    return compare_graphs(model_graph, target_graph, seed=seed)

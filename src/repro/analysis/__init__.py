@@ -1,0 +1,19 @@
+"""Measurement techniques: attachment kernels and sampling bias."""
+
+from .kernel import KernelMeasurement, measure_attachment_kernel, snapshot_pair
+from .percolation import (
+    critical_failure_fraction,
+    has_giant_component_criterion,
+    molloy_reed_ratio,
+)
+from .sampling_bias import traceroute_sample
+
+__all__ = [
+    "KernelMeasurement",
+    "measure_attachment_kernel",
+    "snapshot_pair",
+    "traceroute_sample",
+    "molloy_reed_ratio",
+    "critical_failure_fraction",
+    "has_giant_component_criterion",
+]

@@ -1,0 +1,70 @@
+"""Traceroute sampling bias (Lakhina–Byers–Crovella–Xie).
+
+The cautionary tale of internet measurement: AS/router maps are built from
+traceroute-like shortest-path samples out of a few monitors, and such
+sampling is *biased* — links near monitors are oversampled, low-degree
+nodes near the fringe are missed, and the sampled degree distribution of
+even a degree-homogeneous (ER) network can look heavy-tailed.  Any claim
+about the internet's topology has to survive this critique, so the toolkit
+ships the instrument to reproduce it.
+
+:func:`traceroute_sample` builds the union of one shortest path per
+(monitor, destination) pair — the idealized one-probe-per-pair traceroute
+study — and returns it as a topology whose bias can be measured against
+the ground truth it came from.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, List, Optional, Sequence
+
+from ..graph.graph import Graph
+from ..graph.traversal import bfs_tree
+from ..stats.rng import SeedLike, make_rng
+
+__all__ = ["traceroute_sample"]
+
+Node = Hashable
+
+
+def traceroute_sample(
+    graph: Graph,
+    num_monitors: int = 3,
+    destinations: Optional[Sequence[Node]] = None,
+    seed: SeedLike = 0,
+) -> Graph:
+    """Sample *graph* the way a traceroute study would see it.
+
+    *num_monitors* sources are drawn uniformly; from each, one shortest
+    path (the BFS-tree path) is traced to every destination (default: all
+    nodes).  The sampled topology is the union of those paths — nodes or
+    links never on any monitor's tree simply do not exist in the map,
+    exactly like the real measurement artifact.
+    """
+    nodes = list(graph.nodes())
+    if not nodes:
+        raise ValueError("cannot sample an empty graph")
+    if not 1 <= num_monitors <= len(nodes):
+        raise ValueError("num_monitors must be in [1, N]")
+    rng = make_rng(seed)
+    monitors = rng.sample(nodes, num_monitors)
+    targets = list(destinations) if destinations is not None else nodes
+
+    sampled = Graph(name=f"{graph.name}-traceroute-{num_monitors}" if graph.name
+                    else f"traceroute-{num_monitors}")
+    for monitor in monitors:
+        parent = bfs_tree(graph, monitor)
+        sampled.add_node(monitor)
+        for destination in targets:
+            if destination == monitor or destination not in parent:
+                continue  # unreachable from this monitor
+            # Walk destination → monitor through the BFS tree, adding the
+            # traversed links (idempotent: Graph.add_edge would reinforce,
+            # so guard with has_edge — the sampled map is unweighted).
+            current = destination
+            while current != monitor:
+                above = parent[current]
+                if not sampled.has_edge(current, above):
+                    sampled.add_edge(current, above)
+                current = above
+    return sampled

@@ -1,0 +1,19 @@
+"""Message-level BGP path-vector simulation (propagation dynamics)."""
+
+from .engine import BgpSimulation, ConvergenceStats
+from .hijack import HijackOutcome, simulate_hijack
+from .routes import CUSTOMER, ORIGIN, PEER, PROVIDER, Route, prefer, route_class
+
+__all__ = [
+    "BgpSimulation",
+    "ConvergenceStats",
+    "HijackOutcome",
+    "simulate_hijack",
+    "Route",
+    "prefer",
+    "route_class",
+    "CUSTOMER",
+    "PEER",
+    "PROVIDER",
+    "ORIGIN",
+]

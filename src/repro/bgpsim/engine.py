@@ -1,0 +1,167 @@
+"""Synchronous path-vector simulation engine.
+
+Simulates BGP's propagation mechanics for one destination prefix:
+
+* the destination originates a route to itself;
+* each round, every AS whose best route changed last round advertises it to
+  the neighbors its export policy allows — **customer-learned routes go to
+  everyone; peer- and provider-learned routes go to customers only**
+  (Gao–Rexford export);
+* receivers run the decision process (customer > peer > provider, then
+  shortest path, then deterministic tie-break) and discard looped paths;
+* the run converges when a round produces no best-route change.
+
+The engine counts rounds and messages — the *dynamics* the closed-form
+:func:`repro.economics.routing.routing_table` cannot see — and supports
+link withdrawal to measure reconvergence (BGP path exploration).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Tuple
+
+from ..economics.relationships import Relationship, RelationshipMap
+from ..graph.graph import Graph
+from .routes import CUSTOMER, ORIGIN, Route, prefer, route_class
+
+__all__ = ["ConvergenceStats", "BgpSimulation"]
+
+Node = Hashable
+
+
+@dataclass(frozen=True)
+class ConvergenceStats:
+    """Outcome of one convergence run."""
+
+    destination: Node
+    rounds: int
+    messages: int
+    routed_ases: int
+
+    def __str__(self) -> str:
+        return (
+            f"dest={self.destination!r}: {self.rounds} rounds, "
+            f"{self.messages} messages, {self.routed_ases} ASes routed"
+        )
+
+
+class BgpSimulation:
+    """Path-vector propagation for one destination on one topology.
+
+    The simulation owns per-AS RIBs (best route per AS).  ``converge()``
+    runs to a fixed point; ``withdraw_link()`` then models a failure and
+    ``converge()`` again measures reconvergence.  The topology reference is
+    read-only — withdrawals are tracked internally.
+    """
+
+    def __init__(self, graph: Graph, rels: RelationshipMap, destination: Node):
+        if not graph.has_node(destination):
+            raise KeyError(f"destination {destination!r} not in graph")
+        self._graph = graph
+        self._rels = rels
+        self.destination = destination
+        self._down_links: set = set()
+        self.rib: Dict[Node, Route] = {}
+        self._reset()
+
+    def _reset(self) -> None:
+        origin = Route(
+            destination=self.destination,
+            path=(self.destination,),
+            learned_from=None,
+            pref_class=ORIGIN,
+        )
+        self.rib = {self.destination: origin}
+        self._pending: List[Node] = [self.destination]
+
+    # ------------------------------------------------------------- policy
+
+    def _link_up(self, u: Node, v: Node) -> bool:
+        return frozenset((u, v)) not in self._down_links
+
+    def _export_targets(self, owner: Node, route: Route) -> List[Node]:
+        """Neighbors the export policy lets *owner* advertise *route* to."""
+        exports: List[Node] = []
+        to_everyone = route.pref_class in (ORIGIN, CUSTOMER)
+        for neighbor in sorted(self._graph.neighbors(owner), key=str):
+            if not self._link_up(owner, neighbor):
+                continue
+            if to_everyone:
+                exports.append(neighbor)
+                continue
+            # Peer/provider routes are exported only to customers.
+            rel = self._rels.relationship(owner, neighbor)
+            if rel is Relationship.PROVIDER_TO_CUSTOMER:
+                exports.append(neighbor)
+        return exports
+
+    def _consider(self, receiver: Node, advertised: Route) -> bool:
+        """Run the decision process at *receiver*; True if the best changed."""
+        if advertised.contains_loop_for(receiver):
+            return False
+        sender = advertised.path[0]
+        candidate = Route(
+            destination=advertised.destination,
+            path=(receiver,) + advertised.path,
+            learned_from=sender,
+            pref_class=route_class(self._rels, receiver, sender),
+        )
+        incumbent = self.rib.get(receiver)
+        if incumbent is None:
+            self.rib[receiver] = candidate
+            return True
+        best = prefer(incumbent, candidate)
+        if best is not incumbent and best.path != incumbent.path:
+            self.rib[receiver] = best
+            return True
+        return False
+
+    # ------------------------------------------------------------- running
+
+    def converge(self, max_rounds: int = 10_000) -> ConvergenceStats:
+        """Propagate until stable; returns rounds/messages statistics."""
+        rounds = 0
+        messages = 0
+        while self._pending:
+            rounds += 1
+            if rounds > max_rounds:
+                raise RuntimeError("BGP simulation failed to converge")
+            changed_next: List[Node] = []
+            changed_set = set()
+            for owner in self._pending:
+                route = self.rib.get(owner)
+                if route is None:
+                    continue
+                for neighbor in self._export_targets(owner, route):
+                    messages += 1
+                    if self._consider(neighbor, route) and neighbor not in changed_set:
+                        changed_set.add(neighbor)
+                        changed_next.append(neighbor)
+            self._pending = changed_next
+        return ConvergenceStats(
+            destination=self.destination,
+            rounds=rounds,
+            messages=messages,
+            routed_ases=len(self.rib),
+        )
+
+    def withdraw_link(self, u: Node, v: Node) -> None:
+        """Fail the link (u, v) and invalidate every route crossing it.
+
+        Affected ASes fall back to their remaining advertisements at the
+        next :meth:`converge` call; routes are recomputed from scratch for
+        correctness (full-table walk), which models a hard session reset.
+        """
+        if not self._graph.has_edge(u, v):
+            raise KeyError(f"link ({u!r}, {v!r}) not in topology")
+        self._down_links.add(frozenset((u, v)))
+        # Restart propagation without the failed link.  (A message-level
+        # withdraw dance would converge to the same fixed point; rounds
+        # reported afterwards measure full reconvergence.)
+        self._reset()
+
+    def path_from(self, source: Node) -> Optional[Tuple[Node, ...]]:
+        """The converged AS path from *source*, or None if unrouted."""
+        route = self.rib.get(source)
+        return route.path if route is not None else None

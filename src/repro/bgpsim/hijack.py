@@ -1,0 +1,104 @@
+"""Prefix hijacking: how much of the internet believes the liar?
+
+In a prefix hijack an attacker originates a victim's prefix; every AS then
+holds two candidate routes to "the same destination" and picks by the
+ordinary decision process (customer > peer > provider, then path length).
+The classic measurement (Ballani–Francis–Zhang): the *attacker's position
+in the hierarchy* decides the damage — a tier-1 attacker poisons most of
+the internet, a stub attacker poisons almost nobody, and the victim's own
+customer cone stays loyal because customer routes always win.
+
+:func:`simulate_hijack` runs both origins' propagation and compares RIBs
+per AS, returning the capture set and its composition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, Optional, Set
+
+from ..economics.relationships import RelationshipMap
+from ..graph.graph import Graph
+from .engine import BgpSimulation
+from .routes import Route
+
+__all__ = ["HijackOutcome", "simulate_hijack"]
+
+Node = Hashable
+
+
+@dataclass(frozen=True)
+class HijackOutcome:
+    """Result of one hijack scenario.
+
+    ``captured`` — ASes whose best route points at the attacker;
+    ``loyal`` — ASes still routing to the victim; ``blackholed`` — ASes
+    with no route to either origin.  The victim and attacker themselves are
+    excluded from all three sets.
+    """
+
+    victim: Node
+    attacker: Node
+    captured: Set[Node]
+    loyal: Set[Node]
+    blackholed: Set[Node]
+
+    @property
+    def capture_fraction(self) -> float:
+        """Captured share of the ASes that can reach either origin."""
+        reachable = len(self.captured) + len(self.loyal)
+        if reachable == 0:
+            return 0.0
+        return len(self.captured) / reachable
+
+
+def _better(ours: Optional[Route], theirs: Optional[Route]) -> bool:
+    """Whether *theirs* (attacker's route) beats *ours* (victim's)."""
+    if theirs is None:
+        return False
+    if ours is None:
+        return True
+    # Same decision process as Route.prefer, ignoring the destination
+    # mismatch (both announcements claim the same prefix).
+    key_ours = (ours.pref_class, ours.hops, str(ours.learned_from))
+    key_theirs = (theirs.pref_class, theirs.hops, str(theirs.learned_from))
+    return key_theirs < key_ours
+
+
+def simulate_hijack(
+    graph: Graph,
+    rels: RelationshipMap,
+    victim: Node,
+    attacker: Node,
+) -> HijackOutcome:
+    """Run the two-origin contest for one prefix.
+
+    Propagates the victim's and the attacker's announcements separately
+    (path-vector propagation is per-origin), then lets every other AS pick
+    between its two candidate routes with the standard decision process.
+    """
+    if victim == attacker:
+        raise ValueError("attacker and victim must differ")
+    victim_sim = BgpSimulation(graph, rels, victim)
+    victim_sim.converge()
+    attacker_sim = BgpSimulation(graph, rels, attacker)
+    attacker_sim.converge()
+
+    captured: Set[Node] = set()
+    loyal: Set[Node] = set()
+    blackholed: Set[Node] = set()
+    for node in graph.nodes():
+        if node in (victim, attacker):
+            continue
+        honest = victim_sim.rib.get(node)
+        forged = attacker_sim.rib.get(node)
+        if honest is None and forged is None:
+            blackholed.add(node)
+        elif _better(honest, forged):
+            captured.add(node)
+        else:
+            loyal.add(node)
+    return HijackOutcome(
+        victim=victim, attacker=attacker,
+        captured=captured, loyal=loyal, blackholed=blackholed,
+    )

@@ -1,0 +1,69 @@
+"""BGP route records and the Gao–Rexford decision process.
+
+A :class:`Route` is what one AS knows about one destination: the AS path it
+would use and the neighbor it learned the route from.  Preference follows
+the canonical policy ordering — local preference class (customer > peer >
+provider), then shortest AS path, then a deterministic tie-break on the
+next hop — which is exactly the decision process whose stable state the
+declarative :mod:`repro.economics.routing` computes in closed form.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Optional, Tuple
+
+from ..economics.relationships import Relationship, RelationshipMap
+
+__all__ = ["Route", "route_class", "prefer", "CUSTOMER", "PEER", "PROVIDER", "ORIGIN"]
+
+Node = Hashable
+
+# Local-preference classes, lower is better (matches economics.routing).
+CUSTOMER = 0
+PEER = 1
+PROVIDER = 2
+ORIGIN = -1  # the destination's own route to itself
+
+
+@dataclass(frozen=True)
+class Route:
+    """One AS's candidate route to a destination.
+
+    ``path`` starts at the owning AS and ends at the destination;
+    ``learned_from`` is the neighbor that advertised it (None at the
+    origin); ``pref_class`` caches the local-preference class.
+    """
+
+    destination: Node
+    path: Tuple[Node, ...]
+    learned_from: Optional[Node]
+    pref_class: int
+
+    @property
+    def hops(self) -> int:
+        """AS-path length in hops."""
+        return len(self.path) - 1
+
+    def contains_loop_for(self, node: Node) -> bool:
+        """Whether advertising this route to *node* would loop."""
+        return node in self.path
+
+
+def route_class(rels: RelationshipMap, owner: Node, learned_from: Node) -> int:
+    """Local-preference class of a route *owner* learned from a neighbor."""
+    relationship = rels.relationship(owner, learned_from)
+    if relationship is Relationship.PROVIDER_TO_CUSTOMER:
+        return CUSTOMER  # the neighbor is my customer
+    if relationship is Relationship.PEER_TO_PEER:
+        return PEER
+    return PROVIDER
+
+
+def prefer(a: Route, b: Route) -> Route:
+    """The better of two routes under the Gao–Rexford decision process."""
+    if a.destination != b.destination:
+        raise ValueError("cannot compare routes to different destinations")
+    key_a = (a.pref_class, a.hops, str(a.learned_from))
+    key_b = (b.pref_class, b.hops, str(b.learned_from))
+    return a if key_a <= key_b else b

@@ -1,0 +1,134 @@
+"""Command-line interface.
+
+Four subcommands cover the common workflows::
+
+    repro models                           # list registered generators
+    repro generate glp -n 3000 -o g.txt    # write an edge list
+    repro summarize g.txt                  # metric battery on a file
+    repro compare glp --n 2000 --seed 7    # model vs reference map
+
+Parameters for ``generate``/``compare`` are passed as ``--param key=value``
+pairs and coerced to int/float/bool when they look like one.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Any, Dict, List, Optional
+
+from .core.compare import compare_graphs
+from .core.metrics import summarize
+from .core.registry import available_models, make_generator
+from .core.report import format_table
+from .datasets.asmap import reference_as_map
+from .graph.io import read_edge_list, write_edge_list
+
+__all__ = ["main", "build_parser", "coerce_value"]
+
+
+def coerce_value(text: str) -> Any:
+    """Best-effort str → int/float/bool conversion for --param values."""
+    lowered = text.lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        return text
+
+
+def _parse_params(pairs: Optional[List[str]]) -> Dict[str, Any]:
+    params: Dict[str, Any] = {}
+    for pair in pairs or []:
+        if "=" not in pair:
+            raise SystemExit(f"--param expects key=value, got {pair!r}")
+        key, _, value = pair.partition("=")
+        params[key] = coerce_value(value)
+    return params
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="internet topology modeling toolkit"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("models", help="list registered generator names")
+
+    gen = sub.add_parser("generate", help="generate a topology to an edge list")
+    gen.add_argument("model", help="registry name, e.g. glp")
+    gen.add_argument("-n", "--nodes", type=int, required=True)
+    gen.add_argument("-s", "--seed", type=int, default=None)
+    gen.add_argument("-o", "--output", required=True, help="edge-list path")
+    gen.add_argument("--param", action="append", metavar="KEY=VALUE")
+
+    summ = sub.add_parser("summarize", help="metric battery on an edge-list file")
+    summ.add_argument("path", help="edge-list file")
+
+    cmp_cmd = sub.add_parser("compare", help="model vs reference AS map")
+    cmp_cmd.add_argument("model", help="registry name")
+    cmp_cmd.add_argument("-n", "--nodes", type=int, default=3000)
+    cmp_cmd.add_argument("-s", "--seed", type=int, default=1)
+    cmp_cmd.add_argument("--param", action="append", metavar="KEY=VALUE")
+
+    exp = sub.add_parser("experiment", help="run one experiment harness (F1..F9, T1..T4)")
+    exp.add_argument("experiment_id", help="e.g. f2 or T1")
+    exp.add_argument("--param", action="append", metavar="KEY=VALUE",
+                     help="keyword overrides for the run_* function, e.g. n=1000")
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "models":
+        for name in available_models():
+            print(name)
+        return 0
+    if args.command == "generate":
+        generator = make_generator(args.model, **_parse_params(args.param))
+        graph = generator.generate(args.nodes, seed=args.seed)
+        write_edge_list(graph, args.output)
+        print(f"wrote {graph.num_nodes} nodes / {graph.num_edges} edges to {args.output}")
+        return 0
+    if args.command == "summarize":
+        graph = read_edge_list(args.path)
+        summary = summarize(graph)
+        rows = sorted(summary.as_dict().items())
+        print(format_table(["metric", "value"], rows, title=summary.name))
+        return 0
+    if args.command == "compare":
+        generator = make_generator(args.model, **_parse_params(args.param))
+        graph = generator.generate(args.nodes, seed=args.seed)
+        result = compare_graphs(graph, reference_as_map(args.nodes), seed=args.seed)
+        print(result)
+        return 0
+    if args.command == "experiment":
+        from . import experiments
+
+        run_name = f"run_{args.experiment_id.lower()}"
+        runner = getattr(experiments, run_name, None)
+        if runner is None:
+            known = sorted(
+                name[4:].upper()
+                for name in dir(experiments)
+                if name.startswith("run_")
+            )
+            raise SystemExit(
+                f"unknown experiment {args.experiment_id!r}; known: {', '.join(known)}"
+            )
+        result = runner(**_parse_params(args.param))
+        print(result.render())
+        return 0
+    raise SystemExit(f"unknown command {args.command!r}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

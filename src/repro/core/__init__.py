@@ -1,0 +1,38 @@
+"""Core pipeline: the metric battery, model comparison and scoring, the
+model registry, calibration, and experiment/report helpers."""
+
+from .calibrate import CalibrationResult, grid_calibrate
+from .compare import (
+    DEFAULT_SCORED_METRICS,
+    ComparisonResult,
+    MetricRow,
+    compare_graphs,
+    compare_summaries,
+)
+from .experiment import Replicates, replicate, seed_sequence, sweep_sizes
+from .metrics import TopologySummary, summarize
+from .registry import available_models, generator_class, make_generator, register
+from .report import format_series, format_table, format_value
+
+__all__ = [
+    "TopologySummary",
+    "summarize",
+    "MetricRow",
+    "ComparisonResult",
+    "compare_summaries",
+    "compare_graphs",
+    "DEFAULT_SCORED_METRICS",
+    "available_models",
+    "generator_class",
+    "make_generator",
+    "register",
+    "Replicates",
+    "replicate",
+    "sweep_sizes",
+    "seed_sequence",
+    "CalibrationResult",
+    "grid_calibrate",
+    "format_table",
+    "format_series",
+    "format_value",
+]

@@ -1,0 +1,135 @@
+"""Model-vs-target comparison and scoring (experiment T1 engine).
+
+Given a candidate summary and a target summary (usually the reference AS
+map), :func:`compare_summaries` produces per-metric rows and an aggregate
+*divergence score*: the mean absolute log-ratio over the scored metrics,
+
+    score = mean_m | ln(model_m / target_m) |
+
+so "half the target" and "twice the target" penalize equally, a metric on
+target contributes 0, and the score is scale-free across metrics of very
+different magnitudes.  Sign-carrying metrics (assortativity) are compared
+by absolute difference on a fixed scale instead; NaN exponents (no heavy
+tail) receive the maximum per-metric penalty because "no tail at all" is
+the worst possible miss for an internet model.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..graph.graph import Graph
+from .metrics import TopologySummary, summarize
+
+__all__ = ["MetricRow", "ComparisonResult", "compare_summaries", "compare_graphs", "DEFAULT_SCORED_METRICS"]
+
+#: Metrics entering the aggregate score, with their comparison mode.
+#: "ratio" → |ln(model/target)|, "diff" → |model − target| / scale.
+DEFAULT_SCORED_METRICS: Dict[str, Tuple[str, float]] = {
+    "average_degree": ("ratio", 1.0),
+    "degree_exponent": ("ratio", 1.0),
+    "average_clustering": ("ratio", 1.0),
+    "assortativity": ("diff", 0.2),
+    "average_path_length": ("ratio", 1.0),
+    "degeneracy": ("ratio", 1.0),
+    "max_degree_fraction": ("ratio", 1.0),
+}
+
+#: Penalty assigned when a metric is NaN/zero on one side only.
+_MAX_PENALTY = 3.0
+
+
+@dataclass(frozen=True)
+class MetricRow:
+    """One metric's comparison."""
+
+    metric: str
+    model_value: float
+    target_value: float
+    penalty: float
+
+    def __str__(self) -> str:
+        return (
+            f"{self.metric:22s} model={self.model_value:10.4f} "
+            f"target={self.target_value:10.4f} penalty={self.penalty:6.3f}"
+        )
+
+
+@dataclass(frozen=True)
+class ComparisonResult:
+    """Full comparison: per-metric rows plus the aggregate score."""
+
+    model_name: str
+    target_name: str
+    rows: List[MetricRow]
+    score: float
+
+    def row(self, metric: str) -> MetricRow:
+        """Look up one metric's row by name."""
+        for entry in self.rows:
+            if entry.metric == metric:
+                return entry
+        raise KeyError(f"metric {metric!r} not in comparison")
+
+    def __str__(self) -> str:
+        lines = [f"{self.model_name} vs {self.target_name} (score={self.score:.3f})"]
+        lines.extend(str(row) for row in self.rows)
+        return "\n".join(lines)
+
+
+def _penalty(mode: str, scale: float, model: float, target: float) -> float:
+    model_bad = math.isnan(model)
+    target_bad = math.isnan(target)
+    if model_bad and target_bad:
+        return 0.0  # both sides tail-free: agreement
+    if model_bad or target_bad:
+        return _MAX_PENALTY
+    if mode == "diff":
+        return abs(model - target) / scale
+    # ratio mode
+    if model <= 0 or target <= 0:
+        if model == target:
+            return 0.0
+        return _MAX_PENALTY
+    return min(abs(math.log(model / target)), _MAX_PENALTY)
+
+
+def compare_summaries(
+    model: TopologySummary,
+    target: TopologySummary,
+    metrics: Optional[Dict[str, Tuple[str, float]]] = None,
+) -> ComparisonResult:
+    """Compare two summaries over *metrics* (default battery)."""
+    metrics = metrics if metrics is not None else DEFAULT_SCORED_METRICS
+    model_values = model.as_dict()
+    target_values = target.as_dict()
+    rows: List[MetricRow] = []
+    for metric, (mode, scale) in metrics.items():
+        if metric not in model_values or metric not in target_values:
+            raise KeyError(f"unknown metric {metric!r}")
+        m = float(model_values[metric])
+        t = float(target_values[metric])
+        rows.append(
+            MetricRow(metric=metric, model_value=m, target_value=t,
+                      penalty=_penalty(mode, scale, m, t))
+        )
+    score = sum(r.penalty for r in rows) / len(rows) if rows else 0.0
+    return ComparisonResult(
+        model_name=model.name, target_name=target.name, rows=rows, score=score
+    )
+
+
+def compare_graphs(
+    model_graph: Graph,
+    target_graph: Graph,
+    metrics: Optional[Dict[str, Tuple[str, float]]] = None,
+    seed: int = 0,
+) -> ComparisonResult:
+    """Summarize both graphs, then compare (convenience wrapper)."""
+    return compare_summaries(
+        summarize(model_graph, seed=seed),
+        summarize(target_graph, seed=seed),
+        metrics=metrics,
+    )

@@ -1,0 +1,83 @@
+"""Model registry: generators by name.
+
+The harnesses, CLI and calibration loops refer to models as strings; this
+module owns the mapping.  Third-party generators can join via
+:func:`register` as long as they follow the :class:`TopologyGenerator`
+protocol.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Type
+
+from ..generators.albert_barabasi import AlbertBarabasiGenerator
+from ..generators.barabasi_albert import BarabasiAlbertGenerator
+from ..generators.base import TopologyGenerator
+from ..generators.bianconi_barabasi import BianconiBarabasiGenerator
+from ..generators.brite import BriteGenerator
+from ..generators.erdos_renyi import ErdosRenyiGnm, ErdosRenyiGnp
+from ..generators.glp import GlpGenerator
+from ..generators.gtitm import TransitStubGenerator
+from ..generators.hot import HotGenerator
+from ..generators.inet import InetGenerator
+from ..generators.pfp import PfpGenerator
+from ..generators.plrg import PlrgGenerator
+from ..generators.serrano import SerranoGenerator
+from ..generators.watts_strogatz import WattsStrogatzGenerator
+from ..generators.waxman import WaxmanGenerator
+
+__all__ = ["register", "make_generator", "available_models", "generator_class"]
+
+_REGISTRY: Dict[str, Type[TopologyGenerator]] = {}
+
+
+def register(cls: Type[TopologyGenerator]) -> Type[TopologyGenerator]:
+    """Add a generator class to the registry (usable as a decorator).
+
+    The class must define a non-empty unique ``name``.
+    """
+    if not getattr(cls, "name", ""):
+        raise ValueError(f"{cls.__name__} has no registry name")
+    if cls.name in _REGISTRY and _REGISTRY[cls.name] is not cls:
+        raise ValueError(f"model name {cls.name!r} already registered")
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+for _cls in (
+    ErdosRenyiGnp,
+    ErdosRenyiGnm,
+    WaxmanGenerator,
+    BarabasiAlbertGenerator,
+    AlbertBarabasiGenerator,
+    GlpGenerator,
+    PlrgGenerator,
+    InetGenerator,
+    PfpGenerator,
+    HotGenerator,
+    TransitStubGenerator,
+    SerranoGenerator,
+    WattsStrogatzGenerator,
+    BianconiBarabasiGenerator,
+    BriteGenerator,
+):
+    register(_cls)
+
+
+def available_models() -> List[str]:
+    """Sorted registry names."""
+    return sorted(_REGISTRY)
+
+
+def generator_class(name: str) -> Type[TopologyGenerator]:
+    """Look up a generator class by registry name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(available_models())
+        raise KeyError(f"unknown model {name!r}; available: {known}") from None
+
+
+def make_generator(name: str, **params) -> TopologyGenerator:
+    """Instantiate a registered generator with keyword parameters."""
+    return generator_class(name)(**params)

@@ -1,0 +1,74 @@
+"""Plain-text report rendering.
+
+The harnesses print paper-style tables and figure series to stdout (and
+into the benchmark logs).  One table formatter and one series formatter
+keep every experiment's output uniform and diff-able.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+__all__ = ["format_table", "format_series", "format_value"]
+
+
+def format_value(value, precision: int = 4) -> str:
+    """Render one cell: floats compactly, NaN as 'n/a', rest via str()."""
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "n/a"
+        if value == 0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 10_000 or magnitude < 10 ** (-precision):
+            return f"{value:.{precision}g}"
+        return f"{value:.{precision}g}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    title: Optional[str] = None,
+    precision: int = 4,
+) -> str:
+    """Render an aligned ASCII table.
+
+    >>> print(format_table(["model", "gamma"], [["ba", 3.0]]))
+    model  gamma
+    -----  -----
+    ba     3
+    """
+    rendered: List[List[str]] = [[str(h) for h in headers]]
+    for row in rows:
+        rendered.append([format_value(cell, precision) for cell in row])
+    widths = [
+        max(len(rendered[r][c]) for r in range(len(rendered)))
+        for c in range(len(headers))
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(w) for h, w in zip(rendered[0], widths))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered[1:]:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    points: Iterable[Tuple],
+    x_label: str = "x",
+    y_label: str = "y",
+    title: Optional[str] = None,
+    precision: int = 4,
+) -> str:
+    """Render an (x, y) series as a two-column table — a text 'figure'."""
+    return format_table(
+        [x_label, y_label],
+        ([x, y] for x, y in points),
+        title=title,
+        precision=precision,
+    )

@@ -1,0 +1,34 @@
+"""Synthetic observed data: the frozen reference AS map and the growth
+timeline (documented substitutions for Route Views and Hobbes data)."""
+
+from .asmap import (
+    PUBLISHED_AS_MAP_TARGETS,
+    REFERENCE_EXPECTED,
+    REFERENCE_SEED,
+    reference_as_map,
+    reference_generator,
+)
+from .timeline import (
+    PUBLISHED_RATES,
+    PUBLISHED_SCALE,
+    TimelineConfig,
+    hobbes_like_timeline,
+)
+from .zoo import abilene, karate_club, nsfnet, petersen, zoo
+
+__all__ = [
+    "reference_as_map",
+    "reference_generator",
+    "REFERENCE_SEED",
+    "REFERENCE_EXPECTED",
+    "PUBLISHED_AS_MAP_TARGETS",
+    "hobbes_like_timeline",
+    "TimelineConfig",
+    "PUBLISHED_RATES",
+    "PUBLISHED_SCALE",
+    "abilene",
+    "nsfnet",
+    "karate_club",
+    "petersen",
+    "zoo",
+]

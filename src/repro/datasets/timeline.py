@@ -1,0 +1,73 @@
+"""Synthetic growth timeline (substitution for Hobbes / Route Views data).
+
+Experiment F1 fits exponential rates to the 1997–2002 growth of hosts,
+ASes and inter-AS links.  The original series came from the Hobbes Internet
+Timeline and daily Oregon Route Views snapshots; neither is redistributable
+here, so this module *generates* series with the published best-fit rates
+
+    alpha (hosts) = 0.036 /month
+    beta  (ASes)  = 0.0304 /month
+    delta (links) = 0.0330 /month
+
+plus seeded log-normal measurement noise.  F1's code path — fit rates to
+noisy observations, check alpha > delta > beta, derive scaling relations —
+is exercised identically; only the provenance of the points differs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict
+
+from ..environment.growth import GrowthSeries
+from ..stats.rng import SeedLike, make_rng
+
+__all__ = ["PUBLISHED_RATES", "PUBLISHED_SCALE", "TimelineConfig", "hobbes_like_timeline"]
+
+#: Best-fit monthly growth rates reported for Nov 1997 – May 2002.
+PUBLISHED_RATES: Dict[str, float] = {
+    "hosts": 0.036,
+    "ases": 0.0304,
+    "links": 0.0330,
+}
+
+#: Approximate magnitudes at the start of the window (Nov 1997).
+PUBLISHED_SCALE: Dict[str, float] = {
+    "hosts": 2.97e7,
+    "ases": 3.0e3,
+    "links": 5.7e3,
+}
+
+
+@dataclass(frozen=True)
+class TimelineConfig:
+    """Generation knobs for the synthetic timeline."""
+
+    months: int = 54           # Nov 1997 .. May 2002
+    noise_sigma: float = 0.02  # log-normal measurement scatter
+    seed: int = 19971108       # first Route Views snapshot date
+
+
+def hobbes_like_timeline(config: TimelineConfig = TimelineConfig()) -> Dict[str, GrowthSeries]:
+    """Generate noisy exponential series for hosts, ASes and links.
+
+    Returns one :class:`GrowthSeries` per quantity, monthly samples at
+    t = 0 .. months-1.  Noise is multiplicative log-normal with
+    ``config.noise_sigma``, seeded for reproducibility.
+    """
+    if config.months < 3:
+        raise ValueError("need at least 3 months to fit anything")
+    if config.noise_sigma < 0:
+        raise ValueError("noise_sigma must be non-negative")
+    rng = make_rng(config.seed)
+    series: Dict[str, GrowthSeries] = {}
+    for key, rate in PUBLISHED_RATES.items():
+        scale = PUBLISHED_SCALE[key]
+        out = GrowthSeries(name=key)
+        for month in range(config.months):
+            clean = scale * math.exp(rate * month)
+            noisy = clean * math.exp(rng.gauss(0.0, config.noise_sigma))
+            out.record(float(month), noisy)
+        series[key] = out
+    return series

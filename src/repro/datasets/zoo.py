@@ -1,0 +1,141 @@
+"""A small zoo of well-known public reference topologies.
+
+These are tiny, fully public graphs with exactly known properties, used
+throughout the docs and tests as ground truth, and handy as router-level
+substrates for quick experiments:
+
+* **Abilene** — the 11-PoP Internet2 research backbone (public design);
+* **NSFNET (1989)** — the 14-node T1 backbone, the classic WAN test graph;
+* **Zachary's karate club** — the standard 34-node social test graph
+  (public domain since Zachary 1977), useful as a non-internet contrast;
+* **Petersen** — the 10-node, 3-regular girth-5 graph, an algorithmic
+  stress fixture.
+
+All loaders return fresh :class:`repro.graph.Graph` instances (mutating a
+returned graph never affects later calls).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+from ..graph.graph import Graph
+
+__all__ = ["abilene", "nsfnet", "karate_club", "petersen", "zoo"]
+
+# Abilene PoPs and links as publicly documented by Internet2.
+_ABILENE_LINKS: List[Tuple[str, str]] = [
+    ("Seattle", "Sunnyvale"),
+    ("Seattle", "Denver"),
+    ("Sunnyvale", "Los Angeles"),
+    ("Sunnyvale", "Denver"),
+    ("Los Angeles", "Houston"),
+    ("Denver", "Kansas City"),
+    ("Kansas City", "Houston"),
+    ("Kansas City", "Indianapolis"),
+    ("Houston", "Atlanta"),
+    ("Indianapolis", "Chicago"),
+    ("Indianapolis", "Atlanta"),
+    ("Chicago", "New York"),
+    ("Atlanta", "Washington"),
+    ("New York", "Washington"),
+]
+
+# The 1989 NSFNET T1 backbone (14 nodes, 21 links).
+_NSFNET_LINKS: List[Tuple[str, str]] = [
+    ("Seattle", "Palo Alto"),
+    ("Seattle", "Salt Lake City"),
+    ("Seattle", "Champaign"),
+    ("Palo Alto", "San Diego"),
+    ("Palo Alto", "Salt Lake City"),
+    ("San Diego", "Houston"),
+    ("Salt Lake City", "Boulder"),
+    ("Salt Lake City", "Ann Arbor"),
+    ("Boulder", "Houston"),
+    ("Boulder", "Lincoln"),
+    ("Lincoln", "Champaign"),
+    ("Houston", "College Park"),
+    ("Houston", "Atlanta"),
+    ("Champaign", "Pittsburgh"),
+    ("Champaign", "Ann Arbor"),
+    ("Ann Arbor", "Princeton"),
+    ("Pittsburgh", "Princeton"),
+    ("Pittsburgh", "Ithaca"),
+    ("Pittsburgh", "Atlanta"),
+    ("Princeton", "College Park"),
+    ("College Park", "Ithaca"),
+    ("Atlanta", "College Park"),
+]
+
+# Zachary's karate club (public domain, Zachary 1977): 34 nodes, 78 edges.
+_KARATE_EDGES: List[Tuple[int, int]] = [
+    (1, 2), (1, 3), (1, 4), (1, 5), (1, 6), (1, 7), (1, 8), (1, 9), (1, 11),
+    (1, 12), (1, 13), (1, 14), (1, 18), (1, 20), (1, 22), (1, 32),
+    (2, 3), (2, 4), (2, 8), (2, 14), (2, 18), (2, 20), (2, 22), (2, 31),
+    (3, 4), (3, 8), (3, 9), (3, 10), (3, 14), (3, 28), (3, 29), (3, 33),
+    (4, 8), (4, 13), (4, 14),
+    (5, 7), (5, 11),
+    (6, 7), (6, 11), (6, 17),
+    (7, 17),
+    (9, 31), (9, 33), (9, 34),
+    (10, 34),
+    (14, 34),
+    (15, 33), (15, 34),
+    (16, 33), (16, 34),
+    (19, 33), (19, 34),
+    (20, 34),
+    (21, 33), (21, 34),
+    (23, 33), (23, 34),
+    (24, 26), (24, 28), (24, 30), (24, 33), (24, 34),
+    (25, 26), (25, 28), (25, 32),
+    (26, 32),
+    (27, 30), (27, 34),
+    (28, 34),
+    (29, 32), (29, 34),
+    (30, 33), (30, 34),
+    (31, 33), (31, 34),
+    (32, 33), (32, 34),
+    (33, 34),
+]
+
+
+def _build(name: str, edges) -> Graph:
+    graph = Graph(name=name)
+    for u, v in edges:
+        graph.add_edge(u, v)
+    return graph
+
+
+def abilene() -> Graph:
+    """The Internet2 Abilene backbone: 11 PoPs, 14 links."""
+    return _build("abilene", _ABILENE_LINKS)
+
+
+def nsfnet() -> Graph:
+    """The 1989 NSFNET T1 backbone: 14 nodes, 22 links."""
+    return _build("nsfnet", _NSFNET_LINKS)
+
+
+def karate_club() -> Graph:
+    """Zachary's karate club: 34 nodes, 78 edges."""
+    return _build("karate-club", _KARATE_EDGES)
+
+
+def petersen() -> Graph:
+    """The Petersen graph: 10 nodes, 3-regular, girth 5."""
+    edges = (
+        [(i, (i + 1) % 5) for i in range(5)]
+        + [(i, i + 5) for i in range(5)]
+        + [(5 + i, 5 + (i + 2) % 5) for i in range(5)]
+    )
+    return _build("petersen", edges)
+
+
+def zoo() -> Dict[str, Callable[[], Graph]]:
+    """Name → loader for every zoo topology."""
+    return {
+        "abilene": abilene,
+        "nsfnet": nsfnet,
+        "karate-club": karate_club,
+        "petersen": petersen,
+    }

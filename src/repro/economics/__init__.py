@@ -1,0 +1,53 @@
+"""Inter-domain economics: relationships, valley-free routing, gravity
+traffic and ISP profit-and-loss settlement."""
+
+from .dynamics import MarketEvolution, MarketRound, simulate_market_evolution
+from .inflation import InflationReport, path_inflation
+from .peering import PeeringAssessment, evaluate_peering, suggest_peerings
+from .market import (
+    AsBooks,
+    MarketReport,
+    PricingModel,
+    herfindahl_index,
+    settle_market,
+)
+from .relationships import Relationship, RelationshipMap, assign_relationships
+from .routing import (
+    CUSTOMER_ROUTE,
+    PEER_ROUTE,
+    PROVIDER_ROUTE,
+    RoutingTable,
+    routing_table,
+    valley_free_path,
+)
+from .traffic import Flow, TrafficMatrix, TrafficReport, gravity_flows, route_flows
+
+__all__ = [
+    "Relationship",
+    "RelationshipMap",
+    "assign_relationships",
+    "RoutingTable",
+    "routing_table",
+    "valley_free_path",
+    "CUSTOMER_ROUTE",
+    "PEER_ROUTE",
+    "PROVIDER_ROUTE",
+    "Flow",
+    "TrafficMatrix",
+    "TrafficReport",
+    "gravity_flows",
+    "route_flows",
+    "PricingModel",
+    "AsBooks",
+    "MarketReport",
+    "settle_market",
+    "herfindahl_index",
+    "MarketRound",
+    "MarketEvolution",
+    "simulate_market_evolution",
+    "InflationReport",
+    "path_inflation",
+    "PeeringAssessment",
+    "evaluate_peering",
+    "suggest_peerings",
+]

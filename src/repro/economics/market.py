@@ -1,0 +1,175 @@
+"""ISP profit-and-loss accounting — the "can you make a living?" question.
+
+Given a topology, its relationship annotations, routed traffic and user
+populations, compute each AS's stylized monthly books:
+
+* **retail revenue** — its own users pay a flat subscription;
+* **transit revenue** — customers pay per unit of traffic crossing their
+  customer→provider links (both directions, the customer pays);
+* **transit cost** — what the AS itself pays its providers, same rule;
+* **peering cost** — flat per settlement-free link (ports, cross-connects);
+* **carriage cost** — per unit of traffic the AS carries (backbone opex).
+
+Absolute currency is meaningless without proprietary pricing data (see the
+substitution table in DESIGN.md); every reported result is relative —
+profitable fractions, revenue shares, tier-level margins, concentration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Mapping, Optional, Tuple
+
+from ..graph.graph import Graph
+from .relationships import RelationshipMap
+from .traffic import TrafficReport
+
+__all__ = ["PricingModel", "AsBooks", "MarketReport", "settle_market", "herfindahl_index"]
+
+Node = Hashable
+
+
+@dataclass(frozen=True)
+class PricingModel:
+    """Stylized price sheet, in arbitrary currency units.
+
+    ``transit_price`` — per traffic unit on a customer→provider link;
+    ``retail_price`` — per user per month;
+    ``peering_cost`` — per peer link per month;
+    ``carriage_cost`` — per traffic unit carried;
+    ``link_cost`` — fixed per adjacent link per month (maintenance).
+    """
+
+    transit_price: float = 1.0
+    retail_price: float = 2.0
+    peering_cost: float = 50.0
+    carriage_cost: float = 0.05
+    link_cost: float = 10.0
+
+    def __post_init__(self):
+        for name in ("transit_price", "retail_price", "peering_cost", "carriage_cost", "link_cost"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+
+
+@dataclass
+class AsBooks:
+    """One AS's monthly books."""
+
+    node: Node
+    tier: int
+    users: float
+    retail_revenue: float
+    transit_revenue: float
+    transit_cost: float
+    peering_cost: float
+    carriage_cost: float
+    link_cost: float
+
+    @property
+    def revenue(self) -> float:
+        """Total revenue."""
+        return self.retail_revenue + self.transit_revenue
+
+    @property
+    def cost(self) -> float:
+        """Total cost."""
+        return self.transit_cost + self.peering_cost + self.carriage_cost + self.link_cost
+
+    @property
+    def profit(self) -> float:
+        """Revenue minus cost."""
+        return self.revenue - self.cost
+
+    @property
+    def profitable(self) -> bool:
+        """Whether the AS at least breaks even."""
+        return self.profit >= 0.0
+
+
+@dataclass
+class MarketReport:
+    """Market-wide settlement outcome."""
+
+    books: Dict[Node, AsBooks] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.books)
+
+    def by_tier(self) -> Dict[int, List[AsBooks]]:
+        """Books grouped by tier."""
+        grouped: Dict[int, List[AsBooks]] = {}
+        for entry in self.books.values():
+            grouped.setdefault(entry.tier, []).append(entry)
+        return grouped
+
+    def profitable_fraction(self, tier: Optional[int] = None) -> float:
+        """Fraction of ASes (optionally within *tier*) that break even."""
+        entries = [
+            b for b in self.books.values() if tier is None or b.tier == tier
+        ]
+        if not entries:
+            return 0.0
+        return sum(1 for b in entries if b.profitable) / len(entries)
+
+    def transit_revenue_concentration(self) -> float:
+        """Herfindahl–Hirschman index of transit revenue shares (0..1)."""
+        return herfindahl_index([b.transit_revenue for b in self.books.values()])
+
+    def tier_summary(self) -> List[Tuple[int, int, float, float, float]]:
+        """Rows (tier, count, mean profit, mean transit revenue, profitable
+        fraction), ascending by tier."""
+        rows = []
+        for tier, entries in sorted(self.by_tier().items()):
+            count = len(entries)
+            mean_profit = sum(b.profit for b in entries) / count
+            mean_transit = sum(b.transit_revenue for b in entries) / count
+            frac = sum(1 for b in entries if b.profitable) / count
+            rows.append((tier, count, mean_profit, mean_transit, frac))
+        return rows
+
+
+def herfindahl_index(values) -> float:
+    """HHI of the share distribution of *values* (0 = atomized, 1 = monopoly)."""
+    total = float(sum(values))
+    if total <= 0:
+        return 0.0
+    return sum((v / total) ** 2 for v in values)
+
+
+def settle_market(
+    graph: Graph,
+    rels: RelationshipMap,
+    traffic: TrafficReport,
+    users: Optional[Mapping[Node, float]] = None,
+    pricing: Optional[PricingModel] = None,
+) -> MarketReport:
+    """Run one settlement month and return every AS's books.
+
+    *users* defaults to 1 per AS when populations are unknown; *pricing*
+    defaults to :class:`PricingModel` defaults.
+    """
+    pricing = pricing or PricingModel()
+    tiers = rels.tiers()
+    report = MarketReport()
+    for node in graph.nodes():
+        population = float(users.get(node, 0.0)) if users is not None else 1.0
+        transit_revenue = 0.0
+        transit_cost = 0.0
+        for customer in rels.customers(node):
+            transit_revenue += pricing.transit_price * traffic.volume_on_edge(node, customer)
+        for provider in rels.providers(node):
+            transit_cost += pricing.transit_price * traffic.volume_on_edge(node, provider)
+        entry = AsBooks(
+            node=node,
+            tier=tiers.get(node, 1),
+            users=population,
+            retail_revenue=pricing.retail_price * population,
+            transit_revenue=transit_revenue,
+            transit_cost=transit_cost,
+            peering_cost=pricing.peering_cost * len(rels.peers(node)),
+            carriage_cost=pricing.carriage_cost * traffic.carried.get(node, 0.0),
+            link_cost=pricing.link_cost * graph.degree(node),
+        )
+        report.books[node] = entry
+    return report

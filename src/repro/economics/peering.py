@@ -1,0 +1,131 @@
+"""Peering strategy: when does a settlement-free link pay for itself?
+
+The operational version of "can you make a living": an AS pays its
+providers per unit of transit; a candidate peering link lets the traffic
+between the two ASes' customer cones flow directly, free of per-unit
+charges, in exchange for a fixed monthly port cost.  The break-even rule:
+
+    peer iff  transit_price * offloadable_volume  >  peering_cost
+
+for *both* sides — settlement-free peering only forms when the savings are
+mutual (the real-world "peering inclination" asymmetry drops out of the
+symmetric pricing used here, but the mutuality constraint stays).
+
+:func:`evaluate_peering` prices one candidate pair; :func:`suggest_peerings`
+scans non-adjacent pairs among the largest cones and ranks the mutually
+profitable candidates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Optional, Tuple
+
+from ..graph.graph import Graph
+from .market import PricingModel
+from .relationships import RelationshipMap
+from .traffic import TrafficMatrix
+
+__all__ = ["PeeringAssessment", "evaluate_peering", "suggest_peerings"]
+
+Node = Hashable
+
+
+@dataclass(frozen=True)
+class PeeringAssessment:
+    """Economics of one candidate peering.
+
+    ``offload_volume`` — traffic between the two customer cones that the
+    link would carry directly; ``monthly_saving_a/b`` — each side's
+    avoided transit charges net of the port cost.
+    """
+
+    a: Node
+    b: Node
+    offload_volume: float
+    monthly_saving_a: float
+    monthly_saving_b: float
+
+    @property
+    def mutually_beneficial(self) -> bool:
+        """Whether both sides come out ahead."""
+        return self.monthly_saving_a > 0 and self.monthly_saving_b > 0
+
+
+def _cone_volume(
+    matrix: TrafficMatrix, cone_a: set, cone_b: set
+) -> float:
+    """Total demand between two (disjoint) customer cones."""
+    volume = 0.0
+    for flow in matrix.flows:
+        if (flow.source in cone_a and flow.destination in cone_b) or (
+            flow.source in cone_b and flow.destination in cone_a
+        ):
+            volume += flow.volume
+    return volume
+
+
+def evaluate_peering(
+    rels: RelationshipMap,
+    matrix: TrafficMatrix,
+    a: Node,
+    b: Node,
+    pricing: Optional[PricingModel] = None,
+) -> PeeringAssessment:
+    """Price the candidate peering (a, b).
+
+    Cones that overlap (one AS transits the other already) offload nothing
+    — the assessment returns zero volume rather than double-counting.
+    """
+    pricing = pricing or PricingModel()
+    cone_a = rels.customer_cone(a)
+    cone_b = rels.customer_cone(b)
+    if cone_a & cone_b:
+        volume = 0.0
+    else:
+        volume = _cone_volume(matrix, cone_a, cone_b)
+    # Each side currently pays transit for this volume iff it has providers
+    # (tier-1s already reach everyone settlement-free).
+    saving_a = (
+        pricing.transit_price * volume if rels.providers(a) else 0.0
+    ) - pricing.peering_cost
+    saving_b = (
+        pricing.transit_price * volume if rels.providers(b) else 0.0
+    ) - pricing.peering_cost
+    return PeeringAssessment(
+        a=a, b=b, offload_volume=volume,
+        monthly_saving_a=saving_a, monthly_saving_b=saving_b,
+    )
+
+
+def suggest_peerings(
+    graph: Graph,
+    rels: RelationshipMap,
+    matrix: TrafficMatrix,
+    pricing: Optional[PricingModel] = None,
+    top_candidates: int = 20,
+) -> List[PeeringAssessment]:
+    """Rank mutually beneficial peerings among the biggest candidate ASes.
+
+    Scans the *top_candidates* largest customer cones (the ASes with
+    traffic worth offloading), skipping pairs that are already adjacent or
+    whose cones overlap, and returns mutually beneficial assessments sorted
+    by combined savings, best first.
+    """
+    if top_candidates < 2:
+        raise ValueError("need at least two candidates")
+    pricing = pricing or PricingModel()
+    sizes = rels.cone_sizes()
+    ranked = sorted(sizes, key=lambda n: (-sizes[n], str(n)))[:top_candidates]
+    suggestions: List[PeeringAssessment] = []
+    for i, a in enumerate(ranked):
+        for b in ranked[i + 1:]:
+            if graph.has_edge(a, b):
+                continue
+            assessment = evaluate_peering(rels, matrix, a, b, pricing=pricing)
+            if assessment.mutually_beneficial:
+                suggestions.append(assessment)
+    suggestions.sort(
+        key=lambda s: -(s.monthly_saving_a + s.monthly_saving_b)
+    )
+    return suggestions

@@ -1,0 +1,197 @@
+"""AS business relationships (experiment T3 substrate).
+
+Inter-domain links are not all equal: most are **customer→provider**
+(the customer pays for transit), a minority are settlement-free **peer**
+links.  Relationship structure is what turns a topology into an economy —
+and what constrains routing (valley-free, :mod:`repro.economics.routing`).
+
+Real relationship data is inferred from BGP tables (Gao 2001).  Without BGP
+feeds we *assign* relationships with the same degree-hierarchy heuristic the
+inference literature validates against: the top clique of the largest ASes
+peer among themselves (tier 1), similar-sized ASes peer, and unequal edges
+point customer→provider from the smaller to the larger AS.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Hashable, Iterable, List, Set, Tuple
+
+from ..graph.graph import Graph
+
+__all__ = ["Relationship", "RelationshipMap", "assign_relationships"]
+
+Node = Hashable
+
+
+class Relationship(enum.Enum):
+    """Directed role of an edge from a node's own perspective."""
+
+    CUSTOMER_TO_PROVIDER = "c2p"  # I pay the neighbor for transit
+    PROVIDER_TO_CUSTOMER = "p2c"  # the neighbor pays me
+    PEER_TO_PEER = "p2p"          # settlement-free
+
+
+@dataclass
+class RelationshipMap:
+    """Edge relationship annotations over a topology.
+
+    ``_providers[u]`` / ``_customers[u]`` / ``_peers[u]`` hold u's neighbor
+    sets by role.  Built by :func:`assign_relationships`; immutable in
+    spirit (mutate only through that constructor).
+    """
+
+    _providers: Dict[Node, Set[Node]] = field(default_factory=dict)
+    _customers: Dict[Node, Set[Node]] = field(default_factory=dict)
+    _peers: Dict[Node, Set[Node]] = field(default_factory=dict)
+
+    # -------------------------------------------------------------- building
+
+    def _ensure(self, node: Node) -> None:
+        self._providers.setdefault(node, set())
+        self._customers.setdefault(node, set())
+        self._peers.setdefault(node, set())
+
+    def add_customer_provider(self, customer: Node, provider: Node) -> None:
+        """Annotate *customer* → *provider* (customer pays)."""
+        self._ensure(customer)
+        self._ensure(provider)
+        self._providers[customer].add(provider)
+        self._customers[provider].add(customer)
+
+    def add_peering(self, a: Node, b: Node) -> None:
+        """Annotate a settlement-free peer link."""
+        self._ensure(a)
+        self._ensure(b)
+        self._peers[a].add(b)
+        self._peers[b].add(a)
+
+    # -------------------------------------------------------------- queries
+
+    def nodes(self) -> Iterable[Node]:
+        """All annotated nodes."""
+        return self._providers.keys()
+
+    def providers(self, node: Node) -> Set[Node]:
+        """Neighbors *node* buys transit from."""
+        return set(self._providers.get(node, ()))
+
+    def customers(self, node: Node) -> Set[Node]:
+        """Neighbors that buy transit from *node*."""
+        return set(self._customers.get(node, ()))
+
+    def peers(self, node: Node) -> Set[Node]:
+        """Settlement-free neighbors of *node*."""
+        return set(self._peers.get(node, ()))
+
+    def relationship(self, u: Node, v: Node) -> Relationship:
+        """Role of edge (u, v) from u's perspective."""
+        if v in self._providers.get(u, ()):
+            return Relationship.CUSTOMER_TO_PROVIDER
+        if v in self._customers.get(u, ()):
+            return Relationship.PROVIDER_TO_CUSTOMER
+        if v in self._peers.get(u, ()):
+            return Relationship.PEER_TO_PEER
+        raise KeyError(f"edge ({u!r}, {v!r}) has no relationship annotation")
+
+    def is_stub(self, node: Node) -> bool:
+        """A stub AS has no customers — it only buys transit (and peers)."""
+        return not self._customers.get(node, ())
+
+    def tier_one(self) -> Set[Node]:
+        """ASes with no providers: the default-free zone."""
+        return {node for node in self.nodes() if not self._providers.get(node)}
+
+    def tiers(self) -> Dict[Node, int]:
+        """Provider-depth tiers: tier 1 = no providers, tier t = 1 + min
+        provider tier.  Nodes unreachable downward from tier 1 (possible on
+        adversarial annotations) get the worst observed tier + 1."""
+        tier: Dict[Node, int] = {}
+        frontier = sorted(self.tier_one(), key=str)
+        for node in frontier:
+            tier[node] = 1
+        level = 1
+        while frontier:
+            next_frontier: List[Node] = []
+            for node in frontier:
+                for customer in self._customers.get(node, ()):
+                    if customer not in tier:
+                        tier[customer] = level + 1
+                        next_frontier.append(customer)
+            frontier = next_frontier
+            level += 1
+        worst = max(tier.values(), default=1)
+        for node in self.nodes():
+            if node not in tier:
+                tier[node] = worst + 1
+        return tier
+
+    def counts(self) -> Tuple[int, int]:
+        """(number of c2p edges, number of p2p edges)."""
+        c2p = sum(len(ps) for ps in self._providers.values())
+        p2p = sum(len(ps) for ps in self._peers.values()) // 2
+        return c2p, p2p
+
+    def customer_cone(self, node: Node) -> Set[Node]:
+        """The AS plus everything reachable downward through customers.
+
+        CAIDA's AS-rank orders providers by exactly this set's size: the
+        cone is the market an AS can sell transit *to*.
+        """
+        cone: Set[Node] = {node}
+        frontier = [node]
+        while frontier:
+            current = frontier.pop()
+            for customer in self._customers.get(current, ()):
+                if customer not in cone:
+                    cone.add(customer)
+                    frontier.append(customer)
+        return cone
+
+    def cone_sizes(self) -> Dict[Node, int]:
+        """Customer-cone size for every AS (1 = stub)."""
+        return {node: len(self.customer_cone(node)) for node in self.nodes()}
+
+
+def assign_relationships(
+    graph: Graph,
+    peer_degree_ratio: float = 1.5,
+    top_clique_size: int = 10,
+) -> RelationshipMap:
+    """Annotate every edge of *graph* with a business relationship.
+
+    Heuristic (degree hierarchy, the structure Gao-style inference recovers
+    from real BGP data):
+
+    * the ``top_clique_size`` highest-degree ASes are tier 1 — every edge
+      among them is a peering;
+    * any other edge whose endpoint degrees are within a factor of
+      ``peer_degree_ratio`` is a peering between equals;
+    * all remaining edges point customer→provider from the lower-degree to
+      the higher-degree endpoint (degree ties broken by node order so the
+      assignment is deterministic).
+    """
+    if peer_degree_ratio < 1.0:
+        raise ValueError("peer_degree_ratio must be >= 1")
+    if top_clique_size < 1:
+        raise ValueError("top_clique_size must be >= 1")
+    degrees = graph.degrees()
+    ranked = sorted(degrees, key=lambda node: (-degrees[node], str(node)))
+    clique = set(ranked[:top_clique_size])
+    rels = RelationshipMap()
+    for node in graph.nodes():
+        rels._ensure(node)
+    for u, v in graph.edges():
+        if u in clique and v in clique:
+            rels.add_peering(u, v)
+            continue
+        ku, kv = degrees[u], degrees[v]
+        high, low = max(ku, kv), min(ku, kv)
+        if high <= low * peer_degree_ratio:
+            rels.add_peering(u, v)
+        elif ku > kv or (ku == kv and str(u) < str(v)):
+            rels.add_customer_provider(customer=v, provider=u)
+        else:
+            rels.add_customer_provider(customer=u, provider=v)
+    return rels

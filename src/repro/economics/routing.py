@@ -1,0 +1,134 @@
+"""Valley-free inter-domain routing (Gao–Rexford).
+
+Money constrains paths: an AS forwards traffic only when someone pays for
+it, so a valid AS path climbs customer→provider links, crosses at most one
+peer link, then descends provider→customer — no "valleys".  Route choice
+follows local preference: **customer routes beat peer routes beat provider
+routes** (revenue beats free beats paid), tie-broken by shorter AS path.
+
+:func:`routing_table` computes, for one destination, every AS's chosen next
+hop with the standard three-phase propagation — O(E) per destination:
+
+1. *customer routes* climb from the destination along provider links;
+2. *peer routes* take one peer hop off any customer route;
+3. *provider routes* descend to customers from anything routed so far.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Optional, Tuple
+
+from ..graph.graph import Graph
+from .relationships import RelationshipMap
+
+__all__ = ["RouteKind", "RoutingTable", "routing_table", "valley_free_path"]
+
+Node = Hashable
+
+# Route kinds in preference order (lower = more preferred).
+CUSTOMER_ROUTE = 0
+PEER_ROUTE = 1
+PROVIDER_ROUTE = 2
+
+RouteKind = int
+
+
+@dataclass(frozen=True)
+class RoutingTable:
+    """All chosen routes toward one destination.
+
+    ``next_hop[u]`` is u's chosen neighbor toward the destination,
+    ``kind[u]`` its route class, ``hops[u]`` the AS-path length.  The
+    destination itself has no entry.  Unroutable nodes (possible in odd
+    annotations) are simply absent.
+    """
+
+    destination: Node
+    next_hop: Dict[Node, Node]
+    kind: Dict[Node, RouteKind]
+    hops: Dict[Node, int]
+
+    def path_from(self, source: Node) -> Optional[List[Node]]:
+        """Full AS path source → destination, or None if unroutable."""
+        if source == self.destination:
+            return [source]
+        if source not in self.next_hop:
+            return None
+        path = [source]
+        current = source
+        # hops strictly decreases along next_hop, so this terminates.
+        while current != self.destination:
+            current = self.next_hop[current]
+            path.append(current)
+        return path
+
+
+def routing_table(
+    graph: Graph, rels: RelationshipMap, destination: Node
+) -> RoutingTable:
+    """Compute every AS's valley-free route toward *destination*."""
+    if not graph.has_node(destination):
+        raise KeyError(f"destination {destination!r} not in graph")
+    next_hop: Dict[Node, Node] = {}
+    kind: Dict[Node, RouteKind] = {}
+    hops: Dict[Node, int] = {destination: 0}
+
+    # Phase 1 — customer routes: BFS from the destination climbing
+    # customer→provider edges.  A provider reaches the destination through
+    # its customer chain, the most preferred (revenue-generating) route.
+    queue = deque([destination])
+    customer_routed = {destination}
+    while queue:
+        u = queue.popleft()
+        for provider in sorted(rels.providers(u), key=str):
+            if provider in customer_routed:
+                continue
+            customer_routed.add(provider)
+            next_hop[provider] = u
+            kind[provider] = CUSTOMER_ROUTE
+            hops[provider] = hops[u] + 1
+            queue.append(provider)
+
+    # Phase 2 — peer routes: one peer hop off any customer-routed node.
+    # Shorter customer chains win; process in hop order for determinism.
+    for u in sorted(customer_routed, key=lambda n: (hops[n], str(n))):
+        for peer in sorted(rels.peers(u), key=str):
+            if peer in customer_routed or peer in next_hop:
+                continue
+            next_hop[peer] = u
+            kind[peer] = PEER_ROUTE
+            hops[peer] = hops[u] + 1
+
+    # Phase 3 — provider routes: descend provider→customer from anything
+    # routed so far, preferring the fewest additional hops (heap-ordered,
+    # since the seeded nodes start at different depths).
+    import heapq
+
+    heap = [
+        (hops[n], str(n), n)
+        for n in hops
+        if n == destination or n in next_hop
+    ]
+    heapq.heapify(heap)
+    while heap:
+        hop_count, _, u = heapq.heappop(heap)
+        if hop_count > hops.get(u, hop_count):
+            continue  # stale entry
+        for customer in sorted(rels.customers(u), key=str):
+            if customer == destination or customer in next_hop:
+                continue
+            next_hop[customer] = u
+            kind[customer] = PROVIDER_ROUTE
+            hops[customer] = hop_count + 1
+            heapq.heappush(heap, (hop_count + 1, str(customer), customer))
+
+    return RoutingTable(destination=destination, next_hop=next_hop, kind=kind, hops=hops)
+
+
+def valley_free_path(
+    graph: Graph, rels: RelationshipMap, source: Node, destination: Node
+) -> Optional[List[Node]]:
+    """One-shot valley-free path; None when no exportable route exists."""
+    return routing_table(graph, rels, destination).path_from(source)

@@ -1,0 +1,6 @@
+"""Demand-side substrate: the user pool and exponential growth schedules."""
+
+from .growth import ExponentialSchedule, GrowthSeries
+from .pool import UserPool
+
+__all__ = ["UserPool", "ExponentialSchedule", "GrowthSeries"]

@@ -1,0 +1,87 @@
+"""Discrete schedules for exponentially growing quantities.
+
+Growth models advance in unit time steps (months); the continuous targets
+``X(t) = X0 * exp(rate * t)`` must be converted into integer per-step
+increments whose running total tracks the curve without systematic drift.
+:class:`ExponentialSchedule` does that with fractional carry accumulation:
+the exact real-valued increment is computed each step and the fractional
+remainder is carried forward, so ``sum(increments up to t) = round-ish
+X(t) - X0`` with error < 1 at all times.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterator, List
+
+__all__ = ["ExponentialSchedule", "GrowthSeries"]
+
+
+class ExponentialSchedule:
+    """Integer increments tracking ``X(t) = x0 * exp(rate * t)``.
+
+    >>> sched = ExponentialSchedule(x0=100, rate=0.05)
+    >>> total = sched.x0 + sum(sched.increment(t) for t in range(1, 11))
+    >>> abs(total - 100 * math.exp(0.5)) < 1
+    True
+    """
+
+    def __init__(self, x0: float, rate: float):
+        if x0 <= 0:
+            raise ValueError("x0 must be positive")
+        self.x0 = float(x0)
+        self.rate = float(rate)
+        self._carry = 0.0
+        self._next_step = 1
+
+    def target(self, t: float) -> float:
+        """Continuous target value X(t)."""
+        return self.x0 * math.exp(self.rate * t)
+
+    def increment(self, t: int) -> int:
+        """Integer increment for step *t* (steps must be consumed in order).
+
+        The schedule is stateful: fractional remainders carry across steps so
+        the cumulative sum never drifts from the continuous curve.
+        """
+        if t != self._next_step:
+            raise ValueError(
+                f"increments must be consumed in order: expected step {self._next_step}, got {t}"
+            )
+        exact = self.target(t) - self.target(t - 1) + self._carry
+        whole = int(exact)
+        self._carry = exact - whole
+        self._next_step += 1
+        return whole
+
+    def reset(self) -> None:
+        """Rewind to step 1 with no carry."""
+        self._carry = 0.0
+        self._next_step = 1
+
+
+@dataclass
+class GrowthSeries:
+    """A recorded time series of an exponentially growing quantity.
+
+    Collected by simulations (and by the synthetic timeline dataset) and fed
+    to :func:`repro.stats.fit_exponential_growth` in experiment F1.
+    """
+
+    name: str
+    times: List[float] = field(default_factory=list)
+    values: List[float] = field(default_factory=list)
+
+    def record(self, t: float, value: float) -> None:
+        """Append an observation; times must be strictly increasing."""
+        if self.times and t <= self.times[-1]:
+            raise ValueError("times must be strictly increasing")
+        self.times.append(float(t))
+        self.values.append(float(value))
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def __iter__(self) -> Iterator[tuple]:
+        return iter(zip(self.times, self.values))

@@ -1,0 +1,169 @@
+"""The environment: a pool of users attached to ASes.
+
+Supply/demand growth models treat the Internet as embedded in a pool of
+users (hosts) that choose providers.  :class:`UserPool` tracks how many
+users each AS holds and implements the three user-level moves of that model
+family:
+
+* **arrival** — a new user picks an AS by linear preference Π_i = ω_i / W;
+* **withdrawal** — a uniformly random existing user leaves (used to seed a
+  newly created AS with its initial ω₀ users);
+* **relocation** — a uniformly random user leaves its AS and re-chooses by
+  the same preference function (the λ churn term).
+
+All three are O(log n) thanks to a Fenwick-tree sampler over user counts:
+choosing a uniformly random *user* is exactly choosing an AS with
+probability proportional to ω_i.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Optional
+
+from ..stats.rng import SeedLike, make_rng
+from ..stats.sampling import FenwickSampler
+
+__all__ = ["UserPool"]
+
+Node = Hashable
+
+
+class UserPool:
+    """User counts per AS with preferential dynamics.
+
+    The pool enforces a *floor*: no withdrawal or relocation may push an AS
+    below ``floor`` users (default 1), mirroring the model's reflecting
+    boundary at ω₀ — an AS with too few users to withdraw is simply not
+    eligible as a donor.
+    """
+
+    def __init__(self, floor: int = 1, seed: SeedLike = None):
+        if floor < 0:
+            raise ValueError("floor must be non-negative")
+        self.floor = floor
+        self._rng = make_rng(seed)
+        self._sampler = FenwickSampler(seed=self._rng)
+        self._nodes: List[Node] = []
+        self._index: Dict[Node, int] = {}
+
+    # ------------------------------------------------------------- structure
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node: Node) -> bool:
+        return node in self._index
+
+    def nodes(self) -> List[Node]:
+        """ASes currently in the pool, in insertion order."""
+        return list(self._nodes)
+
+    def add_node(self, node: Node, users: int = 0) -> None:
+        """Register AS *node* holding *users* users."""
+        if node in self._index:
+            raise ValueError(f"node {node!r} already in pool")
+        if users < 0:
+            raise ValueError("users must be non-negative")
+        self._index[node] = self._sampler.append(float(users))
+        self._nodes.append(node)
+
+    def users(self, node: Node) -> int:
+        """Current user count ω of *node*."""
+        return int(self._sampler.weight(self._index[node]))
+
+    def sizes(self) -> Dict[Node, int]:
+        """Mapping AS → user count."""
+        return {node: self.users(node) for node in self._nodes}
+
+    @property
+    def total_users(self) -> int:
+        """Total users W across all ASes."""
+        return int(round(self._sampler.total))
+
+    # ------------------------------------------------------------- dynamics
+
+    def assign_users(self, count: int) -> Dict[Node, int]:
+        """Attach *count* new users, each choosing by linear preference.
+
+        Returns the per-AS gain.  When the pool is empty of users (all ω=0)
+        the choice falls back to uniform over ASes, which bootstraps a
+        freshly initialized system.
+        """
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        gains: Dict[Node, int] = {}
+        for _ in range(count):
+            if self._sampler.total <= 0:
+                if not self._nodes:
+                    raise ValueError("cannot assign users to an empty pool")
+                idx = self._rng.randrange(len(self._nodes))
+            else:
+                idx = self._sampler.sample()
+            self._sampler.add(idx, 1.0)
+            node = self._nodes[idx]
+            gains[node] = gains.get(node, 0) + 1
+        return gains
+
+    def withdraw_users(self, count: int) -> Dict[Node, int]:
+        """Remove *count* uniformly random users, respecting the floor.
+
+        Returns the per-AS loss.  Raises :class:`ValueError` when fewer than
+        *count* users sit above the floor in total.
+        """
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        available = sum(
+            max(self.users(node) - self.floor, 0) for node in self._nodes
+        )
+        if count > available:
+            raise ValueError(
+                f"cannot withdraw {count} users: only {available} above the floor"
+            )
+        losses: Dict[Node, int] = {}
+        for _ in range(count):
+            idx = self._sampler.sample()
+            # Re-draw while the sampled AS sits at the floor; guaranteed to
+            # terminate because we checked capacity above.
+            while self._sampler.weight(idx) <= self.floor:
+                idx = self._sampler.sample()
+            self._sampler.add(idx, -1.0)
+            node = self._nodes[idx]
+            losses[node] = losses.get(node, 0) + 1
+        return losses
+
+    def spawn_node(self, node: Node, initial_users: int) -> Dict[Node, int]:
+        """Create AS *node* seeded with *initial_users* users withdrawn
+        uniformly from existing ASes.
+
+        Returns the per-AS loss among donors.  This is the model's rule (ii):
+        new nodes start with ω₀ users taken from the pool, so W is conserved.
+        """
+        losses = self.withdraw_users(initial_users)
+        self.add_node(node, users=initial_users)
+        return losses
+
+    def relocate_users(self, count: int) -> int:
+        """Move *count* uniformly random users to preferentially chosen ASes.
+
+        A move that would breach a donor's floor is skipped (the donor pool
+        may be exhausted); returns the number of moves actually performed.
+        The recipient is drawn *after* the departure, matching the model's
+        sequential churn.
+        """
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        moved = 0
+        for _ in range(count):
+            donors_available = any(
+                self.users(node) > self.floor for node in self._nodes
+            )
+            if not donors_available:
+                break
+            idx = self._sampler.sample()
+            while self._sampler.weight(idx) <= self.floor:
+                idx = self._sampler.sample()
+            self._sampler.add(idx, -1.0)
+            target = self._sampler.sample()
+            self._sampler.add(target, 1.0)
+            moved += 1
+        return moved

@@ -1,0 +1,64 @@
+"""Experiment harnesses: one ``run_*`` function per table/figure in the
+experiment index (DESIGN.md §4).  The benchmark suite wraps these; examples
+and tests reuse them directly."""
+
+from .a1_consolidation import run_a1
+from .a2_reinforcement import run_a2
+from .a3_attack import run_a3
+from .a4_epidemic import run_a4
+from .a5_inflation import run_a5
+from .a6_dk import run_a6
+from .a7_convergence import run_a7
+from .a8_kernel import run_a8
+from .a9_provisioning import run_a9
+from .a10_sampling_bias import run_a10
+from .a11_communities import run_a11
+from .a12_hijack import run_a12
+from .base import ExperimentResult
+from .f1_growth import run_f1
+from .f2_degree_ccdf import run_f2
+from .f3_clustering_spectrum import run_f3
+from .f4_knn import run_f4
+from .f5_betweenness import run_f5
+from .f6_kcore import run_f6
+from .f7_richclub import run_f7
+from .f8_paths import run_f8
+from .f9_degree_bandwidth import run_f9
+from .rosters import ROSTER_ORDER, heavy_tail_roster, standard_roster
+from .t1_comparison import run_t1
+from .t2_loops import run_t2
+from .t3_economics import run_t3, settle_topology
+from .t4_distance_ablation import run_t4
+
+__all__ = [
+    "ExperimentResult",
+    "run_a1",
+    "run_a2",
+    "run_a3",
+    "run_a4",
+    "run_a5",
+    "run_a6",
+    "run_a7",
+    "run_a8",
+    "run_a9",
+    "run_a10",
+    "run_a11",
+    "run_a12",
+    "run_f1",
+    "run_f2",
+    "run_f3",
+    "run_f4",
+    "run_f5",
+    "run_f6",
+    "run_f7",
+    "run_f8",
+    "run_f9",
+    "run_t1",
+    "run_t2",
+    "run_t3",
+    "run_t4",
+    "settle_topology",
+    "standard_roster",
+    "heavy_tail_roster",
+    "ROSTER_ORDER",
+]

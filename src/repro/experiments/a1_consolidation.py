@@ -1,0 +1,77 @@
+"""Experiment A1 (extension) — transit market consolidation.
+
+Iterates the economics pipeline: settle the books, let persistently
+unprofitable transit providers exit, re-home their customers to surviving
+carriers, repeat.  Expected shape: the provider count falls sharply and
+transit revenue concentrates (HHI rises) while the AS count barely moves —
+the consolidation arc of the real transit industry.  Stub ASes never exit
+(retail economics is out of scope), so "the internet" survives even as the
+middle of the market hollows out.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..economics.dynamics import simulate_market_evolution
+from ..economics.market import PricingModel
+from ..generators.serrano import SerranoGenerator
+from .base import ExperimentResult
+
+__all__ = ["run_a1"]
+
+
+def run_a1(
+    n: int = 1000,
+    rounds: int = 6,
+    num_flows: int = 1200,
+    seed: int = 17,
+    pricing: Optional[PricingModel] = None,
+) -> ExperimentResult:
+    """Run the consolidation simulation on a weighted-growth internet."""
+    result = ExperimentResult(
+        experiment_id="A1", title="Transit market consolidation"
+    )
+    run = SerranoGenerator().generate_detailed(n, seed=seed)
+    evolution = simulate_market_evolution(
+        run.graph,
+        users=run.users,
+        pricing=pricing,
+        rounds=rounds,
+        num_flows=num_flows,
+        seed=seed,
+    )
+    rows = [
+        [
+            r.round_index,
+            r.num_ases,
+            r.num_providers,
+            r.exits,
+            r.transit_hhi,
+            r.profitable_fraction,
+            r.unroutable_fraction,
+        ]
+        for r in evolution.rounds
+    ]
+    result.add_table(
+        "consolidation trajectory",
+        ["round", "ASes", "providers", "exits", "HHI", "profitable", "unroutable"],
+        rows,
+    )
+    result.add_series(
+        "providers per round",
+        [(float(r.round_index), float(r.num_providers)) for r in evolution.rounds],
+    )
+    result.add_series(
+        "HHI per round",
+        [(float(r.round_index), r.transit_hhi) for r in evolution.rounds],
+    )
+    first, last = evolution.rounds[0], evolution.rounds[-1]
+    result.notes["total_exits"] = float(evolution.total_exits)
+    result.notes["provider_shrink_ratio"] = (
+        last.num_providers / max(first.num_providers, 1)
+    )
+    result.notes["as_survival_ratio"] = last.num_ases / max(first.num_ases, 1)
+    result.notes["hhi_trend"] = evolution.concentration_trend
+    result.notes["final_unroutable"] = last.unroutable_fraction
+    return result

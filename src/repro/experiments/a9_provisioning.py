@@ -1,0 +1,84 @@
+"""Experiment A9 (extension) — provisioning adequacy.
+
+The weighted-growth model's premise is a demand/supply equilibrium: ASes
+provision bandwidth (edge weights) in proportion to the users they serve.
+This experiment closes that loop with traffic: route a gravity matrix over
+the generated topology and ask whether *provisioned* capacity actually sits
+where the *routed* load lands.  Expected shape: per-AS carried volume
+correlates strongly with provisioned strength (rank correlation well above
+0.5), high-capacity links carry disproportionate volume, and utilization
+concentrates on the provider core rather than exceeding capacity uniformly.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..economics.relationships import assign_relationships
+from ..economics.traffic import gravity_flows, route_flows
+from ..generators.serrano import SerranoGenerator
+from ..graph.traversal import giant_component
+from ..stats.correlation import spearman_correlation
+from ..stats.inequality import gini_coefficient
+from .base import ExperimentResult
+
+__all__ = ["run_a9"]
+
+
+def run_a9(
+    n: int = 1200,
+    num_flows: int = 2500,
+    seed: int = 61,
+) -> ExperimentResult:
+    """Provisioned bandwidth vs routed load on a weighted-growth internet."""
+    result = ExperimentResult(
+        experiment_id="A9", title="Provisioning adequacy: capacity vs load"
+    )
+    run = SerranoGenerator().generate_detailed(n, seed=seed)
+    graph = giant_component(run.graph)
+    users = {node: run.users[node] for node in graph.nodes()}
+    rels = assign_relationships(graph)
+    matrix = gravity_flows(users, num_flows=num_flows, seed=seed)
+    traffic = route_flows(graph, rels, matrix)
+
+    # Per-AS: provisioned strength vs carried volume.
+    strengths = []
+    carried = []
+    for node in graph.nodes():
+        strengths.append(graph.strength(node))
+        carried.append(traffic.carried.get(node, 0.0))
+    node_correlation = spearman_correlation(strengths, carried)
+
+    # Per-link: provisioned weight vs routed volume.
+    weights = []
+    volumes = []
+    for u, v, w in graph.weighted_edges():
+        weights.append(w)
+        volumes.append(traffic.volume_on_edge(u, v))
+    link_correlation = spearman_correlation(weights, volumes)
+
+    # Utilization proxy: volume per provisioned unit, fat links vs thin.
+    fat_cut = sorted(weights, reverse=True)[max(len(weights) // 10 - 1, 0)]
+    fat_volume = sum(v for w, v in zip(weights, volumes) if w >= fat_cut)
+    total_volume = sum(volumes)
+    fat_share = fat_volume / total_volume if total_volume else 0.0
+
+    pairs: List[Tuple[float, float]] = sorted(zip(strengths, carried))
+    result.add_series("per-AS (strength, carried volume)", pairs[:: max(len(pairs) // 40, 1)])
+    result.add_table(
+        "adequacy summary",
+        ["quantity", "value"],
+        [
+            ["node rank correlation (strength vs carried)", node_correlation],
+            ["link rank correlation (weight vs volume)", link_correlation],
+            ["top-decile-capacity links' volume share", fat_share],
+            ["carried-volume Gini", gini_coefficient(carried)],
+            ["strength Gini", gini_coefficient(strengths)],
+            ["unroutable fraction", traffic.unroutable / matrix.total_volume],
+        ],
+    )
+    result.notes["node_rank_correlation"] = node_correlation
+    result.notes["link_rank_correlation"] = link_correlation
+    result.notes["fat_link_volume_share"] = fat_share
+    result.notes["carried_gini"] = gini_coefficient(carried)
+    return result

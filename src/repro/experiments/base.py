@@ -1,0 +1,62 @@
+"""Shared experiment result plumbing.
+
+Every experiment module exposes one ``run_*`` function returning an
+:class:`ExperimentResult`: an id, a title, named tables (rows of cells) and
+named series ((x, y) point lists).  The result renders itself as the
+paper-style text block the benchmark harness prints and EXPERIMENTS.md
+records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from ..core.report import format_series, format_table
+
+__all__ = ["ExperimentResult"]
+
+
+@dataclass
+class ExperimentResult:
+    """Output of one experiment run.
+
+    ``tables`` maps a table label to (headers, rows); ``series`` maps a
+    series label to (x, y) points; ``notes`` carries free-form findings
+    (e.g. fitted exponents) that harnesses assert on.
+    """
+
+    experiment_id: str
+    title: str
+    tables: Dict[str, Tuple[Sequence[str], List[Sequence]]] = field(default_factory=dict)
+    series: Dict[str, List[Tuple[float, float]]] = field(default_factory=dict)
+    notes: Dict[str, float] = field(default_factory=dict)
+
+    def add_table(self, label: str, headers: Sequence[str], rows: List[Sequence]) -> None:
+        """Attach a table."""
+        self.tables[label] = (list(headers), rows)
+
+    def add_series(self, label: str, points: List[Tuple[float, float]]) -> None:
+        """Attach a plottable series."""
+        self.series[label] = points
+
+    def render(self, max_series_points: int = 25) -> str:
+        """Render the whole result as the text block harnesses print."""
+        blocks = [f"== {self.experiment_id}: {self.title} =="]
+        for label, (headers, rows) in self.tables.items():
+            blocks.append(format_table(headers, rows, title=f"[table] {label}"))
+        for label, points in self.series.items():
+            shown = points
+            if len(points) > max_series_points:
+                step = max(1, len(points) // max_series_points)
+                shown = points[::step]
+            blocks.append(
+                format_series(shown, x_label="x", y_label="y", title=f"[series] {label}")
+            )
+        if self.notes:
+            note_rows = sorted(self.notes.items())
+            blocks.append(format_table(["note", "value"], note_rows, title="[notes]"))
+        return "\n\n".join(blocks)
+
+    def __str__(self) -> str:
+        return self.render()

@@ -1,0 +1,65 @@
+"""Experiment F1 — exponential growth of hosts, ASes, and links.
+
+Reproduces the growth-measurement figure: three time series on a log scale
+with fitted exponential rates, checking the ordering ``alpha > delta >
+beta`` (demand outgrows supply; connectivity densifies) and deriving the
+scaling relations ``W ∝ N^(alpha/beta)`` and ``<k> ∝ N^(delta/beta - 1)``.
+
+Data source: the synthetic Hobbes/Route-Views-like timeline (see the
+substitution table in DESIGN.md); the experiment's code path — noisy series
+in, fitted rates and derived exponents out — is identical to the original
+measurement.
+"""
+
+from __future__ import annotations
+
+from ..datasets.timeline import PUBLISHED_RATES, TimelineConfig, hobbes_like_timeline
+from ..stats.growth import doubling_time, fit_exponential_growth
+from .base import ExperimentResult
+
+__all__ = ["run_f1"]
+
+
+def run_f1(config: TimelineConfig = TimelineConfig()) -> ExperimentResult:
+    """Fit growth rates to the timeline and derive the scaling relations."""
+    series = hobbes_like_timeline(config)
+    result = ExperimentResult(
+        experiment_id="F1",
+        title="Exponential growth of hosts W(t), ASes N(t), links E(t)",
+    )
+    fits = {}
+    rows = []
+    for key in ("hosts", "ases", "links"):
+        data = series[key]
+        fit = fit_exponential_growth(data.times, data.values)
+        fits[key] = fit
+        rows.append(
+            [
+                key,
+                fit.rate,
+                fit.rate_stderr,
+                PUBLISHED_RATES[key],
+                doubling_time(fit.rate),
+                fit.r_squared,
+            ]
+        )
+        result.add_series(f"{key} (t, value)", list(zip(data.times, data.values)))
+    result.add_table(
+        "fitted monthly growth rates",
+        ["series", "rate", "stderr", "published", "doubling (mo)", "R^2"],
+        rows,
+    )
+
+    alpha = fits["hosts"].rate
+    beta = fits["ases"].rate
+    delta = fits["links"].rate
+    result.notes["alpha"] = alpha
+    result.notes["beta"] = beta
+    result.notes["delta"] = delta
+    result.notes["ordering_alpha_gt_delta"] = float(alpha > delta)
+    result.notes["ordering_delta_gt_beta"] = float(delta > beta)
+    # Derived scaling exponents the growth analysis reads off the rates.
+    result.notes["users_per_as_exponent"] = alpha / beta      # W ∝ N^(α/β)
+    result.notes["edges_per_as_exponent"] = delta / beta      # E ∝ N^(δ/β)
+    result.notes["avg_degree_exponent"] = delta / beta - 1.0  # <k> ∝ N^(δ/β−1)
+    return result

@@ -1,0 +1,78 @@
+"""The standard model roster used by the comparison experiments.
+
+One place defines which generator configurations enter the shoot-outs, so
+every table/figure compares the same contestants.  Densities are calibrated
+to the reference map's average degree (≈ 4–5) where the model has a free
+density knob; degree-driven models keep their published parameters.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..generators.albert_barabasi import AlbertBarabasiGenerator
+from ..generators.barabasi_albert import BarabasiAlbertGenerator
+from ..generators.base import TopologyGenerator
+from ..generators.erdos_renyi import ErdosRenyiGnm
+from ..generators.glp import GlpGenerator
+from ..generators.gtitm import TransitStubGenerator
+from ..generators.hot import HotGenerator
+from ..generators.inet import InetGenerator
+from ..generators.pfp import PfpGenerator
+from ..generators.plrg import PlrgGenerator
+from ..generators.serrano import SerranoGenerator
+from ..generators.waxman import WaxmanGenerator
+
+__all__ = ["standard_roster", "heavy_tail_roster", "ROSTER_ORDER"]
+
+#: Presentation order for tables (baselines first, then structural, then
+#: growth, then weighted-growth).
+ROSTER_ORDER: List[str] = [
+    "erdos-renyi",
+    "waxman",
+    "transit-stub",
+    "hot",
+    "plrg",
+    "inet",
+    "barabasi-albert",
+    "albert-barabasi",
+    "glp",
+    "pfp",
+    "serrano",
+    "serrano-distance",
+]
+
+
+def standard_roster(n: int) -> Dict[str, TopologyGenerator]:
+    """All twelve contestants, density-calibrated for size *n*."""
+    target_edges = int(2.15 * n)  # reference map density, <k> ≈ 4.3
+    if n >= 500:
+        transit_stub = TransitStubGenerator()
+    else:
+        # Shrink the hierarchy so tiny sweep sizes stay feasible.
+        transit_stub = TransitStubGenerator(
+            transit_domains=2, transit_size=4, stubs_per_transit=3
+        )
+    return {
+        "erdos-renyi": ErdosRenyiGnm(m=target_edges),
+        "waxman": WaxmanGenerator(
+            beta=WaxmanGenerator.beta_for_average_degree(n, 4.3)
+        ),
+        "transit-stub": transit_stub,
+        "hot": HotGenerator(extra_links=1),
+        "plrg": PlrgGenerator(gamma=2.2),
+        "inet": InetGenerator(gamma=2.2),
+        "barabasi-albert": BarabasiAlbertGenerator(m=2),
+        "albert-barabasi": AlbertBarabasiGenerator(m=1, p=0.35, q=0.05),
+        "glp": GlpGenerator(),
+        "pfp": PfpGenerator(),
+        "serrano": SerranoGenerator(),
+        "serrano-distance": SerranoGenerator(distance=True),
+    }
+
+
+def heavy_tail_roster(n: int) -> Dict[str, TopologyGenerator]:
+    """The subset with heavy-tailed degree claims (used by spectra plots)."""
+    roster = standard_roster(n)
+    keep = ("plrg", "inet", "barabasi-albert", "glp", "pfp", "serrano", "serrano-distance")
+    return {name: roster[name] for name in keep}

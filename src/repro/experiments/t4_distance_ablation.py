@@ -1,0 +1,84 @@
+"""Experiment T4 — ablation: distance constraints on vs off.
+
+The design choice DESIGN.md calls out first: does embedding ASes on a
+fractal (D_f ≈ 1.5) and pricing long links by endpoint size change the
+topology, and in which direction?  Expected shape (the original claim):
+distance constraints inhibit small-small long links, adding a
+disassortative component and sharpening hierarchy, while leaving the degree
+exponent essentially untouched.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..core.experiment import seed_sequence
+from ..core.metrics import summarize
+from ..generators.serrano import SerranoGenerator
+from .base import ExperimentResult
+
+__all__ = ["run_t4"]
+
+_METRICS = (
+    "average_degree",
+    "degree_exponent",
+    "average_clustering",
+    "assortativity",
+    "average_path_length",
+    "degeneracy",
+    "max_degree_fraction",
+)
+
+
+def _mean_summary(generator, n: int, seeds: Sequence[int]):
+    """Per-metric mean and spread over seeds."""
+    values = {metric: [] for metric in _METRICS}
+    for seed in seeds:
+        summary = summarize(generator.generate(n, seed=seed), seed=seed)
+        flat = summary.as_dict()
+        for metric in _METRICS:
+            values[metric].append(float(flat[metric]))
+    means = {m: sum(v) / len(v) for m, v in values.items()}
+    spreads = {
+        m: (max(v) - min(v)) if len(v) > 1 else 0.0 for m, v in values.items()
+    }
+    return means, spreads
+
+
+def run_t4(n: int = 1500, seeds: int = 3, base_seed: int = 41) -> ExperimentResult:
+    """Seed-averaged metric table: geography on vs off."""
+    result = ExperimentResult(
+        experiment_id="T4", title="Ablation: distance constraints on/off"
+    )
+    seed_list = seed_sequence(base_seed, seeds)
+    without_mean, without_spread = _mean_summary(SerranoGenerator(), n, seed_list)
+    with_mean, with_spread = _mean_summary(
+        SerranoGenerator(distance=True), n, seed_list
+    )
+    rows = []
+    for metric in _METRICS:
+        rows.append(
+            [
+                metric,
+                without_mean[metric],
+                without_spread[metric],
+                with_mean[metric],
+                with_spread[metric],
+                with_mean[metric] - without_mean[metric],
+            ]
+        )
+    result.add_table(
+        "distance ablation (seed means)",
+        ["metric", "without", "spread", "with", "spread", "delta"],
+        rows,
+    )
+    result.notes["assortativity_shift"] = (
+        with_mean["assortativity"] - without_mean["assortativity"]
+    )
+    result.notes["gamma_shift"] = (
+        with_mean["degree_exponent"] - without_mean["degree_exponent"]
+    )
+    result.notes["coreness_shift"] = (
+        with_mean["degeneracy"] - without_mean["degeneracy"]
+    )
+    return result

@@ -1,0 +1,76 @@
+"""Barabási–Albert preferential attachment.
+
+The model that launched degree-driven internet modeling: each arriving node
+attaches *m* edges to existing nodes with probability proportional to their
+degree, producing ``P(k) ~ k^-3``.  Its known failure modes against the AS
+map — exponent too steep, clustering too low and flat in k, neutral degree
+correlations, shallow k-cores (coreness = m) — are exactly what the
+comparison experiments must surface.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..graph.graph import Graph
+from ..stats.rng import SeedLike, make_rng
+from .base import GenerationError, TopologyGenerator, _validate_size
+
+__all__ = ["BarabasiAlbertGenerator", "preferential_targets"]
+
+
+def preferential_targets(
+    repeated_nodes: List[int], count: int, rng, exclude: int
+) -> List[int]:
+    """Draw *count* distinct targets ∝ degree from the endpoint list.
+
+    ``repeated_nodes`` holds each node once per incident edge endpoint, so a
+    uniform draw from it is exactly a degree-proportional draw — the classic
+    O(1) trick.  *exclude* (the arriving node) is never returned.
+    """
+    targets: set = set()
+    if not repeated_nodes:
+        raise GenerationError("no existing endpoints to attach to")
+    distinct_available = len({x for x in repeated_nodes if x != exclude})
+    if count > distinct_available:
+        raise GenerationError(
+            f"cannot pick {count} distinct targets from {distinct_available} candidates"
+        )
+    while len(targets) < count:
+        candidate = repeated_nodes[rng.randrange(len(repeated_nodes))]
+        if candidate != exclude:
+            targets.add(candidate)
+    return list(targets)
+
+
+class BarabasiAlbertGenerator(TopologyGenerator):
+    """Plain BA growth: one node and *m* preferential edges per step.
+
+    Starts from a ring of ``max(m, 3)`` seed nodes so the first arrival has
+    enough distinct targets.
+    """
+
+    name = "barabasi-albert"
+
+    def __init__(self, m: int = 2):
+        if m < 1:
+            raise ValueError("m must be >= 1")
+        self.m = m
+
+    def generate(self, n: int, seed: SeedLike = None) -> Graph:
+        """Grow a BA network to exactly *n* nodes."""
+        seed_size = max(self.m, 3)
+        _validate_size(n, minimum=seed_size + 1)
+        rng = make_rng(seed)
+        graph = Graph(name=self.name)
+        repeated: List[int] = []
+        for i in range(seed_size):
+            j = (i + 1) % seed_size
+            graph.add_edge(i, j)
+            repeated.extend((i, j))
+        for new in range(seed_size, n):
+            targets = preferential_targets(repeated, self.m, rng, exclude=new)
+            for target in targets:
+                graph.add_edge(new, target)
+                repeated.extend((new, target))
+        return graph

@@ -1,0 +1,70 @@
+"""Generator framework.
+
+Every topology model in the suite subclasses :class:`TopologyGenerator`:
+parameters are fixed at construction, and :meth:`generate` produces a
+:class:`repro.graph.Graph` of the requested size from a seed.  The split
+matters for the harnesses — one configured generator is swept across sizes
+and seeds without re-validating parameters each time.
+
+Subclasses register themselves with a class-level ``name`` so the registry
+(:mod:`repro.core.registry`) and CLI can instantiate them by string.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Dict, Optional
+
+from ..graph.graph import Graph
+from ..stats.rng import SeedLike
+
+__all__ = ["TopologyGenerator", "GenerationError"]
+
+
+class GenerationError(RuntimeError):
+    """A generator could not produce a valid topology with its parameters
+    (e.g. a degree sequence with an odd sum, or a size below the seed
+    clique)."""
+
+
+class TopologyGenerator(abc.ABC):
+    """Abstract base for all topology generators.
+
+    Subclasses must set the class attribute ``name`` (unique, kebab-case)
+    and implement :meth:`generate`.  ``params()`` reports the configured
+    parameters for experiment provenance.
+    """
+
+    #: Unique registry name, e.g. ``"barabasi-albert"``.
+    name: str = ""
+
+    @abc.abstractmethod
+    def generate(self, n: int, seed: SeedLike = None) -> Graph:
+        """Build a topology with (approximately) *n* nodes.
+
+        Growth models hit *n* exactly; structural models may deviate by a
+        few nodes after cleanup (multi-edge collapse, component extraction)
+        and say so in their docstring.
+        """
+
+    def params(self) -> Dict[str, Any]:
+        """Configured parameters (public attributes), for provenance."""
+        return {
+            key: value
+            for key, value in vars(self).items()
+            if not key.startswith("_")
+        }
+
+    def describe(self) -> str:
+        """Human-readable one-liner: name plus parameters."""
+        rendered = ", ".join(f"{k}={v!r}" for k, v in sorted(self.params().items()))
+        return f"{self.name}({rendered})"
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.describe()}>"
+
+
+def _validate_size(n: int, minimum: int = 1) -> None:
+    """Shared size check for generate() implementations."""
+    if n < minimum:
+        raise GenerationError(f"n must be >= {minimum}, got {n}")

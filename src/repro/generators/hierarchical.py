@@ -1,0 +1,104 @@
+"""Two-level (AS → router) topology expansion.
+
+The AS-level and router-level internet are different graphs; top-down
+generators (BRITE's hierarchical mode, GT-ITM's intent) build the router
+level by expanding each AS of an AS-level topology into a small router
+pocket and stitching pockets along AS adjacencies through border routers.
+
+:class:`TwoLevelGenerator` wraps any AS-level generator from the suite:
+
+* each AS becomes a connected router pocket (ring + chords) whose size
+  scales with the AS's degree — big transit ASes run big backbones;
+* every AS adjacency becomes a physical link between randomly chosen
+  border routers of the two pockets (one link per unit of edge weight,
+  so provisioned bandwidth turns into parallel physical links).
+
+Router ids are ``(as_id, index)`` tuples, so the AS ownership of every
+router stays readable in results.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..graph.graph import Graph
+from ..stats.rng import SeedLike, make_rng, spawn_seed
+from .base import TopologyGenerator, _validate_size
+
+__all__ = ["TwoLevelGenerator"]
+
+
+class TwoLevelGenerator(TopologyGenerator):
+    """Expand an AS-level generator into a router-level topology.
+
+    *as_generator* — any :class:`TopologyGenerator` for the AS level;
+    *routers_per_degree* — pocket size is ``base_routers + round(k *
+    routers_per_degree)`` for an AS of degree k, capped by *max_routers*;
+    *chord_fraction* — extra intra-pocket chords per router beyond the ring.
+
+    ``generate(n)`` interprets *n* as the **AS count**; the router count is
+    reported by the returned graph.
+    """
+
+    name = "two-level"
+
+    def __init__(
+        self,
+        as_generator: TopologyGenerator,
+        base_routers: int = 3,
+        routers_per_degree: float = 0.5,
+        max_routers: int = 64,
+        chord_fraction: float = 0.3,
+    ):
+        if base_routers < 1:
+            raise ValueError("base_routers must be >= 1")
+        if routers_per_degree < 0:
+            raise ValueError("routers_per_degree must be non-negative")
+        if max_routers < base_routers:
+            raise ValueError("max_routers must be >= base_routers")
+        if chord_fraction < 0:
+            raise ValueError("chord_fraction must be non-negative")
+        self.base_routers = base_routers
+        self.routers_per_degree = routers_per_degree
+        self.max_routers = max_routers
+        self.chord_fraction = chord_fraction
+        self._as_generator = as_generator
+
+    def _pocket_size(self, as_degree: int) -> int:
+        size = self.base_routers + round(as_degree * self.routers_per_degree)
+        return min(max(size, 1), self.max_routers)
+
+    def generate(self, n: int, seed: SeedLike = None) -> Graph:
+        """Build the router-level expansion of an n-AS topology."""
+        _validate_size(n, minimum=2)
+        rng = make_rng(seed)
+        as_graph = self._as_generator.generate(n, seed=spawn_seed(rng))
+        router_graph = Graph(name=f"{self.name}({self._as_generator.name})")
+
+        pockets = {}
+        for as_id in as_graph.nodes():
+            size = self._pocket_size(as_graph.degree(as_id))
+            routers = [(as_id, i) for i in range(size)]
+            pockets[as_id] = routers
+            for router in routers:
+                router_graph.add_node(router)
+            # Ring backbone keeps the pocket connected...
+            if size > 1:
+                for i in range(size):
+                    router_graph.add_edge(routers[i], routers[(i + 1) % size])
+            # ...plus random chords for intra-AS redundancy.
+            chords = int(self.chord_fraction * size)
+            for _ in range(chords):
+                a = routers[rng.randrange(size)]
+                b = routers[rng.randrange(size)]
+                if a != b and not router_graph.has_edge(a, b):
+                    router_graph.add_edge(a, b)
+
+        for u, v, weight in as_graph.weighted_edges():
+            # One physical link per provisioned bandwidth unit, each
+            # between (possibly different) border routers.
+            for _ in range(max(int(round(weight)), 1)):
+                border_u = pockets[u][rng.randrange(len(pockets[u]))]
+                border_v = pockets[v][rng.randrange(len(pockets[v]))]
+                router_graph.add_edge(border_u, border_v)
+        return router_graph

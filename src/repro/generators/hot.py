@@ -1,0 +1,72 @@
+"""Heuristically Optimized Trade-offs (Fabrikant–Koutsoupias–Papadimitriou).
+
+The optimization-driven answer to preferential attachment: nodes arrive at
+random positions and connect to the existing node minimizing
+
+    alpha * d(i, j) + h(j)
+
+— a trade-off between last-mile cost (Euclidean distance) and operational
+centrality (h, the hop count to the root).  FKP proved the resulting tree's
+degree distribution is heavy-tailed for intermediate ``alpha`` (between
+O(sqrt(n)) and a constant), giving power laws *without* any rich-get-richer
+rule.  ``extra_links`` optionally adds redundant next-best links per node,
+since a pure tree breaks most topology metrics (clustering is identically
+zero).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..geometry.plane import Plane
+from ..graph.graph import Graph
+from ..stats.rng import SeedLike, make_numpy_rng, make_rng
+from .base import TopologyGenerator, _validate_size
+
+__all__ = ["HotGenerator"]
+
+
+class HotGenerator(TopologyGenerator):
+    """FKP tree growth with optional redundancy links.
+
+    *alpha* is the distance weight: FKP showed heavy tails for alpha between
+    ~4 and O(sqrt(n)).  Pass ``alpha=None`` (default) to use
+    ``sqrt(n) / 4`` at generation time, which sits inside the heavy-tail
+    window across practical sizes.  *extra_links* adds that many additional
+    next-best candidates per arriving node, turning the tree into a mesh.
+    """
+
+    name = "hot"
+
+    def __init__(self, alpha: float = None, extra_links: int = 0):
+        if alpha is not None and alpha < 0:
+            raise ValueError("alpha must be non-negative")
+        if extra_links < 0:
+            raise ValueError("extra_links must be non-negative")
+        self.alpha = alpha
+        self.extra_links = extra_links
+
+    def generate(self, n: int, seed: SeedLike = None) -> Graph:
+        """Grow an FKP network to exactly *n* nodes."""
+        _validate_size(n, minimum=2)
+        rng = make_rng(seed)
+        np_rng = make_numpy_rng(rng.getrandbits(63))
+        alpha = self.alpha if self.alpha is not None else float(np.sqrt(n)) / 4.0
+
+        xs = np_rng.random(n)
+        ys = np_rng.random(n)
+        hops = np.zeros(n)  # h(j): hop distance to the root, node 0
+        graph = Graph(name=self.name)
+        graph.add_node(0)
+        for new in range(1, n):
+            dx = xs[:new] - xs[new]
+            dy = ys[:new] - ys[new]
+            cost = alpha * np.hypot(dx, dy) + hops[:new]
+            order = np.argsort(cost)
+            parent = int(order[0])
+            graph.add_edge(new, parent)
+            hops[new] = hops[parent] + 1
+            # Redundancy: next-best distinct candidates, if requested.
+            for extra in order[1 : 1 + self.extra_links]:
+                graph.add_edge(new, int(extra))
+        return graph

@@ -1,0 +1,404 @@
+"""Weighted supply/demand growth model (Serrano–Boguñá–Díaz-Guilera).
+
+The genre exemplar of *environment-coupled* internet models: the network is
+not isolated but embedded in an exponentially growing pool of users that
+demand service, and ASes adapt their bandwidth to the users they win.
+
+Per unit time step (one "month"):
+
+1. **demand growth** — ``ΔW(t)`` new users arrive and choose an AS by
+   linear preference ``Π_i = ω_i / W``;
+2. **supply growth** — ``ΔN(t)`` new ASes appear, each seeded with ``ω₀``
+   users withdrawn uniformly from existing ASes (W is conserved);
+3. **churn** — optionally, a fraction ``churn`` of users relocate by the
+   same preference (the λ term: pure diffusion, no drift);
+4. **adaptation** — every AS targets bandwidth
+   ``b_i = 1 + a(t) (ω_i − ω₀)`` with ``a(t) = 2 B(t) / W(t)`` and
+   ``B(t) = B0 e^{δ' t}``; the shortfall ``Δb_i`` is its *activity*.
+   Pairs are drawn with probability ∝ Δb_i Δb_j among active nodes; an
+   accepted pair forms one link (or reinforces an existing one — edge
+   weight is bandwidth in discrete units) and keeps adding parallel units
+   with probability ``r`` while both still need bandwidth.  With
+   ``distance=True`` nodes live on a fractal set (D_f ≈ 1.5) and a pair at
+   distance d is accepted with probability ``exp(-d / d_c)``,
+   ``d_c = ω_i ω_j / (κ W)`` — long links are affordable only to large ASes.
+
+Analytic targets the experiments check against: size distribution exponent
+``1 + α/β``, degree exponent ``γ = 1 + 1/(2 − δ/β)`` with
+``δ = 2β − αβ/δ'``, and the degree–bandwidth scaling ``k ∝ b^μ``,
+``μ = β/δ'`` (F9).
+
+Scale note: the original simulations used ``ω₀ = 5000`` (then W ≈ 5·10⁷
+users at the 2001-map size).  User arrivals are simulated individually in
+aggregate batches, so the default here is ``ω₀ = 50``, which preserves every
+ratio the analysis depends on (ω₀ only sets the resource granularity) while
+keeping harness runtimes in seconds.  Pass ``omega0=5000`` to reproduce the
+original scale.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..environment.growth import GrowthSeries
+from ..geometry.fractal import FractalBoxSet
+from ..geometry.plane import Plane, Point
+from ..graph.graph import Graph
+from ..stats.rng import SeedLike, make_numpy_rng, make_rng
+from ..stats.sampling import FenwickSampler
+from .base import GenerationError, TopologyGenerator, _validate_size
+
+__all__ = ["SerranoGenerator", "SerranoRun"]
+
+
+@dataclass
+class SerranoRun:
+    """Full output of one simulation: topology plus model state.
+
+    ``graph`` — the weighted AS topology (edge weight = bandwidth units);
+    ``users`` — final ω_i per AS;
+    ``positions`` — node → Point when geography was on, else empty;
+    ``history`` — GrowthSeries for W, N, E and B over simulated months;
+    ``snapshots`` — size → frozen topology copy, captured the first time
+    the node count reached each requested threshold (temporal snapshots of
+    *one* growth history, for scaling and kernel measurements).
+    """
+
+    graph: Graph
+    users: Dict[int, int]
+    positions: Dict[int, Point] = field(default_factory=dict)
+    history: Dict[str, GrowthSeries] = field(default_factory=dict)
+    snapshots: Dict[int, Graph] = field(default_factory=dict)
+
+    @property
+    def total_users(self) -> int:
+        """Total users W at the end of the run."""
+        return int(sum(self.users.values()))
+
+
+class SerranoGenerator(TopologyGenerator):
+    """Weighted supply/demand growth with optional distance constraints."""
+
+    name = "serrano"
+
+    def __init__(
+        self,
+        omega0: int = 50,
+        n0: int = 2,
+        b0: float = 1.0,
+        alpha: float = 0.035,
+        beta: float = 0.03,
+        delta_prime: float = 0.04,
+        r: float = 0.8,
+        churn: float = 0.0,
+        distance: bool = False,
+        fractal_dimension: float = 1.5,
+        kappa: Optional[float] = None,
+        nn_cutoff_factor: float = 4.0,
+    ):
+        if omega0 < 2:
+            raise ValueError("omega0 must be >= 2")
+        if n0 < 2:
+            raise ValueError("n0 must be >= 2")
+        if b0 <= 0:
+            raise ValueError("b0 must be positive")
+        if alpha <= 0 or beta <= 0 or delta_prime <= 0:
+            raise ValueError("growth rates must be positive")
+        if beta >= alpha:
+            raise ValueError("the model requires alpha > beta (demand outgrows supply)")
+        if delta_prime <= alpha:
+            raise ValueError("delta' must exceed alpha (traffic outgrows demand)")
+        if not 0 <= r < 1:
+            raise ValueError("r must be in [0, 1)")
+        if not 0 <= churn < 1:
+            raise ValueError("churn must be in [0, 1)")
+        self.omega0 = omega0
+        self.n0 = n0
+        self.b0 = b0
+        self.alpha = alpha
+        self.beta = beta
+        self.delta_prime = delta_prime
+        self.r = r
+        self.churn = churn
+        self.distance = distance
+        self.fractal_dimension = fractal_dimension
+        self.kappa = kappa
+        self.nn_cutoff_factor = nn_cutoff_factor
+
+    # ----------------------------------------------------------- predictions
+
+    @property
+    def tau(self) -> float:
+        """β/α — size-distribution exponent is 1 + 1/τ · τ = 1 + τ⁻¹·…;
+        p(ω) ~ ω^-(1+τ) with this τ… i.e. size exponent = 1 + α/β."""
+        return self.beta / self.alpha
+
+    @property
+    def predicted_mu(self) -> float:
+        """Degree–bandwidth exponent μ = β/δ′."""
+        return self.beta / self.delta_prime
+
+    @property
+    def predicted_delta(self) -> float:
+        """Edge growth rate δ = 2β − αβ/δ′ (from E ∝ N^(2−α/δ′))."""
+        return 2.0 * self.beta - self.alpha * self.beta / self.delta_prime
+
+    @property
+    def predicted_gamma(self) -> float:
+        """Degree exponent γ = 1 + 1/(2 − δ/β)."""
+        return 1.0 + 1.0 / (2.0 - self.predicted_delta / self.beta)
+
+    # ------------------------------------------------------------ simulation
+
+    def _auto_kappa(self, n: int) -> float:
+        """κ such that, at final W, two minimum-size ASes see a distance
+        cutoff of ``nn_cutoff_factor`` nearest-neighbor spacings.
+
+        Nearest-neighbor spacing on a D_f-dimensional set of n points in the
+        unit square scales as n^(-1/D_f)."""
+        w_final = self.omega0 * self.n0 * (n / self.n0) ** (self.alpha / self.beta)
+        d_target = self.nn_cutoff_factor * n ** (-1.0 / self.fractal_dimension)
+        return self.omega0**2 / (d_target * w_final)
+
+    def generate(self, n: int, seed: SeedLike = None) -> Graph:
+        """Grow the weighted topology to exactly *n* ASes."""
+        return self.generate_detailed(n, seed=seed).graph
+
+    def generate_detailed(
+        self,
+        n: int,
+        seed: SeedLike = None,
+        snapshot_sizes: Optional[List[int]] = None,
+    ) -> SerranoRun:
+        """Run the full simulation, returning topology plus model state.
+
+        *snapshot_sizes* (ascending node counts below *n*) captures frozen
+        copies of the topology the first time the network reaches each
+        size — true temporal snapshots of a single growth history.
+        """
+        _validate_size(n, minimum=self.n0 + 1)
+        pending_snapshots = sorted(set(snapshot_sizes or []))
+        if pending_snapshots and (
+            pending_snapshots[0] <= self.n0 or pending_snapshots[-1] > n
+        ):
+            raise ValueError("snapshot sizes must lie in (n0, n]")
+        rng = make_rng(seed)
+        np_rng = make_numpy_rng(rng.getrandbits(63))
+        kappa = self.kappa if self.kappa is not None else (
+            self._auto_kappa(n) if self.distance else 0.0
+        )
+
+        fractal = (
+            FractalBoxSet(dimension=self.fractal_dimension, seed=rng)
+            if self.distance
+            else None
+        )
+        positions: List[Point] = []
+
+        graph = Graph(name=self.name + ("-distance" if self.distance else ""))
+        omega = np.zeros(n, dtype=np.float64)
+        num_nodes = self.n0
+        for i in range(self.n0):
+            graph.add_node(i)
+            omega[i] = self.omega0
+            if fractal is not None:
+                positions.append(fractal.sample_point())
+        # Seed topology: a chain over the n0 initial ASes.
+        for i in range(self.n0 - 1):
+            graph.add_edge(i, i + 1)
+        strength = np.zeros(n, dtype=np.float64)
+        for i in range(self.n0):
+            strength[i] = graph.strength(i)
+
+        history = {
+            key: GrowthSeries(name=key) for key in ("users", "nodes", "edges", "bandwidth")
+        }
+        w0_total = float(self.omega0 * self.n0)
+        total_steps = max(1, math.ceil(math.log(n / self.n0) / self.beta))
+
+        snapshots: Dict[int, Graph] = {}
+        self._record(history, 0.0, omega, num_nodes, graph)
+        t = 0
+        while num_nodes < n:
+            t += 1
+            if t > 4 * total_steps + 100:
+                raise GenerationError("growth failed to reach target size")
+            # -- 1. demand growth ------------------------------------------
+            w_target = w0_total * math.exp(self.alpha * t)
+            arrivals = int(round(w_target - float(omega[:num_nodes].sum())))
+            if arrivals > 0:
+                self._assign_users(omega, num_nodes, arrivals, np_rng)
+            # -- 2. supply growth ------------------------------------------
+            n_target = min(n, round(self.n0 * math.exp(self.beta * t)))
+            while num_nodes < n_target:
+                self._spawn_node(graph, omega, num_nodes, np_rng)
+                if fractal is not None:
+                    positions.append(fractal.sample_point())
+                num_nodes += 1
+            # -- 3. churn ---------------------------------------------------
+            if self.churn > 0:
+                self._relocate_users(omega, num_nodes, np_rng)
+            # -- 4. adaptation ---------------------------------------------
+            bandwidth_target = self.b0 * math.exp(self.delta_prime * t)
+            self._adapt(
+                graph, omega, strength, num_nodes, bandwidth_target,
+                positions, kappa, rng,
+            )
+            self._record(history, float(t), omega, num_nodes, graph)
+            while pending_snapshots and num_nodes >= pending_snapshots[0]:
+                size = pending_snapshots.pop(0)
+                frozen = graph.copy()
+                frozen.name = f"{graph.name}@{num_nodes}"
+                snapshots[size] = frozen
+
+        users = {i: int(round(omega[i])) for i in range(num_nodes)}
+        position_map = {i: positions[i] for i in range(num_nodes)} if positions else {}
+        return SerranoRun(
+            graph=graph, users=users, positions=position_map, history=history,
+            snapshots=snapshots,
+        )
+
+    # ------------------------------------------------------------- internals
+
+    @staticmethod
+    def _record(history, t: float, omega, num_nodes: int, graph: Graph) -> None:
+        history["users"].record(t, float(omega[:num_nodes].sum()))
+        history["nodes"].record(t, float(num_nodes))
+        history["edges"].record(t, float(max(graph.num_edges, 1)))
+        history["bandwidth"].record(t, float(max(graph.total_weight, 1.0)))
+
+    @staticmethod
+    def _assign_users(omega, num_nodes: int, count: int, np_rng) -> None:
+        """Batch linear-preference arrival: multinomial over Π_i = ω_i/W."""
+        weights = omega[:num_nodes]
+        total = weights.sum()
+        probs = weights / total
+        omega[:num_nodes] += np_rng.multinomial(count, probs)
+
+    def _spawn_node(self, graph: Graph, omega, new_id: int, np_rng) -> None:
+        """Create one AS with ω₀ users withdrawn from existing ASes.
+
+        Donor ASes are drawn *uniformly over nodes* (not over users): the
+        model's drift has a constant loss term −βω₀ per node, which is the
+        uniform-over-donors convention.  An AS is never drained below one
+        user (the reflecting-boundary analogue)."""
+        needed = self.omega0
+        for _ in range(50):  # clamped redraw rounds
+            eligible = np.nonzero(omega[:new_id] > 1.0)[0]
+            if eligible.size == 0:
+                raise GenerationError("user pool exhausted while seeding a new AS")
+            capacity = omega[eligible] - 1.0
+            if capacity.sum() < needed:
+                raise GenerationError("user pool exhausted while seeding a new AS")
+            draws = np.bincount(
+                np_rng.integers(0, eligible.size, size=needed),
+                minlength=eligible.size,
+            ).astype(np.float64)
+            taken = np.minimum(draws, capacity)
+            omega[eligible] -= taken
+            shortfall = needed - int(taken.sum())
+            if shortfall <= 0:
+                break
+            needed = shortfall
+        graph.add_node(new_id)
+        omega[new_id] = self.omega0
+
+    def _relocate_users(self, omega, num_nodes: int, np_rng) -> None:
+        """Move churn·W users: uniform departure, preferential arrival."""
+        count = int(self.churn * omega[:num_nodes].sum())
+        if count <= 0:
+            return
+        weights = np.maximum(omega[:num_nodes] - 1.0, 0.0)
+        total = weights.sum()
+        if total <= 0:
+            return
+        count = min(count, int(total))
+        out = np.minimum(np_rng.multinomial(count, weights / total), weights)
+        omega[:num_nodes] -= out
+        moved = int(out.sum())
+        stay = omega[:num_nodes]
+        omega[:num_nodes] += np_rng.multinomial(moved, stay / stay.sum())
+
+    @staticmethod
+    def _acceptance(
+        omega_i: float,
+        omega_j: float,
+        point_i: Point,
+        point_j: Point,
+        kappa: float,
+        w_total: float,
+    ) -> float:
+        """Distance acceptance exp(-d/d_c) with d_c = ω_i ω_j / (κ W)."""
+        if kappa <= 0 or w_total <= 0:
+            return 0.0
+        d = math.hypot(point_i.x - point_j.x, point_i.y - point_j.y)
+        d_c = omega_i * omega_j / (kappa * w_total)
+        if d_c <= 0:
+            return 0.0
+        exponent = -d / d_c
+        return math.exp(exponent) if exponent > -700.0 else 0.0
+
+    def _adapt(
+        self,
+        graph: Graph,
+        omega,
+        strength,
+        num_nodes: int,
+        bandwidth_target: float,
+        positions: List[Point],
+        kappa: float,
+        rng,
+    ) -> None:
+        """One adaptation round: compute activities and match active pairs."""
+        w_total = float(omega[:num_nodes].sum())
+        a_t = 2.0 * bandwidth_target / w_total
+        desired = np.maximum(1.0 + a_t * (omega[:num_nodes] - self.omega0), 1.0)
+        need = np.floor(desired - strength[:num_nodes] + 0.5)
+        need = np.maximum(need, 0.0)
+        active = np.nonzero(need)[0]
+        if active.size < 2:
+            return
+        sampler = FenwickSampler((float(need[i]) for i in active), seed=rng)
+        index_of = {int(node): pos for pos, node in enumerate(active)}
+        remaining = {int(node): int(need[node]) for node in active}
+        budget = int(50 + 30 * need.sum())
+
+        def consume(node: int, amount: int = 1) -> None:
+            remaining[node] -= amount
+            strength[node] += amount
+            sampler.update(index_of[node], float(max(remaining[node], 0)))
+
+        while budget > 0 and sampler.total > 0:
+            budget -= 1
+            pos_i = sampler.sample()
+            i = int(active[pos_i])
+            # Mask i out while drawing the partner.
+            saved = sampler.weight(pos_i)
+            sampler.update(pos_i, 0.0)
+            if sampler.total <= 0:
+                sampler.update(pos_i, saved)
+                break
+            pos_j = sampler.sample()
+            sampler.update(pos_i, saved)
+            j = int(active[pos_j])
+            if positions:
+                accept = self._acceptance(
+                    float(omega[i]), float(omega[j]),
+                    positions[i], positions[j], kappa, w_total,
+                )
+                if rng.random() >= accept:
+                    continue
+            graph.add_edge(i, j)
+            consume(i)
+            consume(j)
+            # Bandwidth reinforcement: parallel units with probability r.
+            while (
+                remaining[i] > 0 and remaining[j] > 0 and rng.random() < self.r
+            ):
+                graph.add_edge(i, j)
+                consume(i)
+                consume(j)

@@ -1,0 +1,56 @@
+"""Watts–Strogatz small-world rewiring.
+
+Not an internet model per se, but the canonical *small-world baseline*: it
+decouples the two properties internet maps exhibit together (short paths,
+high clustering) from the one they add (heavy tails).  Including it in the
+battery shows that small-world + clustering alone do not make a topology
+internet-like — the degree distribution stays narrow.
+"""
+
+from __future__ import annotations
+
+from ..graph.graph import Graph
+from ..stats.rng import SeedLike, make_rng
+from .base import GenerationError, TopologyGenerator, _validate_size
+
+__all__ = ["WattsStrogatzGenerator"]
+
+
+class WattsStrogatzGenerator(TopologyGenerator):
+    """Ring lattice of even degree *k* with rewiring probability *p*."""
+
+    name = "watts-strogatz"
+
+    def __init__(self, k: int = 4, p: float = 0.1):
+        if k < 2 or k % 2 != 0:
+            raise ValueError("k must be an even integer >= 2")
+        if not 0 <= p <= 1:
+            raise ValueError("p must be in [0, 1]")
+        self.k = k
+        self.p = p
+
+    def generate(self, n: int, seed: SeedLike = None) -> Graph:
+        """Build the lattice, then rewire each edge with probability p."""
+        _validate_size(n, minimum=self.k + 2)
+        rng = make_rng(seed)
+        graph = Graph(name=self.name)
+        graph.add_nodes(range(n))
+        half = self.k // 2
+        for u in range(n):
+            for offset in range(1, half + 1):
+                graph.add_edge(u, (u + offset) % n)
+        # Rewire the "forward" endpoint of each lattice edge.
+        for u in range(n):
+            for offset in range(1, half + 1):
+                if rng.random() >= self.p:
+                    continue
+                old = (u + offset) % n
+                if not graph.has_edge(u, old):
+                    continue  # already rewired away
+                for _ in range(50):
+                    new = rng.randrange(n)
+                    if new != u and not graph.has_edge(u, new):
+                        graph.remove_edge(u, old)
+                        graph.add_edge(u, new)
+                        break
+        return graph

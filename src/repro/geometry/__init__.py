@@ -1,0 +1,24 @@
+"""Spatial substrate: the embedding plane, fractal point sets and distance
+kernels used by geography-aware generators."""
+
+from .fractal import (
+    FractalBoxSet,
+    box_counting_dimension,
+    fractal_points,
+    uniform_points,
+)
+from .kernels import DistanceKernel, NullKernel, SizeScaledKernel, WaxmanKernel
+from .plane import Plane, Point
+
+__all__ = [
+    "Plane",
+    "Point",
+    "FractalBoxSet",
+    "fractal_points",
+    "uniform_points",
+    "box_counting_dimension",
+    "DistanceKernel",
+    "NullKernel",
+    "WaxmanKernel",
+    "SizeScaledKernel",
+]

@@ -1,0 +1,132 @@
+"""Fractal point sets.
+
+Yook–Jeong–Barabási measured that internet routers are laid out on a fractal
+set of dimension D_f ≈ 1.5, and geography-aware AS models inherit that
+placement.  This module generates such sets with a stochastic box fractal
+(multiplicative cascade): the square is recursively split into 2×2 child
+boxes, each child independently survives with probability ``p = 2^(D_f - 2)``
+(at least one survivor is forced so the cascade never dies), and sample
+points descend the surviving tree uniformly before being jittered inside
+their final box.
+
+The expected box-counting dimension of the limiting set is
+``D = 2 + log2(p)``, so ``p = 2^(D-2)`` yields dimension D; tests verify the
+box-counting slope empirically.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Tuple
+
+from ..stats.rng import SeedLike, make_rng
+from .plane import Plane, Point
+
+__all__ = ["FractalBoxSet", "fractal_points", "uniform_points", "box_counting_dimension"]
+
+BoxPath = Tuple[int, ...]
+
+
+class FractalBoxSet:
+    """Lazy stochastic box-fractal over the unit square, scaled to *side*.
+
+    The surviving-children decision for each visited box is drawn once and
+    memoized, so all sampled points share one consistent fractal support.
+    """
+
+    def __init__(
+        self,
+        dimension: float = 1.5,
+        side: float = 1.0,
+        levels: int = 8,
+        seed: SeedLike = None,
+    ):
+        if not 0.0 < dimension <= 2.0:
+            raise ValueError("dimension must be in (0, 2]")
+        if levels < 1:
+            raise ValueError("levels must be >= 1")
+        self.dimension = dimension
+        self.side = float(side)
+        self.levels = levels
+        self._rng = make_rng(seed)
+        self._survival = 2.0 ** (dimension - 2.0)
+        self._children: Dict[BoxPath, List[int]] = {}
+
+    def _surviving_children(self, path: BoxPath) -> List[int]:
+        """Memoized surviving child quadrants (0..3) for the box at *path*."""
+        cached = self._children.get(path)
+        if cached is not None:
+            return cached
+        kept = [q for q in range(4) if self._rng.random() < self._survival]
+        if not kept:  # force survival so the cascade never goes extinct
+            kept = [self._rng.randrange(4)]
+        self._children[path] = kept
+        return kept
+
+    def sample_point(self) -> Point:
+        """Draw one point on the fractal support."""
+        x0, y0, size = 0.0, 0.0, self.side
+        path: BoxPath = ()
+        for _ in range(self.levels):
+            kept = self._surviving_children(path)
+            quadrant = kept[self._rng.randrange(len(kept))]
+            size /= 2.0
+            if quadrant & 1:
+                x0 += size
+            if quadrant & 2:
+                y0 += size
+            path = path + (quadrant,)
+        # Uniform jitter inside the terminal box keeps points distinct.
+        return Point(x0 + self._rng.random() * size, y0 + self._rng.random() * size)
+
+    def sample(self, count: int) -> List[Point]:
+        """Draw *count* points on the fractal support."""
+        return [self.sample_point() for _ in range(count)]
+
+
+def fractal_points(
+    count: int,
+    dimension: float = 1.5,
+    side: float = 1.0,
+    levels: int = 8,
+    seed: SeedLike = None,
+) -> List[Point]:
+    """Convenience wrapper: *count* points from a fresh :class:`FractalBoxSet`."""
+    return FractalBoxSet(dimension=dimension, side=side, levels=levels, seed=seed).sample(count)
+
+
+def uniform_points(count: int, side: float = 1.0, seed: SeedLike = None) -> List[Point]:
+    """*count* points uniform on the square — the D_f = 2 baseline."""
+    rng = make_rng(seed)
+    return [Point(rng.random() * side, rng.random() * side) for _ in range(count)]
+
+
+def box_counting_dimension(
+    points: Sequence[Point], side: float = 1.0, min_level: int = 1, max_level: int = 6
+) -> float:
+    """Empirical box-counting dimension of *points*.
+
+    Counts occupied boxes at dyadic scales ``side / 2^level`` and fits the
+    slope of log(count) against log(1/scale) by least squares.
+    """
+    if len(points) < 2:
+        raise ValueError("need at least two points")
+    if not 0 < min_level < max_level:
+        raise ValueError("need 0 < min_level < max_level")
+    xs: List[float] = []
+    ys: List[float] = []
+    for level in range(min_level, max_level + 1):
+        boxes = 1 << level
+        cell = side / boxes
+        occupied = {
+            (min(int(p.x / cell), boxes - 1), min(int(p.y / cell), boxes - 1))
+            for p in points
+        }
+        xs.append(math.log(boxes))
+        ys.append(math.log(len(occupied)))
+    n = len(xs)
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    sxx = sum((x - mean_x) ** 2 for x in xs)
+    sxy = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    return sxy / sxx

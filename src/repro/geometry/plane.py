@@ -1,0 +1,102 @@
+"""2-D embedding plane for distance-constrained generators.
+
+Router- and AS-level generators with geography (Waxman, BRITE-style,
+Serrano-with-distance) place nodes on a bounded square and weight candidate
+links by Euclidean distance.  :class:`Plane` owns the point store and the
+distance conventions so every generator treats geometry identically.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Hashable, Iterable, List, Optional, Tuple
+
+from ..stats.rng import SeedLike, make_rng
+
+__all__ = ["Point", "Plane"]
+
+Node = Hashable
+
+
+@dataclass(frozen=True)
+class Point:
+    """A position on the plane."""
+
+    x: float
+    y: float
+
+    def distance_to(self, other: "Point") -> float:
+        """Euclidean distance."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+
+class Plane:
+    """Square [0, side]² holding node positions.
+
+    ``torus=True`` wraps distances around the edges, removing boundary
+    artifacts in scaling studies (each coordinate difference is reduced
+    modulo side/2).
+    """
+
+    def __init__(self, side: float = 1.0, torus: bool = False):
+        if side <= 0:
+            raise ValueError("side must be positive")
+        self.side = float(side)
+        self.torus = torus
+        self._positions: Dict[Node, Point] = {}
+
+    def __len__(self) -> int:
+        return len(self._positions)
+
+    def __contains__(self, node: Node) -> bool:
+        return node in self._positions
+
+    def place(self, node: Node, x: float, y: float) -> None:
+        """Pin *node* at (x, y); coordinates must lie inside the square."""
+        if not (0 <= x <= self.side and 0 <= y <= self.side):
+            raise ValueError(f"({x}, {y}) outside [0, {self.side}]²")
+        self._positions[node] = Point(x, y)
+
+    def place_uniform(self, node: Node, rng_seed: SeedLike = None) -> Point:
+        """Place *node* uniformly at random; returns the point."""
+        rng = make_rng(rng_seed)
+        point = Point(rng.random() * self.side, rng.random() * self.side)
+        self._positions[node] = point
+        return point
+
+    def position(self, node: Node) -> Point:
+        """Position of *node* (KeyError if never placed)."""
+        return self._positions[node]
+
+    def positions(self) -> Dict[Node, Point]:
+        """Copy of the node → point mapping."""
+        return dict(self._positions)
+
+    def distance(self, u: Node, v: Node) -> float:
+        """Distance between two placed nodes under the plane's metric."""
+        a = self._positions[u]
+        b = self._positions[v]
+        dx = abs(a.x - b.x)
+        dy = abs(a.y - b.y)
+        if self.torus:
+            dx = min(dx, self.side - dx)
+            dy = min(dy, self.side - dy)
+        return math.hypot(dx, dy)
+
+    @property
+    def max_distance(self) -> float:
+        """Largest possible distance between two points on this plane."""
+        if self.torus:
+            return self.side * math.sqrt(2.0) / 2.0
+        return self.side * math.sqrt(2.0)
+
+    def nearest(self, node: Node, candidates: Iterable[Node]) -> Optional[Node]:
+        """Closest candidate to *node* (None when candidates is empty)."""
+        best: Optional[Node] = None
+        best_distance = math.inf
+        for other in candidates:
+            d = self.distance(node, other)
+            if d < best_distance:
+                best, best_distance = other, d
+        return best

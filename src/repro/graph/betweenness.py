@@ -1,0 +1,99 @@
+"""Betweenness centrality (experiment F5).
+
+Freeman betweenness measures how much shortest-path traffic a node would
+carry; on the AS map its distribution is heavy-tailed with exponent ≈ 2.
+Exact computation uses Brandes' algorithm, O(N·E) on unweighted graphs.
+For harness-scale graphs a pivot-sampled estimator (Brandes–Pich) keeps
+runtime proportional to the number of sampled sources while remaining an
+unbiased estimator of the exact values.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Hashable, Iterable, List, Optional
+
+from ..stats.rng import SeedLike, make_rng
+from .graph import Graph
+
+__all__ = ["betweenness_centrality", "approximate_betweenness"]
+
+Node = Hashable
+
+
+def _accumulate_from_source(graph: Graph, source: Node, scores: Dict[Node, float]) -> None:
+    """One Brandes source iteration: BFS + dependency back-propagation."""
+    sigma: Dict[Node, float] = {source: 1.0}
+    distance: Dict[Node, int] = {source: 0}
+    predecessors: Dict[Node, List[Node]] = {source: []}
+    order: List[Node] = []
+    queue = deque([source])
+    while queue:
+        u = queue.popleft()
+        order.append(u)
+        for v in graph.neighbors(u):
+            if v not in distance:
+                distance[v] = distance[u] + 1
+                sigma[v] = 0.0
+                predecessors[v] = []
+                queue.append(v)
+            if distance[v] == distance[u] + 1:
+                sigma[v] += sigma[u]
+                predecessors[v].append(u)
+    delta: Dict[Node, float] = {u: 0.0 for u in order}
+    for u in reversed(order):
+        for p in predecessors[u]:
+            delta[p] += sigma[p] / sigma[u] * (1.0 + delta[u])
+        if u != source:
+            scores[u] += delta[u]
+
+
+def betweenness_centrality(
+    graph: Graph, normalized: bool = True
+) -> Dict[Node, float]:
+    """Exact Freeman betweenness of every node (Brandes' algorithm).
+
+    Undirected convention: raw pair counts are halved; with *normalized*
+    they are further divided by ``(N-1)(N-2)/2``, the number of pairs a node
+    could possibly sit between.
+    """
+    scores: Dict[Node, float] = {node: 0.0 for node in graph.nodes()}
+    for source in graph.nodes():
+        _accumulate_from_source(graph, source, scores)
+    n = graph.num_nodes
+    scale = 0.5
+    if normalized and n > 2:
+        scale /= (n - 1) * (n - 2) / 2.0
+    return {node: score * scale for node, score in scores.items()}
+
+
+def approximate_betweenness(
+    graph: Graph,
+    num_pivots: int,
+    seed: SeedLike = None,
+    normalized: bool = True,
+) -> Dict[Node, float]:
+    """Pivot-sampled betweenness (Brandes–Pich estimator).
+
+    Runs Brandes accumulation from *num_pivots* uniformly sampled sources
+    and rescales by ``N / num_pivots``, giving an unbiased estimate of the
+    exact score.  Matches :func:`betweenness_centrality` exactly when
+    ``num_pivots >= N``.
+    """
+    nodes = list(graph.nodes())
+    if not nodes:
+        return {}
+    if num_pivots <= 0:
+        raise ValueError("num_pivots must be positive")
+    if num_pivots >= len(nodes):
+        return betweenness_centrality(graph, normalized=normalized)
+    rng = make_rng(seed)
+    pivots = rng.sample(nodes, num_pivots)
+    scores: Dict[Node, float] = {node: 0.0 for node in nodes}
+    for source in pivots:
+        _accumulate_from_source(graph, source, scores)
+    n = len(nodes)
+    scale = 0.5 * n / num_pivots
+    if normalized and n > 2:
+        scale /= (n - 1) * (n - 2) / 2.0
+    return {node: score * scale for node, score in scores.items()}

@@ -1,0 +1,58 @@
+"""Closeness centrality.
+
+The inverse mean distance to everything else — the "how central is this
+AS for latency" view, complementing betweenness's "how much load" view.
+Uses the Wasserman–Faust component correction so disconnected graphs get
+sensible values, matching the networkx convention (our oracle).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Optional
+
+from ..stats.rng import SeedLike, make_rng
+from .graph import Graph
+from .traversal import bfs_distances
+
+__all__ = ["closeness_centrality", "approximate_closeness"]
+
+Node = Hashable
+
+
+def _closeness_of(graph: Graph, node: Node, n: int) -> float:
+    distances = bfs_distances(graph, node)
+    reachable = len(distances) - 1
+    if reachable <= 0:
+        return 0.0
+    total = sum(distances.values())
+    closeness = reachable / total
+    # Wasserman-Faust: scale by the reachable fraction so small fragments
+    # do not outrank the giant component's core.
+    return closeness * (reachable / (n - 1))
+
+
+def closeness_centrality(graph: Graph) -> Dict[Node, float]:
+    """Exact closeness for every node (one BFS per node)."""
+    n = graph.num_nodes
+    if n < 2:
+        return {node: 0.0 for node in graph.nodes()}
+    return {node: _closeness_of(graph, node, n) for node in graph.nodes()}
+
+
+def approximate_closeness(
+    graph: Graph, sample: int, seed: SeedLike = None
+) -> Dict[Node, float]:
+    """Closeness for a uniform node *sample* only (others omitted).
+
+    For top-k queries on large graphs: compute exactly on the sample and
+    rank within it, avoiding the full O(N·E).
+    """
+    nodes = list(graph.nodes())
+    if sample < 1:
+        raise ValueError("sample must be >= 1")
+    if sample >= len(nodes):
+        return closeness_centrality(graph)
+    rng = make_rng(seed)
+    chosen = rng.sample(nodes, sample)
+    n = len(nodes)
+    return {node: _closeness_of(graph, node, n) for node in chosen}

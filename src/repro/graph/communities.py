@@ -1,0 +1,108 @@
+"""Community structure: label propagation and modularity.
+
+AS maps organize into geographic/business clusters well before they
+organize into k-cores; community structure is the standard lens for it.
+Two pieces ship here:
+
+* **label propagation** (Raghavan et al.) — near-linear-time community
+  detection: every node repeatedly adopts its neighborhood's most common
+  label until labels are stable;
+* **modularity** (Newman) — the quality score
+  ``Q = Σ_c (e_c/m − (d_c/2m)²)`` comparing intra-community edge mass
+  against the degree-preserving expectation.
+
+Both operate on the simple topology (weights ignored), matching the
+community literature's treatment of AS maps.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Hashable, List, Set
+
+from ..stats.rng import SeedLike, make_rng
+from .graph import Graph
+
+__all__ = ["label_propagation_communities", "modularity", "partition_from_labels"]
+
+Node = Hashable
+
+
+def label_propagation_communities(
+    graph: Graph, max_rounds: int = 100, seed: SeedLike = 0
+) -> List[Set[Node]]:
+    """Detect communities by synchronousish label propagation.
+
+    Nodes are visited in a new random order each round and adopt the most
+    frequent label among their neighbors (ties broken randomly, which is
+    the algorithm's standard symmetry-breaking).  Converges when a full
+    round changes nothing; isolated nodes form singleton communities.
+    """
+    if max_rounds < 1:
+        raise ValueError("max_rounds must be >= 1")
+    rng = make_rng(seed)
+    labels: Dict[Node, int] = {node: i for i, node in enumerate(graph.nodes())}
+    nodes = list(graph.nodes())
+    for _ in range(max_rounds):
+        rng.shuffle(nodes)
+        changed = False
+        for node in nodes:
+            neighbor_labels = Counter(
+                labels[neighbor] for neighbor in graph.neighbors(node)
+            )
+            if not neighbor_labels:
+                continue
+            top_count = max(neighbor_labels.values())
+            candidates = [
+                label for label, count in neighbor_labels.items()
+                if count == top_count
+            ]
+            new_label = candidates[rng.randrange(len(candidates))]
+            if new_label != labels[node]:
+                labels[node] = new_label
+                changed = True
+        if not changed:
+            break
+    return partition_from_labels(labels)
+
+
+def partition_from_labels(labels: Dict[Node, int]) -> List[Set[Node]]:
+    """Group a node → label mapping into communities, largest first."""
+    groups: Dict[int, Set[Node]] = {}
+    for node, label in labels.items():
+        groups.setdefault(label, set()).add(node)
+    return sorted(groups.values(), key=len, reverse=True)
+
+
+def modularity(graph: Graph, communities: List[Set[Node]]) -> float:
+    """Newman modularity Q of a partition.
+
+    The partition must cover every node exactly once (raises otherwise) —
+    a silent partial cover would inflate Q.
+    """
+    seen: Set[Node] = set()
+    for community in communities:
+        overlap = seen & community
+        if overlap:
+            raise ValueError(f"nodes in multiple communities: {sorted(map(str, overlap))[:3]}")
+        seen |= community
+    missing = set(graph.nodes()) - seen
+    if missing:
+        raise ValueError(f"partition misses nodes: {sorted(map(str, missing))[:3]}")
+    m = graph.num_edges
+    if m == 0:
+        return 0.0
+    score = 0.0
+    membership = {
+        node: index for index, community in enumerate(communities) for node in community
+    }
+    internal = [0] * len(communities)
+    degree_sum = [0] * len(communities)
+    for node in graph.nodes():
+        degree_sum[membership[node]] += graph.degree(node)
+    for u, v in graph.edges():
+        if membership[u] == membership[v]:
+            internal[membership[u]] += 1
+    for c in range(len(communities)):
+        score += internal[c] / m - (degree_sum[c] / (2.0 * m)) ** 2
+    return score

@@ -1,0 +1,43 @@
+"""Interoperability with networkx.
+
+The toolkit's own algorithms never depend on networkx, but downstream users
+often want to hand a generated topology to the wider ecosystem, and our test
+suite uses networkx as an independent oracle.  Import of networkx is
+deferred so :mod:`repro` works without it installed.
+"""
+
+from __future__ import annotations
+
+from .graph import Graph
+
+__all__ = ["to_networkx", "from_networkx"]
+
+
+def to_networkx(graph: Graph):
+    """Convert to a ``networkx.Graph`` with ``weight`` edge attributes."""
+    import networkx as nx
+
+    out = nx.Graph(name=graph.name)
+    out.add_nodes_from(graph.nodes())
+    out.add_weighted_edges_from(graph.weighted_edges())
+    return out
+
+
+def from_networkx(nx_graph, name: str = "") -> Graph:
+    """Convert a ``networkx.Graph`` (or MultiGraph) into a :class:`Graph`.
+
+    Parallel edges in a MultiGraph accumulate weight, matching the
+    bandwidth-reinforcement semantics; self-loops are rejected because
+    :class:`Graph` forbids them.
+    """
+    graph = Graph(name=name or str(getattr(nx_graph, "name", "")))
+    for node in nx_graph.nodes():
+        graph.add_node(node)
+    if nx_graph.is_multigraph():
+        edge_iter = ((u, v, data) for u, v, data in nx_graph.edges(data=True))
+    else:
+        edge_iter = nx_graph.edges(data=True)
+    for u, v, data in edge_iter:
+        weight = float(data.get("weight", 1.0)) if data else 1.0
+        graph.add_edge(u, v, weight=weight)
+    return graph

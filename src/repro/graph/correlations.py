@@ -1,0 +1,108 @@
+"""Degree–degree correlations (experiment F4).
+
+The AS map is *disassortative*: high-degree providers connect mostly to
+low-degree customers, so the average nearest-neighbor degree k̄_nn(k) decays
+with k (roughly k^-0.5) and the Pearson assortativity r is around -0.19.
+Degree-driven growth models without extra mechanisms come out neutral, which
+is one of the distinguishing metrics in the comparison table T1.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Hashable, List, Tuple
+
+from ..stats.distributions import binned_spectrum
+from .graph import Graph
+
+__all__ = [
+    "average_neighbor_degree",
+    "knn_by_degree",
+    "knn_spectrum",
+    "normalized_knn_spectrum",
+    "degree_assortativity",
+]
+
+Node = Hashable
+
+
+def average_neighbor_degree(graph: Graph) -> Dict[Node, float]:
+    """Mean degree of each node's neighbors (0 for isolated nodes)."""
+    out: Dict[Node, float] = {}
+    for node in graph.nodes():
+        k = graph.degree(node)
+        if k == 0:
+            out[node] = 0.0
+            continue
+        out[node] = sum(graph.degree(v) for v in graph.neighbors(node)) / k
+    return out
+
+
+def knn_by_degree(graph: Graph) -> Dict[int, float]:
+    """k̄_nn(k): mean neighbor degree averaged over nodes of exact degree k."""
+    per_node = average_neighbor_degree(graph)
+    sums: Dict[int, List[float]] = {}
+    for node, knn in per_node.items():
+        k = graph.degree(node)
+        if k >= 1:
+            sums.setdefault(k, []).append(knn)
+    return {k: sum(vals) / len(vals) for k, vals in sorted(sums.items())}
+
+
+def knn_spectrum(
+    graph: Graph, log_bins: bool = True, bins_per_decade: int = 10
+) -> List[Tuple[float, float]]:
+    """k̄_nn(k) as a log-binned spectrum for plotting/reporting."""
+    per_node = average_neighbor_degree(graph)
+    pairs = [
+        (float(graph.degree(node)), knn)
+        for node, knn in per_node.items()
+        if graph.degree(node) >= 1
+    ]
+    return binned_spectrum(pairs, log_bins=log_bins, bins_per_decade=bins_per_decade)
+
+
+def normalized_knn_spectrum(
+    graph: Graph, log_bins: bool = True, bins_per_decade: int = 10
+) -> List[Tuple[float, float]]:
+    """k̄_nn(k)·⟨k⟩/⟨k²⟩ — the normalization used in the AS-map literature.
+
+    In an uncorrelated network this quantity is flat at 1, so deviations read
+    directly as correlation structure.
+    """
+    degrees = list(graph.degrees().values())
+    if not degrees:
+        return []
+    mean_k = sum(degrees) / len(degrees)
+    mean_k2 = sum(k * k for k in degrees) / len(degrees)
+    if mean_k2 == 0:
+        return []
+    factor = mean_k / mean_k2
+    return [(k, knn * factor) for k, knn in knn_spectrum(graph, log_bins, bins_per_decade)]
+
+
+def degree_assortativity(graph: Graph) -> float:
+    """Pearson correlation of degrees across edges (Newman's r).
+
+    Computed over edge endpoint pairs, each undirected edge contributing
+    both orientations.  Returns 0.0 when the variance vanishes (e.g. a
+    regular graph), where r is undefined.
+    """
+    sum_x = sum_x2 = sum_xy = 0.0
+    count = 0
+    for u, v in graph.edges():
+        ku = graph.degree(u)
+        kv = graph.degree(v)
+        # Both orientations: (ku, kv) and (kv, ku).
+        sum_x += ku + kv
+        sum_x2 += ku * ku + kv * kv
+        sum_xy += 2.0 * ku * kv
+        count += 2
+    if count == 0:
+        return 0.0
+    mean_x = sum_x / count
+    var_x = sum_x2 / count - mean_x * mean_x
+    if var_x <= 0:
+        return 0.0
+    cov = sum_xy / count - mean_x * mean_x
+    return cov / var_x

@@ -1,0 +1,88 @@
+"""Short-cycle counting (experiment T2).
+
+Bianconi–Caldarelli–Capocci measured how the number of cycles of length
+h = 3, 4, 5 in the AS map scales with network size, ``N_h ~ N^{ξ(h)}``, with
+ξ(3) ≈ 1.45, ξ(4) ≈ 2.07, ξ(5) ≈ 2.45.  Reproducing those exponents is a
+stringent test of a model's higher-order loop structure.
+
+Counting uses closed-walk trace identities over the sparse adjacency matrix
+(exact, no sampling):
+
+* ``C3 = tr(A³)/6``
+* ``C4 = [tr(A⁴) − 2m − 2 Σ_i d_i(d_i−1)] / 8``
+* ``C5 = [tr(A⁵) − 30·C3 − 10 Σ_i t_i (d_i − 2)] / 10``
+
+where ``m`` is the edge count, ``d_i`` the degree and ``t_i`` the number of
+triangles through node i.  The identities hold on simple undirected graphs;
+edge weights are ignored.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Tuple
+
+import numpy as np
+from scipy import sparse
+
+from .graph import Graph
+
+__all__ = ["count_cycles", "cycle_counts_3_4_5", "adjacency_matrix"]
+
+Node = Hashable
+
+
+def adjacency_matrix(graph: Graph) -> Tuple[sparse.csr_matrix, Dict[Node, int]]:
+    """Sparse 0/1 adjacency matrix of the simple topology plus the node→row map."""
+    index = {node: i for i, node in enumerate(graph.nodes())}
+    n = len(index)
+    rows = []
+    cols = []
+    for u, v in graph.edges():
+        i, j = index[u], index[v]
+        rows.extend((i, j))
+        cols.extend((j, i))
+    data = np.ones(len(rows), dtype=np.float64)
+    matrix = sparse.csr_matrix((data, (rows, cols)), shape=(n, n))
+    return matrix, index
+
+
+def cycle_counts_3_4_5(graph: Graph) -> Dict[int, int]:
+    """Exact counts of 3-, 4-, and 5-cycles in *graph*.
+
+    Returns ``{3: C3, 4: C4, 5: C5}``.  Cost is dominated by one sparse
+    matrix square and one sparse product, fine up to a few tens of
+    thousands of edges.
+    """
+    n = graph.num_nodes
+    if n == 0:
+        return {3: 0, 4: 0, 5: 0}
+    a, _ = adjacency_matrix(graph)
+    m = graph.num_edges
+    degrees = np.asarray(a.sum(axis=1)).ravel()
+
+    a2 = (a @ a).tocsr()
+    # tr(A³) = Σ_ij A_ij (A²)_ij — avoids forming A³ explicitly.
+    tr_a3 = float(a.multiply(a2).sum())
+    c3 = round(tr_a3 / 6.0)
+
+    # tr(A⁴) = ‖A²‖_F² because A is symmetric.
+    tr_a4 = float(a2.multiply(a2).sum())
+    path2 = float(np.sum(degrees * (degrees - 1.0)))
+    c4 = round((tr_a4 - 2.0 * m - 2.0 * path2) / 8.0)
+
+    # tr(A⁵) = Σ_ij (A²)_ij (A³)_ij = Σ_ij (A²)_ij (A²·A)_ij.
+    a3 = (a2 @ a).tocsr()
+    tr_a5 = float(a2.multiply(a3).sum())
+    # Triangles through node i: (A³)_ii / 2.
+    t_i = a3.diagonal() / 2.0
+    correction = float(np.sum(t_i * (degrees - 2.0)))
+    c5 = round((tr_a5 - 30.0 * c3 - 10.0 * correction) / 10.0)
+
+    return {3: int(c3), 4: int(c4), 5: int(max(c5, 0))}
+
+
+def count_cycles(graph: Graph, length: int) -> int:
+    """Exact count of simple cycles of the given *length* (3, 4, or 5)."""
+    if length not in (3, 4, 5):
+        raise ValueError("only cycle lengths 3, 4 and 5 are supported")
+    return cycle_counts_3_4_5(graph)[length]

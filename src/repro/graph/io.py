@@ -1,0 +1,105 @@
+"""Graph serialization.
+
+Two plain-text formats cover the toolkit's needs:
+
+* **edge list** — ``u v [weight]`` per line, the format Route Views-derived
+  AS maps are customarily distributed in;
+* **adjacency JSON** — a self-describing dict used for snapshot fixtures.
+
+Lines starting with ``#`` are comments; blank lines are skipped.  Node ids
+are parsed as integers when possible, otherwise kept as strings.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import IO, Iterable, Union
+
+from .graph import Graph
+
+__all__ = [
+    "write_edge_list",
+    "read_edge_list",
+    "write_json",
+    "read_json",
+    "edge_list_lines",
+    "parse_edge_list_lines",
+]
+
+PathLike = Union[str, Path]
+
+
+def _parse_node(token: str):
+    try:
+        return int(token)
+    except ValueError:
+        return token
+
+
+def edge_list_lines(graph: Graph, weights: bool = True) -> Iterable[str]:
+    """Yield edge-list lines for *graph* (without trailing newlines)."""
+    for u, v, w in graph.weighted_edges():
+        if weights and w != 1.0:
+            yield f"{u} {v} {w:g}"
+        elif weights:
+            yield f"{u} {v} 1"
+        else:
+            yield f"{u} {v}"
+
+
+def parse_edge_list_lines(lines: Iterable[str], name: str = "") -> Graph:
+    """Build a graph from edge-list *lines* (comments/blanks ignored)."""
+    graph = Graph(name=name)
+    for lineno, raw in enumerate(lines, start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split()
+        if len(parts) not in (2, 3):
+            raise ValueError(f"line {lineno}: expected 'u v [weight]', got {line!r}")
+        u, v = _parse_node(parts[0]), _parse_node(parts[1])
+        weight = float(parts[2]) if len(parts) == 3 else 1.0
+        graph.add_edge(u, v, weight=weight)
+    return graph
+
+
+def write_edge_list(graph: Graph, path: PathLike, weights: bool = True) -> None:
+    """Write *graph* as an edge-list file with a descriptive header."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as handle:
+        handle.write(f"# repro edge list: {graph.num_nodes} nodes, {graph.num_edges} edges\n")
+        for line in edge_list_lines(graph, weights=weights):
+            handle.write(line + "\n")
+
+
+def read_edge_list(path: PathLike, name: str = "") -> Graph:
+    """Read an edge-list file into a :class:`Graph`."""
+    path = Path(path)
+    with path.open("r", encoding="utf-8") as handle:
+        return parse_edge_list_lines(handle, name=name or path.stem)
+
+
+def write_json(graph: Graph, path: PathLike) -> None:
+    """Write *graph* as adjacency JSON (stable key order)."""
+    payload = {
+        "name": graph.name,
+        "nodes": sorted(graph.nodes(), key=str),
+        "edges": sorted(
+            ([str(u), str(v), w] if not isinstance(u, int) or not isinstance(v, int)
+             else [u, v, w])
+            for u, v, w in graph.weighted_edges()
+        ),
+    }
+    Path(path).write_text(json.dumps(payload, indent=1), encoding="utf-8")
+
+
+def read_json(path: PathLike) -> Graph:
+    """Read adjacency JSON written by :func:`write_json`."""
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    graph = Graph(name=payload.get("name", ""))
+    for node in payload.get("nodes", ()):
+        graph.add_node(node)
+    for u, v, w in payload.get("edges", ()):
+        graph.add_edge(u, v, weight=float(w))
+    return graph

@@ -1,0 +1,135 @@
+"""Shortest-path-length statistics (experiment F8).
+
+The small-world property of the AS map shows up as a sharply peaked
+hop-count distribution with mean ≈ 3.5–4.  Exact all-pairs BFS costs
+O(N·E); for graphs beyond a few thousand nodes the functions here switch to
+uniform source sampling, which estimates the distribution with controlled
+error while keeping harness runtimes bounded.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Tuple
+
+from ..stats.rng import SeedLike, make_rng
+from .graph import Graph
+from .traversal import bfs_distances
+
+__all__ = [
+    "PathLengthStats",
+    "path_length_distribution",
+    "average_path_length",
+    "eccentricities",
+    "diameter",
+]
+
+Node = Hashable
+
+
+@dataclass(frozen=True)
+class PathLengthStats:
+    """Hop-count distribution over (sampled) connected pairs.
+
+    ``counts[d]`` is the number of ordered source→target observations at
+    distance ``d >= 1``; ``sources`` records how many BFS roots were used and
+    ``exact`` whether every node served as a root.
+    """
+
+    counts: Dict[int, int]
+    sources: int
+    exact: bool
+
+    @property
+    def total_pairs(self) -> int:
+        """Number of distance observations."""
+        return sum(self.counts.values())
+
+    @property
+    def mean(self) -> float:
+        """Average shortest path length ⟨ℓ⟩."""
+        total = self.total_pairs
+        if total == 0:
+            return 0.0
+        return sum(d * c for d, c in self.counts.items()) / total
+
+    @property
+    def max_observed(self) -> int:
+        """Largest distance seen (the diameter when ``exact``)."""
+        return max(self.counts) if self.counts else 0
+
+    def probabilities(self) -> List[Tuple[int, float]]:
+        """(distance, probability) pairs, normalized over observations."""
+        total = self.total_pairs
+        if total == 0:
+            return []
+        return [(d, self.counts[d] / total) for d in sorted(self.counts)]
+
+
+def path_length_distribution(
+    graph: Graph,
+    max_sources: Optional[int] = None,
+    seed: SeedLike = None,
+) -> PathLengthStats:
+    """Distribution of shortest-path lengths within *graph*.
+
+    With *max_sources* set and smaller than N, BFS roots are sampled
+    uniformly without replacement; otherwise every node is a root and the
+    counts are exact (each unordered pair contributes twice, which cancels
+    in all normalized statistics).
+    """
+    nodes = list(graph.nodes())
+    if not nodes:
+        return PathLengthStats(counts={}, sources=0, exact=True)
+    exact = max_sources is None or max_sources >= len(nodes)
+    if exact:
+        sources = nodes
+    else:
+        rng = make_rng(seed)
+        sources = rng.sample(nodes, max_sources)
+    counts: Dict[int, int] = {}
+    for source in sources:
+        for distance in bfs_distances(graph, source).values():
+            if distance > 0:
+                counts[distance] = counts.get(distance, 0) + 1
+    return PathLengthStats(counts=counts, sources=len(sources), exact=exact)
+
+
+def average_path_length(
+    graph: Graph, max_sources: Optional[int] = None, seed: SeedLike = None
+) -> float:
+    """Characteristic path length ⟨ℓ⟩ (sampled when *max_sources* is set)."""
+    return path_length_distribution(graph, max_sources=max_sources, seed=seed).mean
+
+
+def eccentricities(graph: Graph) -> Dict[Node, int]:
+    """Eccentricity of every node (max distance to any reachable node).
+
+    Requires a connected graph to be meaningful; on a disconnected graph the
+    eccentricity is computed within each node's component.
+    """
+    out: Dict[Node, int] = {}
+    for node in graph.nodes():
+        distances = bfs_distances(graph, node)
+        out[node] = max(distances.values()) if len(distances) > 1 else 0
+    return out
+
+
+def diameter(graph: Graph) -> int:
+    """Exact diameter (longest shortest path) of the graph.
+
+    Raises :class:`ValueError` on a disconnected graph, where the diameter
+    is conventionally infinite.
+    """
+    nodes = list(graph.nodes())
+    if not nodes:
+        return 0
+    best = 0
+    n = len(nodes)
+    for node in nodes:
+        distances = bfs_distances(graph, node)
+        if len(distances) != n:
+            raise ValueError("diameter is undefined on a disconnected graph")
+        best = max(best, max(distances.values()))
+    return best

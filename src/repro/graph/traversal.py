@@ -1,0 +1,102 @@
+"""Breadth-first traversal and connectivity.
+
+Foundation for the distance-based metrics: single-source BFS levels,
+connected components, and giant-component extraction (every validation
+metric in the literature is computed on the giant component of the map).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Hashable, Iterable, List, Optional, Set
+
+from .graph import Graph
+
+__all__ = [
+    "bfs_distances",
+    "bfs_tree",
+    "connected_components",
+    "is_connected",
+    "giant_component",
+]
+
+Node = Hashable
+
+
+def bfs_distances(graph: Graph, source: Node, cutoff: Optional[int] = None) -> Dict[Node, int]:
+    """Hop distances from *source* to every reachable node.
+
+    *cutoff* bounds the search depth (distances beyond it are omitted),
+    which keeps neighborhood queries cheap on large graphs.
+    """
+    if not graph.has_node(source):
+        raise KeyError(f"source {source!r} not in graph")
+    distances: Dict[Node, int] = {source: 0}
+    queue = deque([source])
+    while queue:
+        u = queue.popleft()
+        d = distances[u]
+        if cutoff is not None and d >= cutoff:
+            continue
+        for v in graph.neighbors(u):
+            if v not in distances:
+                distances[v] = d + 1
+                queue.append(v)
+    return distances
+
+
+def bfs_tree(graph: Graph, source: Node) -> Dict[Node, Node]:
+    """BFS predecessor map: child → parent, rooted at *source*.
+
+    The source itself is absent from the mapping.
+    """
+    if not graph.has_node(source):
+        raise KeyError(f"source {source!r} not in graph")
+    parent: Dict[Node, Node] = {}
+    visited: Set[Node] = {source}
+    queue = deque([source])
+    while queue:
+        u = queue.popleft()
+        for v in graph.neighbors(u):
+            if v not in visited:
+                visited.add(v)
+                parent[v] = u
+                queue.append(v)
+    return parent
+
+
+def connected_components(graph: Graph) -> List[Set[Node]]:
+    """Connected components, largest first."""
+    seen: Set[Node] = set()
+    components: List[Set[Node]] = []
+    for start in graph.nodes():
+        if start in seen:
+            continue
+        component: Set[Node] = {start}
+        queue = deque([start])
+        while queue:
+            u = queue.popleft()
+            for v in graph.neighbors(u):
+                if v not in component:
+                    component.add(v)
+                    queue.append(v)
+        seen |= component
+        components.append(component)
+    components.sort(key=len, reverse=True)
+    return components
+
+
+def is_connected(graph: Graph) -> bool:
+    """Whether the graph is connected (empty graphs count as connected)."""
+    if graph.num_nodes == 0:
+        return True
+    first = next(iter(graph.nodes()))
+    return len(bfs_distances(graph, first)) == graph.num_nodes
+
+
+def giant_component(graph: Graph) -> Graph:
+    """Subgraph induced on the largest connected component."""
+    components = connected_components(graph)
+    if not components:
+        return Graph(name=graph.name)
+    return graph.subgraph(components[0])

@@ -1,0 +1,20 @@
+"""Dynamics on topologies: attack/failure tolerance and SIS epidemics."""
+
+from .attack import (
+    AttackStrategy,
+    RemovalTrajectory,
+    critical_fraction,
+    removal_sweep,
+)
+from .epidemic import SisResult, endemic_prevalence, prevalence_curve, simulate_sis
+
+__all__ = [
+    "AttackStrategy",
+    "RemovalTrajectory",
+    "removal_sweep",
+    "critical_fraction",
+    "SisResult",
+    "simulate_sis",
+    "endemic_prevalence",
+    "prevalence_curve",
+]

@@ -1,0 +1,57 @@
+"""Paired-sample correlation measures.
+
+Experiments repeatedly correlate two per-node quantities (provisioned
+bandwidth vs carried load, degree vs users, fitness vs final degree);
+Pearson answers "linear on the raw scale", Spearman answers "monotone" —
+the right question for heavy-tailed quantities, where a few hubs dominate
+any raw-scale covariance.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence
+
+__all__ = ["pearson_correlation", "spearman_correlation", "rank_values"]
+
+
+def pearson_correlation(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Pearson's r; 0.0 when either side has zero variance."""
+    if len(xs) != len(ys):
+        raise ValueError("paired samples must have equal length")
+    n = len(xs)
+    if n < 3:
+        raise ValueError("need at least three paired samples")
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    cov = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    var_x = sum((x - mean_x) ** 2 for x in xs)
+    var_y = sum((y - mean_y) ** 2 for y in ys)
+    if var_x == 0 or var_y == 0:
+        return 0.0
+    return cov / math.sqrt(var_x * var_y)
+
+
+def rank_values(values: Sequence[float]) -> List[float]:
+    """Fractional ranks (1-based, ties get the average of their span)."""
+    order = sorted(range(len(values)), key=lambda i: values[i])
+    ranks = [0.0] * len(values)
+    i = 0
+    while i < len(order):
+        j = i
+        while j + 1 < len(order) and values[order[j + 1]] == values[order[i]]:
+            j += 1
+        average = (i + j) / 2.0 + 1.0
+        for k in range(i, j + 1):
+            ranks[order[k]] = average
+        i = j + 1
+    return ranks
+
+
+def spearman_correlation(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Spearman's rho: Pearson correlation of the fractional ranks."""
+    if len(xs) != len(ys):
+        raise ValueError("paired samples must have equal length")
+    if len(xs) < 3:
+        raise ValueError("need at least three paired samples")
+    return pearson_correlation(rank_values(xs), rank_values(ys))

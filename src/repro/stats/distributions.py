@@ -1,0 +1,193 @@
+"""Empirical distribution utilities.
+
+The validation battery compares models to observed maps through
+*distributions* (degree, betweenness, triangle counts, path lengths) and
+*spectra* (clustering and neighbor degree as functions of k).  This module
+provides the shared machinery: empirical CCDFs, logarithmic binning for
+heavy-tailed data, binned spectrum averaging, and two-sample distances.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "Ccdf",
+    "empirical_ccdf",
+    "log_bin_centers",
+    "log_binned_histogram",
+    "binned_spectrum",
+    "ks_distance",
+    "histogram",
+    "frequency_counts",
+]
+
+
+@dataclass(frozen=True)
+class Ccdf:
+    """Empirical complementary CDF: ``P(X >= x)`` evaluated at sorted x.
+
+    ``values`` holds the distinct sorted sample values and ``probabilities``
+    the matching tail probabilities; both have equal length and
+    ``probabilities[0] == 1.0``.
+    """
+
+    values: Tuple[float, ...]
+    probabilities: Tuple[float, ...]
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def at(self, x: float) -> float:
+        """Tail probability ``P(X >= x)`` for an arbitrary *x*."""
+        # Find the first sample value >= x; its tail probability applies.
+        lo, hi = 0, len(self.values)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self.values[mid] < x:
+                lo = mid + 1
+            else:
+                hi = mid
+        if lo == len(self.values):
+            return 0.0
+        return self.probabilities[lo]
+
+    def as_points(self) -> List[Tuple[float, float]]:
+        """(value, tail probability) pairs, ready for plotting or printing."""
+        return list(zip(self.values, self.probabilities))
+
+
+def empirical_ccdf(samples: Iterable[float]) -> Ccdf:
+    """Build the empirical CCDF of *samples*.
+
+    Ties are merged, so the result has one point per distinct value.  Raises
+    :class:`ValueError` on an empty sample.
+    """
+    data = sorted(samples)
+    if not data:
+        raise ValueError("cannot build a CCDF from an empty sample")
+    n = len(data)
+    values: List[float] = []
+    probs: List[float] = []
+    i = 0
+    while i < n:
+        values.append(data[i])
+        probs.append((n - i) / n)
+        j = i
+        while j < n and data[j] == data[i]:
+            j += 1
+        i = j
+    return Ccdf(tuple(values), tuple(probs))
+
+
+def log_bin_centers(x_min: float, x_max: float, bins_per_decade: int = 10) -> List[float]:
+    """Geometric bin centers covering [x_min, x_max]."""
+    if x_min <= 0 or x_max < x_min:
+        raise ValueError("need 0 < x_min <= x_max")
+    ratio = 10 ** (1.0 / bins_per_decade)
+    centers = []
+    x = x_min
+    while x <= x_max * math.sqrt(ratio):
+        centers.append(x)
+        x *= ratio
+    return centers
+
+
+def log_binned_histogram(
+    samples: Sequence[float], bins_per_decade: int = 10
+) -> List[Tuple[float, float]]:
+    """Logarithmically binned probability density of positive *samples*.
+
+    Returns (bin center, density) pairs with empty bins dropped — the
+    standard way to render a heavy-tailed P(k) without tail noise.
+    """
+    data = [s for s in samples if s > 0]
+    if not data:
+        raise ValueError("log binning needs at least one positive sample")
+    x_min, x_max = min(data), max(data)
+    ratio = 10 ** (1.0 / bins_per_decade)
+    edges = [x_min]
+    while edges[-1] < x_max * (1 + 1e-12):
+        edges.append(edges[-1] * ratio)
+    counts = [0] * (len(edges) - 1)
+    for s in data:
+        # Locate the bin via logarithm; clamp the right edge into the last bin.
+        idx = min(int(math.log(s / x_min) / math.log(ratio)), len(counts) - 1)
+        counts[idx] += 1
+    total = len(data)
+    points: List[Tuple[float, float]] = []
+    for i, c in enumerate(counts):
+        if c == 0:
+            continue
+        width = edges[i + 1] - edges[i]
+        center = math.sqrt(edges[i] * edges[i + 1])
+        points.append((center, c / (total * width)))
+    return points
+
+
+def binned_spectrum(
+    pairs: Iterable[Tuple[float, float]],
+    log_bins: bool = True,
+    bins_per_decade: int = 10,
+) -> List[Tuple[float, float]]:
+    """Average y over bins of x — e.g. the clustering spectrum c(k).
+
+    *pairs* are (x, y) samples (one per node).  With ``log_bins`` the x axis
+    is binned geometrically, which is what every heavy-tailed spectrum plot
+    in the literature uses; otherwise each distinct x gets its own bin.
+    """
+    pair_list = [(x, y) for x, y in pairs if x > 0]
+    if not pair_list:
+        return []
+    if not log_bins:
+        sums: Dict[float, List[float]] = {}
+        for x, y in pair_list:
+            sums.setdefault(x, []).append(y)
+        return sorted((x, sum(ys) / len(ys)) for x, ys in sums.items())
+    x_min = min(x for x, _ in pair_list)
+    ratio = 10 ** (1.0 / bins_per_decade)
+    buckets: Dict[int, List[Tuple[float, float]]] = {}
+    for x, y in pair_list:
+        idx = int(math.log(x / x_min) / math.log(ratio))
+        buckets.setdefault(idx, []).append((x, y))
+    spectrum = []
+    for idx in sorted(buckets):
+        bucket = buckets[idx]
+        mean_x = math.exp(sum(math.log(x) for x, _ in bucket) / len(bucket))
+        mean_y = sum(y for _, y in bucket) / len(bucket)
+        spectrum.append((mean_x, mean_y))
+    return spectrum
+
+
+def ks_distance(sample_a: Sequence[float], sample_b: Sequence[float]) -> float:
+    """Two-sample Kolmogorov–Smirnov statistic ``sup_x |F_a(x) - F_b(x)|``."""
+    a = np.sort(np.asarray(sample_a, dtype=float))
+    b = np.sort(np.asarray(sample_b, dtype=float))
+    if a.size == 0 or b.size == 0:
+        raise ValueError("KS distance needs non-empty samples")
+    grid = np.concatenate([a, b])
+    cdf_a = np.searchsorted(a, grid, side="right") / a.size
+    cdf_b = np.searchsorted(b, grid, side="right") / b.size
+    return float(np.max(np.abs(cdf_a - cdf_b)))
+
+
+def histogram(samples: Iterable[float], bins: int = 20) -> List[Tuple[float, int]]:
+    """Linear-bin histogram returning (bin center, count) pairs."""
+    data = list(samples)
+    if not data:
+        raise ValueError("cannot histogram an empty sample")
+    counts, edges = np.histogram(np.asarray(data, dtype=float), bins=bins)
+    centers = (edges[:-1] + edges[1:]) / 2.0
+    return [(float(c), int(n)) for c, n in zip(centers, counts)]
+
+
+def frequency_counts(samples: Iterable[int]) -> Dict[int, int]:
+    """Exact frequency table for integer-valued samples (e.g. degrees)."""
+    counts: Dict[int, int] = {}
+    for s in samples:
+        counts[s] = counts.get(s, 0) + 1
+    return counts

@@ -1,0 +1,133 @@
+"""Exponential growth fitting and scaling-exponent estimation.
+
+Two recurring measurement tasks in internet modeling:
+
+* fitting exponential growth rates to time series — hosts ``W(t) ≈ W0 e^{αt}``,
+  ASes ``N(t) ≈ N0 e^{βt}``, links ``E(t) ≈ E0 e^{δt}`` (experiment F1);
+* fitting scaling exponents to size sweeps — e.g. cycle counts
+  ``N_h(N) ~ N^{ξ(h)}`` (experiment T2).
+
+Both reduce to ordinary least squares in log space; the fitters here return
+slope, intercept, standard errors, and an R² so harnesses can report error
+bars the way the literature does.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "ExponentialFit",
+    "PowerFit",
+    "fit_exponential_growth",
+    "fit_power_scaling",
+    "doubling_time",
+]
+
+
+@dataclass(frozen=True)
+class ExponentialFit:
+    """Fit of ``y(t) = y0 * exp(rate * t)``.
+
+    ``rate_stderr`` is the OLS standard error of the rate in log space and
+    ``r_squared`` the log-space coefficient of determination.
+    """
+
+    y0: float
+    rate: float
+    rate_stderr: float
+    r_squared: float
+
+    def predict(self, t: float) -> float:
+        """Model value at time *t*."""
+        return self.y0 * math.exp(self.rate * t)
+
+    def __str__(self) -> str:
+        return f"y0={self.y0:.4g}, rate={self.rate:.4f}±{self.rate_stderr:.4f} (R²={self.r_squared:.4f})"
+
+
+@dataclass(frozen=True)
+class PowerFit:
+    """Fit of ``y(x) = c * x^exponent``."""
+
+    c: float
+    exponent: float
+    exponent_stderr: float
+    r_squared: float
+
+    def predict(self, x: float) -> float:
+        """Model value at *x*."""
+        return self.c * x ** self.exponent
+
+    def __str__(self) -> str:
+        return f"c={self.c:.4g}, exponent={self.exponent:.3f}±{self.exponent_stderr:.3f} (R²={self.r_squared:.4f})"
+
+
+def _log_ols(x: np.ndarray, log_y: np.ndarray) -> Tuple[float, float, float, float]:
+    """OLS of log_y on x: returns (intercept, slope, slope stderr, R²)."""
+    n = x.size
+    if n < 2:
+        raise ValueError("need at least two points to fit")
+    x_mean = x.mean()
+    y_mean = log_y.mean()
+    sxx = float(np.sum((x - x_mean) ** 2))
+    if sxx == 0:
+        raise ValueError("x values are all identical")
+    sxy = float(np.sum((x - x_mean) * (log_y - y_mean)))
+    slope = sxy / sxx
+    intercept = y_mean - slope * x_mean
+    residuals = log_y - (intercept + slope * x)
+    ss_res = float(np.sum(residuals**2))
+    ss_tot = float(np.sum((log_y - y_mean) ** 2))
+    r_squared = 1.0 if ss_tot == 0 else 1.0 - ss_res / ss_tot
+    if n > 2:
+        stderr = math.sqrt(ss_res / (n - 2) / sxx)
+    else:
+        stderr = 0.0
+    return intercept, slope, stderr, r_squared
+
+
+def fit_exponential_growth(
+    times: Sequence[float], values: Sequence[float]
+) -> ExponentialFit:
+    """Fit ``values ≈ y0 * exp(rate * times)`` by log-linear OLS."""
+    t = np.asarray(times, dtype=float)
+    y = np.asarray(values, dtype=float)
+    if t.size != y.size:
+        raise ValueError("times and values must have equal length")
+    if np.any(y <= 0):
+        raise ValueError("exponential fitting requires positive values")
+    intercept, slope, stderr, r2 = _log_ols(t, np.log(y))
+    return ExponentialFit(
+        y0=math.exp(intercept), rate=slope, rate_stderr=stderr, r_squared=r2
+    )
+
+
+def fit_power_scaling(xs: Sequence[float], ys: Sequence[float]) -> PowerFit:
+    """Fit ``ys ≈ c * xs^exponent`` by log-log OLS.
+
+    Pairs where either coordinate is non-positive are rejected with a
+    :class:`ValueError` rather than silently dropped, so harnesses notice
+    degenerate sweeps (e.g. a cycle count of zero at small N).
+    """
+    x = np.asarray(xs, dtype=float)
+    y = np.asarray(ys, dtype=float)
+    if x.size != y.size:
+        raise ValueError("xs and ys must have equal length")
+    if np.any(x <= 0) or np.any(y <= 0):
+        raise ValueError("power-law scaling fit requires positive coordinates")
+    intercept, slope, stderr, r2 = _log_ols(np.log(x), np.log(y))
+    return PowerFit(
+        c=math.exp(intercept), exponent=slope, exponent_stderr=stderr, r_squared=r2
+    )
+
+
+def doubling_time(rate: float) -> float:
+    """Time for an exponential process with *rate* to double."""
+    if rate <= 0:
+        raise ValueError("doubling time is only defined for positive rates")
+    return math.log(2.0) / rate

@@ -1,0 +1,5 @@
+"""Headless text-mode plotting for terminals and benchmark logs."""
+
+from .ascii import multi_scatter, scatter
+
+__all__ = ["scatter", "multi_scatter"]

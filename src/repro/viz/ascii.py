@@ -1,0 +1,120 @@
+"""Text-mode plotting.
+
+The toolkit is headless (no matplotlib dependency), but degree CCDFs and
+scaling sweeps are much easier to eyeball as pictures than as columns.
+:func:`scatter` renders (x, y) series into a character grid with optional
+log axes — good enough to see a power law as a straight line in a terminal
+or a benchmark log.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["scatter", "multi_scatter"]
+
+_MARKERS = "ox+*#@%&"
+
+
+def _transform(value: float, log: bool) -> float:
+    if log:
+        if value <= 0:
+            raise ValueError("log axis requires positive values")
+        return math.log10(value)
+    return value
+
+
+def _axis_label(value: float, log: bool) -> str:
+    if log:
+        return f"1e{value:.1f}"
+    return f"{value:.3g}"
+
+
+def scatter(
+    points: Sequence[Tuple[float, float]],
+    width: int = 60,
+    height: int = 20,
+    log_x: bool = False,
+    log_y: bool = False,
+    title: Optional[str] = None,
+    marker: str = "o",
+) -> str:
+    """Render one series as an ASCII scatter plot."""
+    return multi_scatter(
+        {"": list(points)},
+        width=width,
+        height=height,
+        log_x=log_x,
+        log_y=log_y,
+        title=title,
+        markers=marker,
+    )
+
+
+def multi_scatter(
+    series: Dict[str, List[Tuple[float, float]]],
+    width: int = 60,
+    height: int = 20,
+    log_x: bool = False,
+    log_y: bool = False,
+    title: Optional[str] = None,
+    markers: str = _MARKERS,
+) -> str:
+    """Render several labeled series onto one grid with distinct markers."""
+    if width < 10 or height < 5:
+        raise ValueError("grid too small to draw anything legible")
+    cleaned = {
+        label: [
+            (x, y)
+            for x, y in pts
+            if (not log_x or x > 0) and (not log_y or y > 0)
+        ]
+        for label, pts in series.items()
+    }
+    all_points = [p for pts in cleaned.values() for p in pts]
+    if not all_points:
+        raise ValueError("no drawable points")
+
+    xs = [_transform(x, log_x) for x, _ in all_points]
+    ys = [_transform(y, log_y) for _, y in all_points]
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(ys), max(ys)
+    x_span = x_max - x_min or 1.0
+    y_span = y_max - y_min or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (label, pts) in enumerate(cleaned.items()):
+        mark = markers[index % len(markers)]
+        for x, y in pts:
+            col = int((_transform(x, log_x) - x_min) / x_span * (width - 1))
+            row = int((_transform(y, log_y) - y_min) / y_span * (height - 1))
+            grid[height - 1 - row][col] = mark
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    top_label = _axis_label(y_max, log_y)
+    bottom_label = _axis_label(y_min, log_y)
+    pad = max(len(top_label), len(bottom_label))
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            prefix = top_label.rjust(pad)
+        elif row_index == height - 1:
+            prefix = bottom_label.rjust(pad)
+        else:
+            prefix = " " * pad
+        lines.append(f"{prefix} |{''.join(row)}")
+    lines.append(" " * pad + " +" + "-" * width)
+    left = _axis_label(x_min, log_x)
+    right = _axis_label(x_max, log_x)
+    gap = max(width - len(left) - len(right), 1)
+    lines.append(" " * (pad + 2) + left + " " * gap + right)
+    legend = [
+        f"{markers[i % len(markers)]} = {label}"
+        for i, label in enumerate(cleaned)
+        if label
+    ]
+    if legend:
+        lines.append("  ".join(legend))
+    return "\n".join(lines)

@@ -1,0 +1,66 @@
+"""Tests for attachment-kernel measurement."""
+
+import pytest
+
+from repro.analysis import measure_attachment_kernel, snapshot_pair
+from repro.generators import (
+    BarabasiAlbertGenerator,
+    PfpGenerator,
+    PlrgGenerator,
+)
+
+
+class TestSnapshotPair:
+    def test_prefix_property_on_ba(self):
+        early, late = snapshot_pair(BarabasiAlbertGenerator(m=2), 100, 200, seed=1)
+        assert early.num_nodes == 100
+        assert late.num_nodes == 200
+        for u, v in early.edges():
+            assert late.has_edge(u, v)
+
+    def test_structural_model_rejected(self):
+        # PLRG resamples everything per size: nothing prefix-stable.
+        with pytest.raises(ValueError):
+            snapshot_pair(PlrgGenerator(), 100, 200, seed=2)
+
+    def test_bad_sizes_rejected(self):
+        gen = BarabasiAlbertGenerator(m=1)
+        with pytest.raises(ValueError):
+            snapshot_pair(gen, 200, 100, seed=3)
+        with pytest.raises(ValueError):
+            snapshot_pair(gen, 1, 100, seed=3)
+
+
+class TestMeasurement:
+    def test_ba_kernel_linear(self):
+        m = measure_attachment_kernel(
+            BarabasiAlbertGenerator(m=2), n1=800, n2=1600, seed=4
+        )
+        assert m.exponent == pytest.approx(1.0, abs=0.2)
+        assert m.r_squared > 0.9
+        assert m.nodes_measured == 800
+
+    def test_pfp_kernel_superlinear_vs_ba(self):
+        ba = measure_attachment_kernel(
+            BarabasiAlbertGenerator(m=2), n1=800, n2=1600, seed=5
+        )
+        pfp = measure_attachment_kernel(PfpGenerator(), n1=800, n2=1600, seed=5)
+        assert pfp.exponent > ba.exponent - 0.05
+
+    def test_spectrum_points_positive_degrees(self):
+        m = measure_attachment_kernel(
+            BarabasiAlbertGenerator(m=2), n1=400, n2=800, seed=6
+        )
+        assert all(k >= 1 for k, _ in m.spectrum)
+
+    def test_reproducible(self):
+        gen = BarabasiAlbertGenerator(m=2)
+        a = measure_attachment_kernel(gen, n1=400, n2=800, seed=7)
+        b = measure_attachment_kernel(gen, n1=400, n2=800, seed=7)
+        assert a.exponent == b.exponent
+
+    def test_min_k_filter(self):
+        m = measure_attachment_kernel(
+            BarabasiAlbertGenerator(m=3), n1=400, n2=800, seed=8, min_k=4
+        )
+        assert all(k >= 4 for k, _ in m.spectrum)

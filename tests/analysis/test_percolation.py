@@ -1,0 +1,75 @@
+"""Tests for the Molloy–Reed percolation criterion."""
+
+import pytest
+
+from repro.analysis import (
+    critical_failure_fraction,
+    has_giant_component_criterion,
+    molloy_reed_ratio,
+)
+from repro.generators import ErdosRenyiGnm, PfpGenerator
+from repro.graph import Graph, giant_component
+from repro.resilience import AttackStrategy, removal_sweep
+
+
+class TestMolloyReed:
+    def test_regular_graph_exact(self, k4):
+        # All degrees 3: kappa = 9/3 = 3.
+        assert molloy_reed_ratio(k4) == pytest.approx(3.0)
+
+    def test_star_value(self, star):
+        # degrees [5,1,1,1,1,1]: <k> = 10/6, <k2> = 30/6 → kappa = 3.
+        assert molloy_reed_ratio(star) == pytest.approx(3.0)
+
+    def test_heavy_tail_much_larger(self):
+        heavy = giant_component(PfpGenerator().generate(800, seed=1))
+        flat = giant_component(
+            ErdosRenyiGnm(m=heavy.num_edges).generate(800, seed=1)
+        )
+        assert molloy_reed_ratio(heavy) > 3 * molloy_reed_ratio(flat)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            molloy_reed_ratio(Graph())
+
+    def test_edgeless_rejected(self):
+        g = Graph()
+        g.add_nodes(range(3))
+        with pytest.raises(ValueError):
+            molloy_reed_ratio(g)
+
+
+class TestCriterion:
+    def test_connected_dense_graph_passes(self, k5):
+        assert has_giant_component_criterion(k5)
+
+    def test_perfect_matching_fails(self):
+        g = Graph()
+        for i in range(0, 10, 2):
+            g.add_edge(i, i + 1)
+        # All degree 1: kappa = 1 < 2 — correctly predicts fragmentation.
+        assert not has_giant_component_criterion(g)
+
+
+class TestCriticalFraction:
+    def test_heavy_tail_near_one(self):
+        heavy = giant_component(PfpGenerator().generate(800, seed=2))
+        assert critical_failure_fraction(heavy) > 0.9
+
+    def test_er_moderate(self):
+        flat = giant_component(ErdosRenyiGnm(m=1600).generate(800, seed=3))
+        # kappa ≈ <k> + 1 = 5 → f_c ≈ 0.75.
+        assert 0.6 < critical_failure_fraction(flat) < 0.85
+
+    def test_prediction_consistent_with_sweep(self):
+        # Removal below the predicted threshold must keep a giant.
+        flat = giant_component(ErdosRenyiGnm(m=1600).generate(800, seed=4))
+        predicted = critical_failure_fraction(flat)
+        sweep = removal_sweep(
+            flat, AttackStrategy.RANDOM, max_fraction=predicted * 0.6,
+            steps=5, seed=5,
+        )
+        assert sweep.giant_fractions[-1] > 0.15
+
+    def test_clamped_to_unit_interval(self, k4):
+        assert 0.0 <= critical_failure_fraction(k4) <= 1.0

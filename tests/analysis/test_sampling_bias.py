@@ -1,0 +1,72 @@
+"""Tests for traceroute sampling."""
+
+import pytest
+
+from repro.analysis import traceroute_sample
+from repro.generators import BarabasiAlbertGenerator, ErdosRenyiGnm
+from repro.graph import Graph, giant_component, is_connected
+from repro.stats import gini_coefficient
+
+
+@pytest.fixture(scope="module")
+def truth():
+    return giant_component(ErdosRenyiGnm(m=4000).generate(600, seed=1))
+
+
+class TestTracerouteSample:
+    def test_single_monitor_is_tree(self, truth):
+        sampled = traceroute_sample(truth, num_monitors=1, seed=2)
+        assert sampled.num_edges == sampled.num_nodes - 1
+        assert is_connected(sampled)
+
+    def test_sampled_edges_subset_of_truth(self, truth):
+        sampled = traceroute_sample(truth, num_monitors=3, seed=3)
+        for u, v in sampled.edges():
+            assert truth.has_edge(u, v)
+
+    def test_more_monitors_see_more_edges(self, truth):
+        few = traceroute_sample(truth, num_monitors=1, seed=4)
+        many = traceroute_sample(truth, num_monitors=10, seed=4)
+        assert many.num_edges > few.num_edges
+
+    def test_all_nodes_discovered_when_connected(self, truth):
+        sampled = traceroute_sample(truth, num_monitors=1, seed=5)
+        assert sampled.num_nodes == truth.num_nodes
+
+    def test_bias_inflates_inequality(self, truth):
+        sampled = traceroute_sample(truth, num_monitors=1, seed=6)
+        true_gini = gini_coefficient(truth.degrees().values())
+        sampled_gini = gini_coefficient(sampled.degrees().values())
+        assert sampled_gini > true_gini
+
+    def test_destination_subset(self, truth):
+        targets = sorted(truth.nodes(), key=str)[:20]
+        sampled = traceroute_sample(
+            truth, num_monitors=2, destinations=targets, seed=7
+        )
+        assert sampled.num_nodes <= truth.num_nodes
+        assert sampled.num_edges < truth.num_edges
+
+    def test_unweighted_output(self, truth):
+        sampled = traceroute_sample(truth, num_monitors=4, seed=8)
+        assert all(w == 1.0 for _, _, w in sampled.weighted_edges())
+
+    def test_heavy_tail_survives_sampling(self):
+        # The converse check: a real heavy tail is NOT an artifact — the
+        # sampled map of a BA graph still shows its hubs.
+        truth = BarabasiAlbertGenerator(m=3).generate(600, seed=9)
+        sampled = traceroute_sample(truth, num_monitors=2, seed=10)
+        assert sampled.max_degree > 0.3 * truth.max_degree
+
+    def test_validation(self, truth):
+        with pytest.raises(ValueError):
+            traceroute_sample(truth, num_monitors=0)
+        with pytest.raises(ValueError):
+            traceroute_sample(truth, num_monitors=truth.num_nodes + 1)
+        with pytest.raises(ValueError):
+            traceroute_sample(Graph(), num_monitors=1)
+
+    def test_reproducible(self, truth):
+        a = traceroute_sample(truth, num_monitors=3, seed=11)
+        b = traceroute_sample(truth, num_monitors=3, seed=11)
+        assert {frozenset(e) for e in a.edges()} == {frozenset(e) for e in b.edges()}

@@ -1,0 +1,125 @@
+"""Tests for prefix hijack simulation."""
+
+import pytest
+
+from repro.bgpsim import simulate_hijack
+from repro.economics import RelationshipMap, assign_relationships
+from repro.graph import Graph, giant_component
+
+
+@pytest.fixture
+def hierarchy():
+    """t (tier-1) over providers pA, pB; stubs sA under pA, sB under pB."""
+    g = Graph()
+    rels = RelationshipMap()
+    for provider, stub in (("pA", "sA"), ("pB", "sB")):
+        g.add_edge(stub, provider)
+        rels.add_customer_provider(stub, provider)
+        g.add_edge(provider, "t")
+        rels.add_customer_provider(provider, "t")
+    return g, rels
+
+
+class TestSimulateHijack:
+    def test_provider_keeps_its_customer(self, hierarchy):
+        g, rels = hierarchy
+        # sB hijacks sA's prefix: pA hears sA directly (customer route),
+        # and only hears the forgery via t (provider route) — stays loyal.
+        outcome = simulate_hijack(g, rels, victim="sA", attacker="sB")
+        assert "pA" in outcome.loyal
+
+    def test_attackers_provider_defects(self, hierarchy):
+        g, rels = hierarchy
+        # pB hears the forgery from its customer sB: customer beats the
+        # provider route to the real sA.
+        outcome = simulate_hijack(g, rels, victim="sA", attacker="sB")
+        assert "pB" in outcome.captured
+
+    def test_symmetric_contest_at_top(self, hierarchy):
+        g, rels = hierarchy
+        outcome = simulate_hijack(g, rels, victim="sA", attacker="sB")
+        # t hears both via customer chains of equal length: the tie-break
+        # decides, but t must be in exactly one camp.
+        assert ("t" in outcome.captured) != ("t" in outcome.loyal)
+
+    def test_origins_excluded_from_sets(self, hierarchy):
+        g, rels = hierarchy
+        outcome = simulate_hijack(g, rels, victim="sA", attacker="sB")
+        for origin in ("sA", "sB"):
+            assert origin not in outcome.captured
+            assert origin not in outcome.loyal
+            assert origin not in outcome.blackholed
+
+    def test_partition_complete(self, hierarchy):
+        g, rels = hierarchy
+        outcome = simulate_hijack(g, rels, victim="sA", attacker="sB")
+        union = outcome.captured | outcome.loyal | outcome.blackholed
+        assert union == set(g.nodes()) - {"sA", "sB"}
+
+    def test_same_node_rejected(self, hierarchy):
+        g, rels = hierarchy
+        with pytest.raises(ValueError):
+            simulate_hijack(g, rels, victim="sA", attacker="sA")
+
+    def test_capture_fraction_bounds(self, hierarchy):
+        g, rels = hierarchy
+        outcome = simulate_hijack(g, rels, victim="sA", attacker="sB")
+        assert 0.0 <= outcome.capture_fraction <= 1.0
+
+    def test_attacker_ancestors_always_defect(self):
+        # The hard invariant: an AS with the attacker in its customer cone
+        # (an "ancestor" selling the attacker transit) hears the forgery as
+        # a customer route — the best class — and must defect, unless the
+        # victim is in its cone too.
+        from repro.generators import GlpGenerator
+
+        g = giant_component(GlpGenerator().generate(300, seed=5))
+        rels = assign_relationships(g)
+        cones = rels.cone_sizes()
+        ranked = sorted(cones, key=lambda node: (-cones[node], str(node)))
+        victim = ranked[len(ranked) // 2]
+        attacker = ranked[-1]  # a stub: plenty of ancestors above it
+        if attacker == victim:
+            attacker = ranked[-2]
+        outcome = simulate_hijack(g, rels, victim=victim, attacker=attacker)
+        ancestors = {
+            node
+            for node in g.nodes()
+            if node not in (victim, attacker)
+            and attacker in rels.customer_cone(node)
+            and victim not in rels.customer_cone(node)
+        }
+        assert ancestors, "test topology should give the stub ancestors"
+        assert ancestors <= outcome.captured
+
+    def test_victim_cone_mostly_loyal_on_model(self):
+        # Soft shape: the victim's cone stays overwhelmingly loyal — only a
+        # peer shortcut to the attacker can flip a cone member.
+        from repro.generators import GlpGenerator
+
+        g = giant_component(GlpGenerator().generate(300, seed=5))
+        rels = assign_relationships(g)
+        cones = rels.cone_sizes()
+        victim = max(cones, key=lambda node: (cones[node], str(node)))
+        stub = min(cones, key=lambda node: (cones[node], str(node)))
+        if stub == victim:
+            pytest.skip("degenerate topology")
+        outcome = simulate_hijack(g, rels, victim=victim, attacker=stub)
+        cone = rels.customer_cone(victim) - {victim, stub}
+        loyal_fraction = len(cone & outcome.loyal) / len(cone)
+        assert loyal_fraction > 0.9
+
+    def test_tier1_attacker_beats_stub_attacker(self):
+        from repro.generators import PfpGenerator
+
+        g = giant_component(PfpGenerator().generate(300, seed=6))
+        rels = assign_relationships(g)
+        cones = rels.cone_sizes()
+        ranked = sorted(cones, key=lambda node: (-cones[node], str(node)))
+        victim = ranked[len(ranked) // 2]
+        big, small = ranked[0], ranked[-1]
+        if victim in (big, small):
+            pytest.skip("degenerate topology")
+        big_capture = simulate_hijack(g, rels, victim, big).capture_fraction
+        small_capture = simulate_hijack(g, rels, victim, small).capture_fraction
+        assert big_capture > small_capture

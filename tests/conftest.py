@@ -1,0 +1,92 @@
+"""Shared fixtures: canonical small graphs with known exact properties."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph import Graph
+
+
+def graph_from_edges(edges, name=""):
+    """Build a Graph from an iterable of (u, v) or (u, v, w) tuples."""
+    g = Graph(name=name)
+    for edge in edges:
+        if len(edge) == 3:
+            g.add_edge(edge[0], edge[1], weight=edge[2])
+        else:
+            g.add_edge(edge[0], edge[1])
+    return g
+
+
+@pytest.fixture
+def triangle():
+    """K3: 3 nodes, 3 edges, 1 triangle, clustering 1 everywhere."""
+    return graph_from_edges([(0, 1), (1, 2), (2, 0)], name="triangle")
+
+
+@pytest.fixture
+def square():
+    """C4: 4-cycle, no triangles, one 4-cycle."""
+    return graph_from_edges([(0, 1), (1, 2), (2, 3), (3, 0)], name="square")
+
+
+@pytest.fixture
+def k4():
+    """Complete graph on 4 nodes: 4 triangles, 3 four-cycles."""
+    return graph_from_edges(
+        [(u, v) for u in range(4) for v in range(u + 1, 4)], name="k4"
+    )
+
+
+@pytest.fixture
+def k5():
+    """Complete graph on 5 nodes: 10 triangles, 15 C4s, 12 C5s."""
+    return graph_from_edges(
+        [(u, v) for u in range(5) for v in range(u + 1, 5)], name="k5"
+    )
+
+
+@pytest.fixture
+def star():
+    """Star with 5 leaves: hub betweenness maximal, no triangles."""
+    return graph_from_edges([(0, leaf) for leaf in range(1, 6)], name="star")
+
+
+@pytest.fixture
+def path4():
+    """Path 0-1-2-3: diameter 3, known betweenness."""
+    return graph_from_edges([(0, 1), (1, 2), (2, 3)], name="path4")
+
+
+@pytest.fixture
+def two_triangles():
+    """Two disjoint triangles: two components."""
+    return graph_from_edges(
+        [(0, 1), (1, 2), (2, 0), (10, 11), (11, 12), (12, 10)],
+        name="two-triangles",
+    )
+
+
+@pytest.fixture
+def petersen():
+    """Petersen graph: 3-regular, girth 5, 0 triangles, 0 C4s, 12 C5s."""
+    outer = [(i, (i + 1) % 5) for i in range(5)]
+    spokes = [(i, i + 5) for i in range(5)]
+    inner = [(5 + i, 5 + (i + 2) % 5) for i in range(5)]
+    return graph_from_edges(outer + spokes + inner, name="petersen")
+
+
+@pytest.fixture
+def barbell():
+    """Two K3s joined by a bridge 2-3: bridge endpoints carry betweenness."""
+    return graph_from_edges(
+        [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3)], name="barbell"
+    )
+
+
+@pytest.fixture
+def medium_random():
+    """A 150-node preferential-attachment graph for oracle cross-checks."""
+    from repro.generators import BarabasiAlbertGenerator
+
+    return BarabasiAlbertGenerator(m=2).generate(150, seed=99)

@@ -1,0 +1,106 @@
+"""Tests for model-vs-target comparison."""
+
+import math
+
+import pytest
+
+from repro.core import (
+    DEFAULT_SCORED_METRICS,
+    compare_graphs,
+    compare_summaries,
+    summarize,
+)
+
+
+class TestCompareSummaries:
+    def test_self_comparison_zero(self, medium_random):
+        s = summarize(medium_random)
+        result = compare_summaries(s, s)
+        assert result.score == pytest.approx(0.0)
+        assert all(row.penalty == 0.0 for row in result.rows)
+
+    def test_ratio_symmetry(self, medium_random, triangle):
+        a = summarize(medium_random)
+        b = summarize(triangle, min_tail=2)
+        forward = compare_summaries(a, b)
+        backward = compare_summaries(b, a)
+        assert forward.score == pytest.approx(backward.score)
+
+    def test_both_nan_exponents_agree(self, k4, square):
+        a = summarize(k4, min_tail=2)
+        b = summarize(square, min_tail=2)
+        result = compare_summaries(a, b)
+        assert result.row("degree_exponent").penalty == 0.0
+
+    def test_one_nan_max_penalty(self, k4):
+        from repro.generators import BarabasiAlbertGenerator
+
+        heavy = summarize(BarabasiAlbertGenerator(m=2).generate(1500, seed=1))
+        flat = summarize(k4, min_tail=2)
+        result = compare_summaries(heavy, flat)
+        assert result.row("degree_exponent").penalty == 3.0
+
+    def test_custom_metric_set(self, medium_random, triangle):
+        a = summarize(medium_random)
+        b = summarize(triangle, min_tail=2)
+        result = compare_summaries(a, b, metrics={"average_degree": ("ratio", 1.0)})
+        assert len(result.rows) == 1
+
+    def test_unknown_metric_rejected(self, triangle):
+        s = summarize(triangle, min_tail=2)
+        with pytest.raises(KeyError):
+            compare_summaries(s, s, metrics={"nonexistent": ("ratio", 1.0)})
+
+    def test_row_lookup(self, triangle):
+        s = summarize(triangle, min_tail=2)
+        result = compare_summaries(s, s)
+        assert result.row("average_degree").model_value == pytest.approx(2.0)
+        with pytest.raises(KeyError):
+            result.row("missing")
+
+    def test_penalty_is_log_ratio(self, medium_random):
+        s = summarize(medium_random)
+        doubled = summarize(medium_random)
+        # Fake a doubled average degree through a custom metric dict trick:
+        from dataclasses import replace
+
+        doubled = replace(doubled, average_degree=s.average_degree * 2)
+        result = compare_summaries(
+            doubled, s, metrics={"average_degree": ("ratio", 1.0)}
+        )
+        assert result.score == pytest.approx(math.log(2.0))
+
+    def test_diff_mode_scaled(self, medium_random):
+        from dataclasses import replace
+
+        s = summarize(medium_random)
+        shifted = replace(s, assortativity=s.assortativity + 0.2)
+        result = compare_summaries(
+            shifted, s, metrics={"assortativity": ("diff", 0.2)}
+        )
+        assert result.score == pytest.approx(1.0)
+
+    def test_str_output(self, triangle):
+        s = summarize(triangle, min_tail=2)
+        text = str(compare_summaries(s, s))
+        assert "score=" in text
+
+
+class TestCompareGraphs:
+    def test_end_to_end(self, medium_random):
+        result = compare_graphs(medium_random, medium_random)
+        assert result.score == pytest.approx(0.0)
+
+    def test_ranks_similar_model_better(self):
+        # Two BA graphs should be closer to each other than BA vs ER.
+        from repro.generators import BarabasiAlbertGenerator, ErdosRenyiGnm
+
+        ba1 = BarabasiAlbertGenerator(m=2).generate(800, seed=1)
+        ba2 = BarabasiAlbertGenerator(m=2).generate(800, seed=2)
+        er = ErdosRenyiGnm(m=ba1.num_edges).generate(800, seed=3)
+        assert compare_graphs(ba2, ba1).score < compare_graphs(er, ba1).score
+
+    def test_default_metrics_complete(self):
+        for metric, (mode, scale) in DEFAULT_SCORED_METRICS.items():
+            assert mode in ("ratio", "diff")
+            assert scale > 0

@@ -1,0 +1,76 @@
+"""Tests for experiment helpers."""
+
+import pytest
+
+from repro.core import Replicates, replicate, seed_sequence, sweep_sizes
+from repro.generators import BarabasiAlbertGenerator
+
+
+class TestSeedSequence:
+    def test_deterministic(self):
+        assert seed_sequence(5, 10) == seed_sequence(5, 10)
+
+    def test_distinct(self):
+        seeds = seed_sequence(1, 100)
+        assert len(set(seeds)) == 100
+
+    def test_positive(self):
+        assert all(s > 0 for s in seed_sequence(0, 50))
+
+    def test_count_validation(self):
+        with pytest.raises(ValueError):
+            seed_sequence(1, 0)
+
+    def test_different_bases_differ(self):
+        assert seed_sequence(1, 5) != seed_sequence(2, 5)
+
+
+class TestReplicates:
+    def test_mean_std(self):
+        r = Replicates(values=(1.0, 2.0, 3.0))
+        assert r.mean == 2.0
+        assert r.std == pytest.approx(1.0)
+        assert r.stderr == pytest.approx(1.0 / 3**0.5)
+
+    def test_single_value_zero_std(self):
+        r = Replicates(values=(5.0,))
+        assert r.std == 0.0
+
+    def test_str(self):
+        assert "n=2" in str(Replicates(values=(1.0, 2.0)))
+
+
+class TestReplicate:
+    def test_runs_requested_seeds(self):
+        gen = BarabasiAlbertGenerator(m=1)
+        r = replicate(gen, 100, lambda g: g.num_edges, seeds=4, base_seed=3)
+        assert len(r.values) == 4
+
+    def test_metric_applied(self):
+        gen = BarabasiAlbertGenerator(m=1)
+        r = replicate(gen, 100, lambda g: g.num_nodes, seeds=2)
+        assert r.mean == 100.0
+        assert r.std == 0.0
+
+    def test_reproducible(self):
+        gen = BarabasiAlbertGenerator(m=2)
+        a = replicate(gen, 120, lambda g: g.max_degree, seeds=3, base_seed=7)
+        b = replicate(gen, 120, lambda g: g.max_degree, seeds=3, base_seed=7)
+        assert a.values == b.values
+
+
+class TestSweep:
+    def test_sizes_in_order(self):
+        gen = BarabasiAlbertGenerator(m=1)
+        rows = sweep_sizes(gen, [50, 100, 150], lambda g: g.num_nodes, seeds=1)
+        assert [n for n, _ in rows] == [50, 100, 150]
+        assert [r.mean for _, r in rows] == [50.0, 100.0, 150.0]
+
+    def test_feeds_scaling_fit(self):
+        from repro.graph import total_triangles
+        from repro.stats import fit_power_scaling
+
+        gen = BarabasiAlbertGenerator(m=2)
+        rows = sweep_sizes(gen, [200, 400, 800], total_triangles, seeds=2)
+        fit = fit_power_scaling([n for n, _ in rows], [r.mean for _, r in rows])
+        assert fit.exponent > 0  # triangles grow with size

@@ -1,0 +1,71 @@
+"""Tests for the model registry."""
+
+import pytest
+
+from repro.core import available_models, generator_class, make_generator, register
+from repro.generators import GlpGenerator, TopologyGenerator
+
+
+class TestRegistry:
+    def test_fifteen_models_registered(self):
+        assert len(available_models()) == 15
+
+    def test_sorted_names(self):
+        names = available_models()
+        assert names == sorted(names)
+
+    def test_lookup(self):
+        assert generator_class("glp") is GlpGenerator
+
+    def test_unknown_name_lists_alternatives(self):
+        with pytest.raises(KeyError, match="glp"):
+            generator_class("no-such-model")
+
+    def test_make_generator_passes_params(self):
+        gen = make_generator("barabasi-albert", m=4)
+        assert gen.m == 4
+
+    def test_make_generator_bad_param_raises(self):
+        with pytest.raises(TypeError):
+            make_generator("barabasi-albert", nonsense=1)
+
+    def test_register_rejects_unnamed(self):
+        class Anon(TopologyGenerator):
+            def generate(self, n, seed=None):
+                raise NotImplementedError
+
+        with pytest.raises(ValueError):
+            register(Anon)
+
+    def test_register_rejects_duplicate_name(self):
+        class Imposter(TopologyGenerator):
+            name = "glp"
+
+            def generate(self, n, seed=None):
+                raise NotImplementedError
+
+        with pytest.raises(ValueError):
+            register(Imposter)
+
+    def test_register_idempotent_for_same_class(self):
+        assert register(GlpGenerator) is GlpGenerator
+
+    def test_custom_registration(self):
+        class Custom(TopologyGenerator):
+            name = "custom-test-model"
+
+            def generate(self, n, seed=None):
+                from repro.graph import Graph
+
+                g = Graph()
+                g.add_nodes(range(n))
+                return g
+
+        try:
+            register(Custom)
+            assert "custom-test-model" in available_models()
+            assert make_generator("custom-test-model").generate(5).num_nodes == 5
+        finally:
+            from repro.core import registry
+
+            registry._REGISTRY.pop("custom-test-model", None)

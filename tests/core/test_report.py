@@ -1,0 +1,62 @@
+"""Tests for report rendering."""
+
+import math
+
+from repro.core import format_series, format_table, format_value
+
+
+class TestFormatValue:
+    def test_nan(self):
+        assert format_value(float("nan")) == "n/a"
+
+    def test_zero(self):
+        assert format_value(0.0) == "0"
+
+    def test_int_passthrough(self):
+        assert format_value(42) == "42"
+
+    def test_string_passthrough(self):
+        assert format_value("glp") == "glp"
+
+    def test_float_compact(self):
+        assert format_value(3.14159, precision=3) == "3.14"
+
+    def test_large_float(self):
+        assert "e" in format_value(1.23e9) or "1230000000" not in format_value(1.23e9)
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["model", "gamma"], [["ba", 3.0], ["glp", 2.2]])
+        lines = text.splitlines()
+        assert len(lines) == 4  # header, rule, 2 rows
+        assert lines[0].startswith("model")
+        assert set(lines[1]) <= {"-", " "}
+
+    def test_title(self):
+        text = format_table(["a"], [[1]], title="T1")
+        assert text.splitlines()[0] == "T1"
+
+    def test_wide_cells_expand_columns(self):
+        text = format_table(["x"], [["very-long-cell-value"]])
+        rule = text.splitlines()[1]
+        assert len(rule) >= len("very-long-cell-value")
+
+    def test_nan_rendered(self):
+        text = format_table(["gamma"], [[float("nan")]])
+        assert "n/a" in text
+
+    def test_empty_rows(self):
+        text = format_table(["a", "b"], [])
+        assert len(text.splitlines()) == 2
+
+
+class TestFormatSeries:
+    def test_labels(self):
+        text = format_series([(1, 0.5), (2, 0.25)], x_label="k", y_label="P")
+        assert text.splitlines()[0].startswith("k")
+        assert "0.5" in text
+
+    def test_title(self):
+        text = format_series([(1, 1.0)], title="F2")
+        assert text.startswith("F2")

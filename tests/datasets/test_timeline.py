@@ -1,0 +1,71 @@
+"""Tests for the synthetic growth timeline."""
+
+import pytest
+
+from repro.datasets import (
+    PUBLISHED_RATES,
+    PUBLISHED_SCALE,
+    TimelineConfig,
+    hobbes_like_timeline,
+)
+from repro.stats import fit_exponential_growth
+
+
+class TestTimeline:
+    def test_three_series(self):
+        series = hobbes_like_timeline()
+        assert set(series) == {"hosts", "ases", "links"}
+
+    def test_default_span(self):
+        series = hobbes_like_timeline()
+        assert all(len(s) == 54 for s in series.values())
+
+    def test_reproducible(self):
+        a = hobbes_like_timeline()
+        b = hobbes_like_timeline()
+        for key in a:
+            assert a[key].values == b[key].values
+
+    def test_rates_recoverable(self):
+        series = hobbes_like_timeline()
+        for key, rate in PUBLISHED_RATES.items():
+            fit = fit_exponential_growth(series[key].times, series[key].values)
+            assert fit.rate == pytest.approx(rate, abs=0.003), key
+
+    def test_rate_ordering_alpha_gt_delta_gt_beta(self):
+        series = hobbes_like_timeline()
+        fits = {
+            key: fit_exponential_growth(s.times, s.values).rate
+            for key, s in series.items()
+        }
+        assert fits["hosts"] > fits["links"] > fits["ases"]
+
+    def test_scales_match_published(self):
+        series = hobbes_like_timeline(TimelineConfig(noise_sigma=0.0))
+        for key, scale in PUBLISHED_SCALE.items():
+            assert series[key].values[0] == pytest.approx(scale, rel=1e-9)
+
+    def test_noise_free_fit_exact(self):
+        series = hobbes_like_timeline(TimelineConfig(noise_sigma=0.0))
+        fit = fit_exponential_growth(series["hosts"].times, series["hosts"].values)
+        assert fit.rate == pytest.approx(PUBLISHED_RATES["hosts"], abs=1e-12)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_custom_months(self):
+        series = hobbes_like_timeline(TimelineConfig(months=12))
+        assert all(len(s) == 12 for s in series.values())
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            hobbes_like_timeline(TimelineConfig(months=2))
+        with pytest.raises(ValueError):
+            hobbes_like_timeline(TimelineConfig(noise_sigma=-0.1))
+
+    def test_derived_scaling_relation(self):
+        # W ∝ N^(alpha/beta): check on the clean series.
+        series = hobbes_like_timeline(TimelineConfig(noise_sigma=0.0))
+        from repro.stats import fit_power_scaling
+
+        fit = fit_power_scaling(series["ases"].values, series["hosts"].values)
+        expected = PUBLISHED_RATES["hosts"] / PUBLISHED_RATES["ases"]
+        assert fit.exponent == pytest.approx(expected, abs=1e-6)

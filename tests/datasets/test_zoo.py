@@ -1,0 +1,93 @@
+"""Tests for the topology zoo."""
+
+import pytest
+
+from repro.datasets import abilene, karate_club, nsfnet, petersen, zoo
+from repro.graph import (
+    cycle_counts_3_4_5,
+    degree_assortativity,
+    diameter,
+    is_connected,
+    total_triangles,
+)
+
+
+class TestAbilene:
+    def test_size(self):
+        g = abilene()
+        assert g.num_nodes == 11
+        assert g.num_edges == 14
+
+    def test_connected(self):
+        assert is_connected(abilene())
+
+    def test_diameter(self):
+        # Seattle to Atlanta/Washington across the backbone.
+        assert diameter(abilene()) == 5
+
+    def test_degrees_bounded(self):
+        g = abilene()
+        assert g.max_degree == 3  # no PoP has more than 3 links
+
+
+class TestNsfnet:
+    def test_size(self):
+        g = nsfnet()
+        assert g.num_nodes == 14
+        assert g.num_edges == 22
+
+    def test_connected(self):
+        assert is_connected(nsfnet())
+
+    def test_every_node_multihomed(self):
+        g = nsfnet()
+        assert min(g.degrees().values()) >= 2  # the T1 backbone had no spurs
+
+
+class TestKarate:
+    def test_canonical_size(self):
+        g = karate_club()
+        assert g.num_nodes == 34
+        assert g.num_edges == 78
+
+    def test_instructor_and_president_degrees(self):
+        g = karate_club()
+        assert g.degree(1) == 16   # the instructor
+        assert g.degree(34) == 17  # the club president
+
+    def test_triangles(self):
+        assert total_triangles(karate_club()) == 45  # published value
+
+    def test_disassortative(self):
+        assert degree_assortativity(karate_club()) < -0.4
+
+
+class TestPetersen:
+    def test_three_regular(self):
+        g = petersen()
+        assert all(d == 3 for d in g.degrees().values())
+
+    def test_girth_five(self):
+        counts = cycle_counts_3_4_5(petersen())
+        assert counts[3] == 0
+        assert counts[4] == 0
+        assert counts[5] == 12
+
+    def test_diameter_two(self):
+        assert diameter(petersen()) == 2
+
+
+class TestZoo:
+    def test_all_loaders_present(self):
+        loaders = zoo()
+        assert set(loaders) == {"abilene", "nsfnet", "karate-club", "petersen"}
+
+    def test_fresh_instances(self):
+        a = abilene()
+        a.add_edge("Seattle", "Atlanta")
+        b = abilene()
+        assert not b.has_edge("Seattle", "Atlanta")
+
+    def test_names_match(self):
+        for name, loader in zoo().items():
+            assert loader().name == name

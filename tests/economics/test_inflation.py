@@ -1,0 +1,87 @@
+"""Tests for policy path inflation."""
+
+import pytest
+
+from repro.economics import (
+    RelationshipMap,
+    assign_relationships,
+    path_inflation,
+)
+from repro.graph import Graph, giant_component
+
+
+@pytest.fixture
+def diamond():
+    """Diamond where policy forbids the shortcut.
+
+    s - a - d and s - b - d, but the s-b and b-d edges are peerings, so the
+    valley-free path may be forced through the provider chain.
+    """
+    g = Graph()
+    rels = RelationshipMap()
+    # provider chain: s -> a -> d readable both ways
+    g.add_edge("s", "a")
+    rels.add_customer_provider("s", "a")
+    g.add_edge("a", "d")
+    rels.add_customer_provider("d", "a")
+    # peer shortcut s - b - d (two peer hops: invalid as a through-path)
+    g.add_edge("s", "b")
+    rels.add_peering("s", "b")
+    g.add_edge("b", "d")
+    rels.add_peering("b", "d")
+    return g, rels
+
+
+class TestPathInflation:
+    def test_no_inflation_on_pure_hierarchy(self):
+        g = Graph()
+        rels = RelationshipMap()
+        g.add_edge("leaf", "mid")
+        rels.add_customer_provider("leaf", "mid")
+        g.add_edge("mid", "top")
+        rels.add_customer_provider("mid", "top")
+        report = path_inflation(g, rels, num_destinations=3, seed=1)
+        assert report.mean_inflation == 0.0
+        assert report.inflated_fraction == 0.0
+        assert report.policy_unreachable == 0
+
+    def test_double_peer_hop_detected(self, diamond):
+        g, rels = diamond
+        report = path_inflation(g, rels, num_destinations=4, seed=2)
+        # b -> a requires either peer(s)+up or peer(d)+... valley-free
+        # forbids two peer hops, so some pair must inflate or strand.
+        assert report.mean_inflation > 0.0 or report.policy_unreachable > 0
+
+    def test_policy_never_shortens(self):
+        from repro.generators import GlpGenerator
+
+        g = giant_component(GlpGenerator().generate(200, seed=3))
+        rels = assign_relationships(g)
+        report = path_inflation(g, rels, num_destinations=10, seed=4)
+        assert all(d >= 0 for d in report.extra_hop_counts)
+        assert report.mean_policy >= report.mean_shortest
+
+    def test_distribution_normalizes(self):
+        from repro.generators import PfpGenerator
+
+        g = giant_component(PfpGenerator().generate(200, seed=5))
+        rels = assign_relationships(g)
+        report = path_inflation(g, rels, num_destinations=10, seed=6)
+        points = report.as_points()
+        assert sum(frac for _, frac in points) == pytest.approx(1.0)
+
+    def test_fraction_properties_bounded(self):
+        from repro.generators import GlpGenerator
+
+        g = giant_component(GlpGenerator().generate(150, seed=7))
+        rels = assign_relationships(g)
+        report = path_inflation(g, rels, num_destinations=8, seed=8)
+        assert 0.0 <= report.inflated_fraction <= 1.0
+        assert 0.0 <= report.unreachable_fraction <= 1.0
+
+    def test_validation(self, diamond):
+        g, rels = diamond
+        with pytest.raises(ValueError):
+            path_inflation(g, rels, num_destinations=0)
+        with pytest.raises(ValueError):
+            path_inflation(Graph(), rels, num_destinations=1)

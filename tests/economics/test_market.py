@@ -1,0 +1,140 @@
+"""Tests for market settlement."""
+
+import pytest
+
+from repro.economics import (
+    Flow,
+    PricingModel,
+    RelationshipMap,
+    TrafficMatrix,
+    assign_relationships,
+    gravity_flows,
+    herfindahl_index,
+    route_flows,
+    settle_market,
+)
+from repro.graph import Graph
+
+
+@pytest.fixture
+def settled_line():
+    """Two stubs under one provider, one 10-unit flow between the stubs."""
+    g = Graph()
+    rels = RelationshipMap()
+    g.add_edge("s1", "prov")
+    rels.add_customer_provider("s1", "prov")
+    g.add_edge("s2", "prov")
+    rels.add_customer_provider("s2", "prov")
+    matrix = TrafficMatrix(flows=[Flow("s1", "s2", 10.0)])
+    traffic = route_flows(g, rels, matrix)
+    return g, rels, traffic
+
+
+class TestPricing:
+    def test_defaults_valid(self):
+        PricingModel()
+
+    def test_negative_price_rejected(self):
+        with pytest.raises(ValueError):
+            PricingModel(transit_price=-1.0)
+        with pytest.raises(ValueError):
+            PricingModel(peering_cost=-1.0)
+
+
+class TestSettlement:
+    def test_provider_earns_transit(self, settled_line):
+        g, rels, traffic = settled_line
+        pricing = PricingModel(
+            transit_price=1.0, retail_price=0.0, peering_cost=0.0,
+            carriage_cost=0.0, link_cost=0.0,
+        )
+        report = settle_market(g, rels, traffic, pricing=pricing)
+        # 10 units cross each of the two c2p links: provider bills both.
+        assert report.books["prov"].transit_revenue == 20.0
+        assert report.books["prov"].transit_cost == 0.0
+        assert report.books["s1"].transit_cost == 10.0
+        assert report.books["s2"].transit_cost == 10.0
+
+    def test_money_conservation(self, settled_line):
+        g, rels, traffic = settled_line
+        pricing = PricingModel(
+            transit_price=1.0, retail_price=0.0, peering_cost=0.0,
+            carriage_cost=0.0, link_cost=0.0,
+        )
+        report = settle_market(g, rels, traffic, pricing=pricing)
+        total_transit_revenue = sum(b.transit_revenue for b in report.books.values())
+        total_transit_cost = sum(b.transit_cost for b in report.books.values())
+        assert total_transit_revenue == pytest.approx(total_transit_cost)
+
+    def test_retail_revenue_from_users(self, settled_line):
+        g, rels, traffic = settled_line
+        pricing = PricingModel(retail_price=3.0)
+        report = settle_market(
+            g, rels, traffic, users={"s1": 100, "s2": 0, "prov": 0}, pricing=pricing
+        )
+        assert report.books["s1"].retail_revenue == 300.0
+
+    def test_default_users_one(self, settled_line):
+        g, rels, traffic = settled_line
+        report = settle_market(g, rels, traffic)
+        assert all(b.users == 1.0 for b in report.books.values())
+
+    def test_peering_costs_both_sides(self):
+        g = Graph()
+        rels = RelationshipMap()
+        g.add_edge("a", "b")
+        rels.add_peering("a", "b")
+        traffic = route_flows(g, rels, TrafficMatrix(flows=[]))
+        pricing = PricingModel(peering_cost=25.0, link_cost=0.0, retail_price=0.0)
+        report = settle_market(g, rels, traffic, pricing=pricing)
+        assert report.books["a"].peering_cost == 25.0
+        assert report.books["b"].peering_cost == 25.0
+
+    def test_profit_identity(self, settled_line):
+        g, rels, traffic = settled_line
+        report = settle_market(g, rels, traffic)
+        for books in report.books.values():
+            assert books.profit == pytest.approx(books.revenue - books.cost)
+
+    def test_tier_summary_rows(self, settled_line):
+        g, rels, traffic = settled_line
+        report = settle_market(g, rels, traffic)
+        rows = report.tier_summary()
+        tiers = [row[0] for row in rows]
+        assert tiers == sorted(tiers)
+        assert sum(row[1] for row in rows) == 3
+
+    def test_profitable_fraction_bounds(self, settled_line):
+        g, rels, traffic = settled_line
+        report = settle_market(g, rels, traffic)
+        assert 0.0 <= report.profitable_fraction() <= 1.0
+        assert report.profitable_fraction(tier=99) == 0.0
+
+
+class TestHhi:
+    def test_monopoly(self):
+        assert herfindahl_index([10, 0, 0]) == 1.0
+
+    def test_uniform(self):
+        assert herfindahl_index([1, 1, 1, 1]) == pytest.approx(0.25)
+
+    def test_zero_total(self):
+        assert herfindahl_index([0, 0]) == 0.0
+
+
+class TestEndToEndEconomy:
+    def test_tier1_outearns_stubs_on_model(self):
+        from repro.generators import PfpGenerator
+        from repro.graph import giant_component
+
+        g = giant_component(PfpGenerator().generate(300, seed=1))
+        rels = assign_relationships(g)
+        pops = {n: 1 + g.degree(n) for n in g.nodes()}
+        matrix = gravity_flows(pops, num_flows=800, seed=2)
+        traffic = route_flows(g, rels, matrix)
+        report = settle_market(g, rels, traffic, users=pops)
+        by_tier = report.by_tier()
+        tier1_mean = sum(b.transit_revenue for b in by_tier[1]) / len(by_tier[1])
+        deepest = max(by_tier)
+        stub_mean = sum(b.transit_revenue for b in by_tier[deepest]) / len(by_tier[deepest])
+        assert tier1_mean > stub_mean

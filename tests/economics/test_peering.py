@@ -1,0 +1,121 @@
+"""Tests for customer cones and peering strategy."""
+
+import pytest
+
+from repro.economics import (
+    PricingModel,
+    RelationshipMap,
+    TrafficMatrix,
+    assign_relationships,
+    evaluate_peering,
+    gravity_flows,
+    suggest_peerings,
+)
+from repro.economics.traffic import Flow
+from repro.graph import Graph, giant_component
+
+
+@pytest.fixture
+def two_trees():
+    """Two provider trees (pA over a1, a2) and (pB over b1, b2) joined at
+    the top through a shared tier-1 t."""
+    g = Graph()
+    rels = RelationshipMap()
+    for provider, customers in (("pA", ["a1", "a2"]), ("pB", ["b1", "b2"])):
+        for customer in customers:
+            g.add_edge(customer, provider)
+            rels.add_customer_provider(customer, provider)
+        g.add_edge(provider, "t")
+        rels.add_customer_provider(provider, "t")
+    return g, rels
+
+
+class TestCustomerCone:
+    def test_stub_cone_is_self(self, two_trees):
+        _, rels = two_trees
+        assert rels.customer_cone("a1") == {"a1"}
+
+    def test_provider_cone(self, two_trees):
+        _, rels = two_trees
+        assert rels.customer_cone("pA") == {"pA", "a1", "a2"}
+
+    def test_tier1_cone_everything(self, two_trees):
+        g, rels = two_trees
+        assert rels.customer_cone("t") == set(g.nodes())
+
+    def test_cone_sizes(self, two_trees):
+        _, rels = two_trees
+        sizes = rels.cone_sizes()
+        assert sizes["t"] == 7
+        assert sizes["pA"] == 3
+        assert sizes["a1"] == 1
+
+    def test_cone_handles_cycles(self):
+        # Defensive: mutual providers must not loop forever.
+        rels = RelationshipMap()
+        rels.add_customer_provider("a", "b")
+        rels.add_customer_provider("b", "a")
+        assert rels.customer_cone("a") == {"a", "b"}
+
+
+class TestEvaluatePeering:
+    def test_offload_volume_counted(self, two_trees):
+        g, rels = two_trees
+        matrix = TrafficMatrix(
+            flows=[Flow("a1", "b1", 100.0), Flow("b2", "a2", 50.0),
+                   Flow("a1", "a2", 999.0)]  # intra-cone: not offloadable
+        )
+        pricing = PricingModel(transit_price=1.0, peering_cost=10.0)
+        assessment = evaluate_peering(rels, matrix, "pA", "pB", pricing=pricing)
+        assert assessment.offload_volume == 150.0
+        assert assessment.monthly_saving_a == pytest.approx(140.0)
+        assert assessment.mutually_beneficial
+
+    def test_small_volume_not_worth_port(self, two_trees):
+        g, rels = two_trees
+        matrix = TrafficMatrix(flows=[Flow("a1", "b1", 1.0)])
+        pricing = PricingModel(transit_price=1.0, peering_cost=50.0)
+        assessment = evaluate_peering(rels, matrix, "pA", "pB", pricing=pricing)
+        assert not assessment.mutually_beneficial
+
+    def test_overlapping_cones_offload_nothing(self, two_trees):
+        g, rels = two_trees
+        matrix = TrafficMatrix(flows=[Flow("a1", "pA", 100.0)])
+        assessment = evaluate_peering(rels, matrix, "t", "pA")
+        assert assessment.offload_volume == 0.0
+
+    def test_tier1_has_nothing_to_save(self, two_trees):
+        g, rels = two_trees
+        # Isolated second tier-1 with its own customer.
+        g.add_edge("u1", "t2")
+        rels.add_customer_provider("u1", "t2")
+        matrix = TrafficMatrix(flows=[Flow("a1", "u1", 500.0)])
+        pricing = PricingModel(transit_price=1.0, peering_cost=10.0)
+        assessment = evaluate_peering(rels, matrix, "t", "t2", pricing=pricing)
+        # Both are providerless: no transit bill to avoid, only port cost.
+        assert assessment.monthly_saving_a == pytest.approx(-10.0)
+        assert not assessment.mutually_beneficial
+
+
+class TestSuggestPeerings:
+    def test_suggestions_on_model_topology(self):
+        from repro.generators import GlpGenerator
+
+        g = giant_component(GlpGenerator().generate(300, seed=4))
+        rels = assign_relationships(g)
+        pops = {n: 1.0 + g.degree(n) for n in g.nodes()}
+        matrix = gravity_flows(pops, num_flows=2000, seed=5)
+        pricing = PricingModel(transit_price=1.0, peering_cost=1.0)
+        suggestions = suggest_peerings(g, rels, matrix, pricing=pricing)
+        for s in suggestions:
+            assert s.mutually_beneficial
+            assert not g.has_edge(s.a, s.b)
+        # Sorted by combined savings, best first.
+        totals = [s.monthly_saving_a + s.monthly_saving_b for s in suggestions]
+        assert totals == sorted(totals, reverse=True)
+
+    def test_validation(self, two_trees):
+        g, rels = two_trees
+        matrix = TrafficMatrix(flows=[])
+        with pytest.raises(ValueError):
+            suggest_peerings(g, rels, matrix, top_candidates=1)

@@ -1,0 +1,131 @@
+"""Tests for relationship assignment."""
+
+import pytest
+
+from repro.economics import Relationship, RelationshipMap, assign_relationships
+from repro.graph import Graph
+
+
+@pytest.fixture
+def hierarchy():
+    """Tiny hierarchy: hub 't1' (deg 5) - mid 'm' (deg 3) - leaves."""
+    g = Graph()
+    g.add_edge("t1", "m")
+    for i in range(4):
+        g.add_edge("t1", f"x{i}")
+    g.add_edge("m", "a")
+    g.add_edge("m", "b")
+    return g
+
+
+class TestRelationshipMap:
+    def test_customer_provider_roundtrip(self):
+        rels = RelationshipMap()
+        rels.add_customer_provider(customer="c", provider="p")
+        assert rels.providers("c") == {"p"}
+        assert rels.customers("p") == {"c"}
+        assert rels.relationship("c", "p") is Relationship.CUSTOMER_TO_PROVIDER
+        assert rels.relationship("p", "c") is Relationship.PROVIDER_TO_CUSTOMER
+
+    def test_peering_symmetric(self):
+        rels = RelationshipMap()
+        rels.add_peering("a", "b")
+        assert rels.relationship("a", "b") is Relationship.PEER_TO_PEER
+        assert rels.relationship("b", "a") is Relationship.PEER_TO_PEER
+
+    def test_unknown_edge_raises(self):
+        rels = RelationshipMap()
+        rels.add_peering("a", "b")
+        with pytest.raises(KeyError):
+            rels.relationship("a", "z")
+
+    def test_stub_detection(self):
+        rels = RelationshipMap()
+        rels.add_customer_provider("stub", "prov")
+        assert rels.is_stub("stub")
+        assert not rels.is_stub("prov")
+
+    def test_tier_one_no_providers(self):
+        rels = RelationshipMap()
+        rels.add_customer_provider("c", "p")
+        rels.add_peering("p", "q")
+        assert rels.tier_one() == {"p", "q"}
+
+    def test_tiers_depth(self):
+        rels = RelationshipMap()
+        rels.add_customer_provider("mid", "top")
+        rels.add_customer_provider("leaf", "mid")
+        tiers = rels.tiers()
+        assert tiers == {"top": 1, "mid": 2, "leaf": 3}
+
+    def test_counts(self):
+        rels = RelationshipMap()
+        rels.add_customer_provider("a", "b")
+        rels.add_peering("b", "c")
+        assert rels.counts() == (1, 1)
+
+
+class TestAssignment:
+    def test_every_edge_annotated(self, hierarchy):
+        rels = assign_relationships(hierarchy, top_clique_size=1)
+        for u, v in hierarchy.edges():
+            rels.relationship(u, v)  # must not raise
+
+    def test_smaller_is_customer(self, hierarchy):
+        rels = assign_relationships(hierarchy, top_clique_size=1, peer_degree_ratio=1.0)
+        assert "t1" in rels.providers("m")
+        assert "m" in rels.providers("a")
+
+    def test_top_clique_peers(self):
+        g = Graph()
+        g.add_edge("h1", "h2")
+        for i in range(5):
+            g.add_edge("h1", f"a{i}")
+            g.add_edge("h2", f"b{i}")
+        rels = assign_relationships(g, top_clique_size=2)
+        assert rels.relationship("h1", "h2") is Relationship.PEER_TO_PEER
+
+    def test_similar_degrees_peer(self):
+        g = Graph()
+        # two deg-2 nodes side by side
+        g.add_edge("a", "b")
+        g.add_edge("a", "x")
+        g.add_edge("b", "y")
+        rels = assign_relationships(g, peer_degree_ratio=1.5, top_clique_size=1)
+        assert rels.relationship("a", "b") is Relationship.PEER_TO_PEER
+
+    def test_deterministic(self, hierarchy):
+        a = assign_relationships(hierarchy)
+        b = assign_relationships(hierarchy)
+        assert a.counts() == b.counts()
+        for u, v in hierarchy.edges():
+            assert a.relationship(u, v) == b.relationship(u, v)
+
+    def test_parameter_validation(self, hierarchy):
+        with pytest.raises(ValueError):
+            assign_relationships(hierarchy, peer_degree_ratio=0.5)
+        with pytest.raises(ValueError):
+            assign_relationships(hierarchy, top_clique_size=0)
+
+    def test_realistic_c2p_majority(self):
+        from repro.generators import GlpGenerator
+
+        g = GlpGenerator().generate(500, seed=1)
+        rels = assign_relationships(g)
+        c2p, p2p = rels.counts()
+        assert c2p > p2p  # most AS links are transit in the real internet
+        assert c2p + p2p == g.num_edges
+
+    def test_degree_tie_broken_by_node_order(self):
+        g = Graph()
+        g.add_edge(1, 2)
+        g.add_edge(1, 3)
+        g.add_edge(2, 4)
+        # nodes 1 and 2 both have degree 2 -> peer under ratio 1.5
+        rels = assign_relationships(g, peer_degree_ratio=1.0, top_clique_size=1)
+        rel = rels.relationship(1, 2)
+        assert rel in (
+            Relationship.CUSTOMER_TO_PROVIDER,
+            Relationship.PROVIDER_TO_CUSTOMER,
+            Relationship.PEER_TO_PEER,
+        )

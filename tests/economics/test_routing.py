@@ -1,0 +1,140 @@
+"""Tests for valley-free routing."""
+
+import pytest
+
+from repro.economics import (
+    CUSTOMER_ROUTE,
+    PEER_ROUTE,
+    PROVIDER_ROUTE,
+    RelationshipMap,
+    assign_relationships,
+    routing_table,
+    valley_free_path,
+)
+from repro.graph import Graph
+
+
+@pytest.fixture
+def small_hierarchy():
+    """top1 -peer- top2; mid buys from top1; leafA from mid; leafB from top2."""
+    g = Graph()
+    rels = RelationshipMap()
+    g.add_edge("top1", "top2")
+    rels.add_peering("top1", "top2")
+    g.add_edge("mid", "top1")
+    rels.add_customer_provider("mid", "top1")
+    g.add_edge("leafA", "mid")
+    rels.add_customer_provider("leafA", "mid")
+    g.add_edge("leafB", "top2")
+    rels.add_customer_provider("leafB", "top2")
+    return g, rels
+
+
+class TestRoutingTable:
+    def test_customer_route_preferred(self, small_hierarchy):
+        g, rels = small_hierarchy
+        table = routing_table(g, rels, "leafA")
+        # top1 reaches leafA through its customer chain.
+        assert table.kind["top1"] == CUSTOMER_ROUTE
+        assert table.next_hop["top1"] == "mid"
+
+    def test_peer_route_single_hop(self, small_hierarchy):
+        g, rels = small_hierarchy
+        table = routing_table(g, rels, "leafA")
+        # top2 learns leafA via its peer top1.
+        assert table.kind["top2"] == PEER_ROUTE
+        assert table.next_hop["top2"] == "top1"
+
+    def test_provider_route_descends(self, small_hierarchy):
+        g, rels = small_hierarchy
+        table = routing_table(g, rels, "leafA")
+        # leafB must go up to top2 (its provider).
+        assert table.kind["leafB"] == PROVIDER_ROUTE
+        assert table.next_hop["leafB"] == "top2"
+
+    def test_full_path_valley_free(self, small_hierarchy):
+        g, rels = small_hierarchy
+        path = valley_free_path(g, rels, "leafB", "leafA")
+        assert path == ["leafB", "top2", "top1", "mid", "leafA"]
+
+    def test_path_to_self(self, small_hierarchy):
+        g, rels = small_hierarchy
+        table = routing_table(g, rels, "leafA")
+        assert table.path_from("leafA") == ["leafA"]
+
+    def test_hops_consistent_with_paths(self, small_hierarchy):
+        g, rels = small_hierarchy
+        table = routing_table(g, rels, "leafA")
+        for node in ("top1", "top2", "mid", "leafB"):
+            path = table.path_from(node)
+            assert len(path) - 1 == table.hops[node]
+
+    def test_missing_destination_raises(self, small_hierarchy):
+        g, rels = small_hierarchy
+        with pytest.raises(KeyError):
+            routing_table(g, rels, "ghost")
+
+    def test_unroutable_returns_none(self):
+        # Two peer pairs with no transit between them: a-b, c-d.
+        g = Graph()
+        rels = RelationshipMap()
+        g.add_edge("a", "b")
+        rels.add_peering("a", "b")
+        g.add_edge("c", "d")
+        rels.add_peering("c", "d")
+        table = routing_table(g, rels, "a")
+        assert table.path_from("c") is None
+
+
+class TestValleyFreeProperty:
+    def _is_valley_free(self, path, rels):
+        # Encode each hop: 0=up(c2p), 1=peer, 2=down(p2c); must be sorted
+        # and contain at most one peer hop.
+        from repro.economics import Relationship
+
+        codes = []
+        for u, v in zip(path, path[1:]):
+            rel = rels.relationship(u, v)
+            if rel is Relationship.CUSTOMER_TO_PROVIDER:
+                codes.append(0)
+            elif rel is Relationship.PEER_TO_PEER:
+                codes.append(1)
+            else:
+                codes.append(2)
+        if codes.count(1) > 1:
+            return False
+        return codes == sorted(codes)
+
+    def test_all_routes_valley_free_on_model_topology(self):
+        from repro.generators import GlpGenerator
+        from repro.graph import giant_component
+
+        g = giant_component(GlpGenerator().generate(150, seed=2))
+        rels = assign_relationships(g)
+        nodes = sorted(g.nodes(), key=str)[:10]
+        for destination in nodes:
+            table = routing_table(g, rels, destination)
+            for source in nodes:
+                path = table.path_from(source)
+                if path is None or len(path) < 2:
+                    continue
+                assert self._is_valley_free(path, rels), (source, destination, path)
+
+    def test_no_loops_in_paths(self):
+        from repro.generators import PfpGenerator
+        from repro.graph import giant_component
+
+        g = giant_component(PfpGenerator().generate(150, seed=3))
+        rels = assign_relationships(g)
+        destination = next(iter(sorted(g.nodes(), key=str)))
+        table = routing_table(g, rels, destination)
+        for source in list(g.nodes())[:50]:
+            path = table.path_from(source)
+            if path:
+                assert len(path) == len(set(path))
+
+    def test_paths_no_longer_than_necessary(self, small_hierarchy):
+        g, rels = small_hierarchy
+        table = routing_table(g, rels, "leafA")
+        # mid is a direct provider chain: 1 hop.
+        assert table.hops["mid"] == 1

@@ -1,0 +1,119 @@
+"""Tests for gravity traffic and flow routing."""
+
+import pytest
+
+from repro.economics import (
+    Flow,
+    RelationshipMap,
+    TrafficMatrix,
+    assign_relationships,
+    gravity_flows,
+    route_flows,
+)
+from repro.graph import Graph
+
+
+@pytest.fixture
+def line_economy():
+    """stub1 - provider - stub2 with c2p edges up to the provider."""
+    g = Graph()
+    rels = RelationshipMap()
+    g.add_edge("s1", "prov")
+    rels.add_customer_provider("s1", "prov")
+    g.add_edge("s2", "prov")
+    rels.add_customer_provider("s2", "prov")
+    return g, rels
+
+
+class TestGravityFlows:
+    def test_count_and_volume(self):
+        matrix = gravity_flows({"a": 1, "b": 1, "c": 1}, num_flows=50, total_volume=500, seed=1)
+        assert len(matrix) == 50
+        assert matrix.total_volume == pytest.approx(500)
+
+    def test_no_self_flows(self):
+        matrix = gravity_flows({"a": 5, "b": 5}, num_flows=40, seed=2)
+        assert all(f.source != f.destination for f in matrix.flows)
+
+    def test_population_bias(self):
+        pops = {"big": 1000, "tiny": 1, "other": 1000}
+        matrix = gravity_flows(pops, num_flows=400, seed=3)
+        touching_tiny = sum(
+            1 for f in matrix.flows if "tiny" in (f.source, f.destination)
+        )
+        assert touching_tiny < 40
+
+    def test_zero_population_excluded(self):
+        matrix = gravity_flows({"a": 1, "b": 1, "z": 0}, num_flows=100, seed=4)
+        assert all("z" not in (f.source, f.destination) for f in matrix.flows)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            gravity_flows({"a": 1, "b": 1}, num_flows=0)
+        with pytest.raises(ValueError):
+            gravity_flows({"a": 1, "b": 1}, num_flows=5, total_volume=0)
+        with pytest.raises(ValueError):
+            gravity_flows({"a": 1}, num_flows=5)
+
+    def test_by_destination_groups(self):
+        matrix = TrafficMatrix(
+            flows=[Flow("a", "b", 1.0), Flow("c", "b", 1.0), Flow("a", "c", 2.0)]
+        )
+        groups = matrix.by_destination()
+        assert len(groups["b"]) == 2
+        assert len(groups["c"]) == 1
+
+    def test_reproducible(self):
+        a = gravity_flows({"a": 3, "b": 2, "c": 1}, num_flows=30, seed=7)
+        b = gravity_flows({"a": 3, "b": 2, "c": 1}, num_flows=30, seed=7)
+        assert a.flows == b.flows
+
+
+class TestRouteFlows:
+    def test_transit_counted_at_middle(self, line_economy):
+        g, rels = line_economy
+        matrix = TrafficMatrix(flows=[Flow("s1", "s2", 10.0)])
+        report = route_flows(g, rels, matrix)
+        assert report.transit["prov"] == 10.0
+        assert report.transit["s1"] == 0.0
+        assert report.originated["s1"] == 10.0
+        assert report.terminated["s2"] == 10.0
+
+    def test_edge_volumes(self, line_economy):
+        g, rels = line_economy
+        matrix = TrafficMatrix(flows=[Flow("s1", "s2", 10.0), Flow("s2", "s1", 5.0)])
+        report = route_flows(g, rels, matrix)
+        assert report.volume_on_edge("s1", "prov") == 15.0
+        assert report.volume_on_edge("prov", "s2") == 15.0
+
+    def test_carried_includes_endpoints(self, line_economy):
+        g, rels = line_economy
+        matrix = TrafficMatrix(flows=[Flow("s1", "s2", 10.0)])
+        report = route_flows(g, rels, matrix)
+        assert report.carried["s1"] == 10.0
+        assert report.carried["prov"] == 10.0
+
+    def test_unroutable_accumulates(self):
+        g = Graph()
+        rels = RelationshipMap()
+        g.add_edge("a", "b")
+        rels.add_peering("a", "b")
+        g.add_edge("c", "d")
+        rels.add_peering("c", "d")
+        matrix = TrafficMatrix(flows=[Flow("a", "c", 7.0)])
+        report = route_flows(g, rels, matrix)
+        assert report.unroutable == 7.0
+        assert report.volume_on_edge("a", "b") == 0.0
+
+    def test_volume_conservation_on_model(self):
+        from repro.generators import GlpGenerator
+        from repro.graph import giant_component
+
+        g = giant_component(GlpGenerator().generate(120, seed=5))
+        rels = assign_relationships(g)
+        pops = {n: 1 for n in g.nodes()}
+        matrix = gravity_flows(pops, num_flows=200, total_volume=2000, seed=6)
+        report = route_flows(g, rels, matrix)
+        routed = sum(report.originated.values())
+        assert routed + report.unroutable == pytest.approx(2000)
+        assert sum(report.terminated.values()) == pytest.approx(routed)

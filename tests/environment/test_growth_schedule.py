@@ -1,0 +1,71 @@
+"""Tests for exponential schedules and growth series."""
+
+import math
+
+import pytest
+
+from repro.environment import ExponentialSchedule, GrowthSeries
+
+
+class TestExponentialSchedule:
+    def test_increments_track_curve(self):
+        sched = ExponentialSchedule(x0=100, rate=0.05)
+        total = sched.x0
+        for t in range(1, 100):
+            total += sched.increment(t)
+            assert abs(total - sched.target(t)) < 1.0  # carry keeps error < 1
+
+    def test_negative_rate_shrinks(self):
+        sched = ExponentialSchedule(x0=1000, rate=-0.1)
+        increments = [sched.increment(t) for t in range(1, 20)]
+        assert all(i <= 0 for i in increments)
+
+    def test_out_of_order_rejected(self):
+        sched = ExponentialSchedule(x0=10, rate=0.1)
+        sched.increment(1)
+        with pytest.raises(ValueError):
+            sched.increment(3)
+
+    def test_reset(self):
+        sched = ExponentialSchedule(x0=10, rate=0.3)
+        first = sched.increment(1)
+        sched.reset()
+        assert sched.increment(1) == first
+
+    def test_invalid_x0_rejected(self):
+        with pytest.raises(ValueError):
+            ExponentialSchedule(x0=0, rate=0.1)
+
+    def test_zero_rate_constant(self):
+        sched = ExponentialSchedule(x0=50, rate=0.0)
+        assert all(sched.increment(t) == 0 for t in range(1, 10))
+
+    def test_target(self):
+        sched = ExponentialSchedule(x0=2, rate=1.0)
+        assert sched.target(1) == pytest.approx(2 * math.e)
+
+
+class TestGrowthSeries:
+    def test_record_and_iterate(self):
+        series = GrowthSeries(name="hosts")
+        series.record(0, 10)
+        series.record(1, 20)
+        assert len(series) == 2
+        assert list(series) == [(0.0, 10.0), (1.0, 20.0)]
+
+    def test_times_must_increase(self):
+        series = GrowthSeries(name="x")
+        series.record(5, 1)
+        with pytest.raises(ValueError):
+            series.record(5, 2)
+        with pytest.raises(ValueError):
+            series.record(4, 2)
+
+    def test_feeds_exponential_fitter(self):
+        from repro.stats import fit_exponential_growth
+
+        series = GrowthSeries(name="w")
+        for t in range(30):
+            series.record(t, 100 * math.exp(0.04 * t))
+        fit = fit_exponential_growth(series.times, series.values)
+        assert fit.rate == pytest.approx(0.04, abs=1e-9)

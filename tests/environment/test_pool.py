@@ -1,0 +1,145 @@
+"""Tests for the user pool."""
+
+import pytest
+
+from repro.environment import UserPool
+
+
+class TestStructure:
+    def test_add_and_query(self):
+        pool = UserPool()
+        pool.add_node("a", users=10)
+        assert pool.users("a") == 10
+        assert "a" in pool
+        assert len(pool) == 1
+        assert pool.total_users == 10
+
+    def test_duplicate_node_rejected(self):
+        pool = UserPool()
+        pool.add_node("a")
+        with pytest.raises(ValueError):
+            pool.add_node("a")
+
+    def test_negative_users_rejected(self):
+        with pytest.raises(ValueError):
+            UserPool().add_node("a", users=-1)
+
+    def test_negative_floor_rejected(self):
+        with pytest.raises(ValueError):
+            UserPool(floor=-1)
+
+    def test_sizes_mapping(self):
+        pool = UserPool()
+        pool.add_node("a", 5)
+        pool.add_node("b", 7)
+        assert pool.sizes() == {"a": 5, "b": 7}
+
+
+class TestAssignment:
+    def test_conserves_total(self):
+        pool = UserPool(seed=1)
+        pool.add_node("a", 10)
+        pool.add_node("b", 10)
+        pool.assign_users(100)
+        assert pool.total_users == 120
+
+    def test_preferential_bias(self):
+        pool = UserPool(seed=2)
+        pool.add_node("big", 900)
+        pool.add_node("small", 100)
+        gains = pool.assign_users(2000)
+        assert gains.get("big", 0) > 3 * gains.get("small", 0)
+
+    def test_bootstrap_from_zero_users(self):
+        pool = UserPool(seed=3)
+        pool.add_node("a", 0)
+        pool.add_node("b", 0)
+        gains = pool.assign_users(10)
+        assert sum(gains.values()) == 10
+
+    def test_empty_pool_rejected(self):
+        with pytest.raises(ValueError):
+            UserPool().assign_users(1)
+
+    def test_negative_count_rejected(self):
+        pool = UserPool()
+        pool.add_node("a", 1)
+        with pytest.raises(ValueError):
+            pool.assign_users(-1)
+
+    def test_zero_count_noop(self):
+        pool = UserPool(seed=4)
+        pool.add_node("a", 5)
+        assert pool.assign_users(0) == {}
+
+
+class TestWithdrawal:
+    def test_respects_floor(self):
+        pool = UserPool(floor=3, seed=5)
+        pool.add_node("a", 4)
+        pool.add_node("b", 100)
+        pool.withdraw_users(50)
+        assert pool.users("a") >= 3
+        assert pool.users("b") >= 3
+
+    def test_conserves_total(self):
+        pool = UserPool(seed=6)
+        pool.add_node("a", 50)
+        pool.add_node("b", 50)
+        losses = pool.withdraw_users(20)
+        assert sum(losses.values()) == 20
+        assert pool.total_users == 80
+
+    def test_over_withdrawal_rejected(self):
+        pool = UserPool(floor=1, seed=7)
+        pool.add_node("a", 3)
+        with pytest.raises(ValueError):
+            pool.withdraw_users(5)
+
+    def test_spawn_node_conserves_users(self):
+        pool = UserPool(seed=8)
+        pool.add_node("a", 100)
+        pool.spawn_node("new", initial_users=10)
+        assert pool.users("new") == 10
+        assert pool.users("a") == 90
+        assert pool.total_users == 100
+
+
+class TestRelocation:
+    def test_conserves_total(self):
+        pool = UserPool(seed=9)
+        pool.add_node("a", 100)
+        pool.add_node("b", 100)
+        moved = pool.relocate_users(30)
+        assert moved == 30
+        assert pool.total_users == 200
+
+    def test_respects_floor(self):
+        pool = UserPool(floor=2, seed=10)
+        pool.add_node("a", 2)
+        pool.add_node("b", 50)
+        pool.relocate_users(20)
+        assert pool.users("a") >= 2
+
+    def test_exhausted_donors_partial(self):
+        pool = UserPool(floor=1, seed=11)
+        pool.add_node("a", 2)
+        pool.add_node("b", 1)
+        moved = pool.relocate_users(10)
+        assert moved <= 10
+        assert pool.total_users == 3
+
+    def test_negative_rejected(self):
+        pool = UserPool()
+        pool.add_node("a", 5)
+        with pytest.raises(ValueError):
+            pool.relocate_users(-2)
+
+    def test_preferential_destination(self):
+        pool = UserPool(seed=12)
+        pool.add_node("big", 1000)
+        pool.add_node("small", 10)
+        pool.add_node("donor", 500)
+        pool.relocate_users(300)
+        # big should attract far more than small (it is 100x larger).
+        assert pool.users("big") > 1000

@@ -1,0 +1,61 @@
+"""Tests for ExperimentResult plumbing."""
+
+from repro.experiments import ExperimentResult
+
+
+class TestExperimentResult:
+    def test_add_table_and_render(self):
+        result = ExperimentResult(experiment_id="TX", title="demo")
+        result.add_table("numbers", ["a", "b"], [[1, 2.5]])
+        text = result.render()
+        assert "== TX: demo ==" in text
+        assert "[table] numbers" in text
+        assert "2.5" in text
+
+    def test_add_series_and_render(self):
+        result = ExperimentResult(experiment_id="FX", title="demo")
+        result.add_series("curve", [(1.0, 0.5), (2.0, 0.25)])
+        text = result.render()
+        assert "[series] curve" in text
+        assert "0.25" in text
+
+    def test_series_downsampled_in_render(self):
+        result = ExperimentResult(experiment_id="FX", title="demo")
+        result.add_series("long", [(float(i), float(i)) for i in range(500)])
+        text = result.render(max_series_points=10)
+        lines = [l for l in text.splitlines() if l and l[0].isdigit()]
+        assert len(lines) <= 60
+
+    def test_notes_rendered(self):
+        result = ExperimentResult(experiment_id="TX", title="demo")
+        result.notes["gamma"] = 2.2
+        assert "gamma" in result.render()
+
+    def test_str_is_render(self):
+        result = ExperimentResult(experiment_id="TX", title="demo")
+        assert str(result) == result.render()
+
+
+class TestRosters:
+    def test_standard_roster_matches_order(self):
+        from repro.experiments import ROSTER_ORDER, standard_roster
+
+        roster = standard_roster(500)
+        assert set(roster) == set(ROSTER_ORDER)
+
+    def test_heavy_tail_subset(self):
+        from repro.experiments import heavy_tail_roster, standard_roster
+
+        heavy = heavy_tail_roster(500)
+        full = standard_roster(500)
+        assert set(heavy) <= set(full)
+        assert "erdos-renyi" not in heavy
+        assert "serrano" in heavy
+
+    def test_roster_generators_work_small(self):
+        from repro.experiments import standard_roster
+
+        roster = standard_roster(120)
+        for name, gen in roster.items():
+            g = gen.generate(120, seed=3)
+            assert g.num_nodes > 80, name

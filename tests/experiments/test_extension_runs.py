@@ -1,0 +1,137 @@
+"""Smoke tests for the extension experiments (A1–A7) at miniature scale."""
+
+import math
+
+import pytest
+
+from repro.experiments import (
+    run_a1,
+    run_a2,
+    run_a3,
+    run_a4,
+    run_a5,
+    run_a6,
+    run_a7,
+    run_a8,
+    run_a9,
+)
+
+
+class TestA1:
+    def test_consolidation_trajectory(self):
+        result = run_a1(n=300, rounds=3, num_flows=300)
+        assert result.experiment_id == "A1"
+        headers, rows = result.tables["consolidation trajectory"]
+        assert len(rows) == 3
+        assert "provider_shrink_ratio" in result.notes
+        assert 0 < result.notes["as_survival_ratio"] <= 1
+
+
+class TestA2:
+    def test_r_sweep_rows(self):
+        result = run_a2(n=300, rs=(0.0, 0.8))
+        headers, rows = result.tables["r sweep"]
+        assert [row[0] for row in rows] == [0.0, 0.8]
+        assert result.notes["degree_tuning_ratio"] > 0
+
+
+class TestA3:
+    def test_sweeps_and_summary(self):
+        result = run_a3(n=250, steps=5, models=["erdos-renyi"])
+        headers, rows = result.tables["tolerance summary"]
+        assert len(rows) == 2  # reference + ER
+        # random + targeted series per entry
+        assert len(result.series) == 4
+
+
+class TestA4:
+    def test_onset_ordering_notes(self):
+        result = run_a4(n=300, betas=(0.02, 0.1, 0.4), steps=40, runs=1)
+        assert "reference_onset_beta" in result.notes
+        assert "er_onset_beta" in result.notes
+        headers, rows = result.tables["thresholds"]
+        for row in rows:
+            assert row[1] > 0  # lambda1 positive
+
+
+class TestA5:
+    def test_inflation_rows(self):
+        result = run_a5(n=300, num_destinations=6, models=["glp"])
+        headers, rows = result.tables["inflation summary"]
+        assert len(rows) == 2
+        for row in rows:
+            assert row[2] >= row[1] - 1e-9  # policy >= shortest
+
+
+class TestA6:
+    def test_nulls_table(self):
+        result = run_a6(n=400, swaps_per_edge=3)
+        headers, rows = result.tables["metric survival under dK nulls"]
+        metrics = [row[0] for row in rows]
+        assert "assortativity" in metrics
+        # 2K matches template assortativity tightly even at small n.
+        assert abs(
+            result.notes["assortativity_2k"] - result.notes["assortativity_template"]
+        ) < 0.05
+
+
+class TestA7:
+    def test_scaling_rows(self):
+        result = run_a7(sizes=(150, 300), destinations_per_size=2)
+        headers, rows = result.tables["convergence scaling"]
+        assert len(rows) == 2
+        assert result.notes["rounds_smallest"] >= 1
+        assert result.notes["message_scaling_exponent"] > 0
+
+
+class TestA8:
+    def test_kernels_measured(self):
+        from repro.generators import BarabasiAlbertGenerator
+
+        result = run_a8(
+            n1=300, n2=600,
+            subjects={"barabasi-albert": BarabasiAlbertGenerator(m=2)},
+        )
+        headers, rows = result.tables["measured kernels"]
+        assert len(rows) == 1
+        assert result.notes["kernel_barabasi-albert"] == pytest.approx(1.0, abs=0.35)
+
+
+class TestA9:
+    def test_adequacy_summary(self):
+        result = run_a9(n=300, num_flows=400)
+        assert -1.0 <= result.notes["node_rank_correlation"] <= 1.0
+        assert 0.0 <= result.notes["fat_link_volume_share"] <= 1.0
+        headers, rows = result.tables["adequacy summary"]
+        assert len(rows) == 6
+
+
+class TestA10:
+    def test_bias_table(self):
+        from repro.experiments import run_a10
+
+        result = run_a10(n=400, mean_degree=12.0, monitor_counts=(1, 8))
+        headers, rows = result.tables["sampled vs true degree statistics"]
+        assert len(rows) == 3  # truth + two monitor counts
+        assert "few_monitor_gamma" in result.notes
+        assert result.notes["few_monitor_gini"] > 0
+
+
+class TestA11:
+    def test_modularity_table(self):
+        from repro.experiments import run_a11
+
+        result = run_a11(n=300, models=["transit-stub", "barabasi-albert"])
+        headers, rows = result.tables["modularity by model"]
+        assert len(rows) == 3  # reference + 2 models
+        assert result.notes["q_transit_stub"] > result.notes["q_barabasi_albert"]
+
+
+class TestA12:
+    def test_capture_monotone(self):
+        from repro.experiments import run_a12
+
+        result = run_a12(n=400, victims_per_class=2)
+        assert result.notes["tier1_capture"] >= result.notes["stub_capture"]
+        headers, rows = result.tables["capture by attacker class"]
+        assert len(rows) == 3

@@ -1,0 +1,42 @@
+"""Tests for the generator framework."""
+
+import pytest
+
+from repro.generators import BarabasiAlbertGenerator, GenerationError, TopologyGenerator
+from repro.generators.base import _validate_size
+
+
+class TestParams:
+    def test_params_reports_public_attrs(self):
+        gen = BarabasiAlbertGenerator(m=3)
+        assert gen.params() == {"m": 3}
+
+    def test_private_attrs_hidden(self):
+        from repro.generators import WaxmanGenerator
+
+        gen = WaxmanGenerator()
+        assert all(not key.startswith("_") for key in gen.params())
+
+    def test_describe_contains_name_and_params(self):
+        gen = BarabasiAlbertGenerator(m=2)
+        text = gen.describe()
+        assert "barabasi-albert" in text
+        assert "m=2" in text
+
+    def test_repr(self):
+        assert "barabasi-albert" in repr(BarabasiAlbertGenerator())
+
+
+class TestValidateSize:
+    def test_accepts_minimum(self):
+        _validate_size(3, minimum=3)
+
+    def test_rejects_below_minimum(self):
+        with pytest.raises(GenerationError):
+            _validate_size(2, minimum=3)
+
+
+class TestAbstract:
+    def test_cannot_instantiate_base(self):
+        with pytest.raises(TypeError):
+            TopologyGenerator()

@@ -1,0 +1,72 @@
+"""Contract tests every registered generator must satisfy."""
+
+import pytest
+
+from repro.core.registry import available_models, make_generator
+from repro.graph import giant_component
+
+# Per-model kwargs that keep n=200 runs valid and fast.
+MODEL_PARAMS = {
+    "erdos-renyi-gnp": {"p": 0.02},
+    "erdos-renyi-gnm": {"m": 400},
+    "waxman": {"beta": 0.3},
+    "barabasi-albert": {"m": 2},
+    "albert-barabasi": {"m": 2},
+    "glp": {},
+    "plrg": {},
+    "inet": {},
+    "pfp": {},
+    "hot": {"extra_links": 1},
+    "transit-stub": {"transit_domains": 2, "transit_size": 4, "stubs_per_transit": 3},
+    "serrano": {"omega0": 20},
+    "watts-strogatz": {"k": 4, "p": 0.1},
+    "bianconi-barabasi": {"m": 2},
+    "brite": {"m": 2},
+}
+
+
+@pytest.fixture(params=sorted(MODEL_PARAMS))
+def model_name(request):
+    return request.param
+
+
+def build(model_name, n=200, seed=11):
+    return make_generator(model_name, **MODEL_PARAMS[model_name]).generate(n, seed=seed)
+
+
+class TestGeneratorContract:
+    def test_all_models_covered(self):
+        assert set(MODEL_PARAMS) == set(available_models())
+
+    def test_size_close_to_requested(self, model_name):
+        g = build(model_name)
+        assert abs(g.num_nodes - 200) <= 10
+
+    def test_no_self_loops_possible(self, model_name):
+        g = build(model_name)
+        for u, v in g.edges():
+            assert u != v
+
+    def test_seed_reproducibility(self, model_name):
+        a = build(model_name, seed=42)
+        b = build(model_name, seed=42)
+        assert set(a.nodes()) == set(b.nodes())
+        assert {frozenset(e) for e in a.edges()} == {frozenset(e) for e in b.edges()}
+
+    def test_different_seeds_differ(self, model_name):
+        a = build(model_name, seed=1)
+        b = build(model_name, seed=2)
+        edges_a = {frozenset(e) for e in a.edges()}
+        edges_b = {frozenset(e) for e in b.edges()}
+        assert edges_a != edges_b
+
+    def test_positive_edges(self, model_name):
+        assert build(model_name).num_edges > 0
+
+    def test_giant_component_dominant(self, model_name):
+        g = build(model_name)
+        assert giant_component(g).num_nodes >= 0.6 * g.num_nodes
+
+    def test_weights_positive(self, model_name):
+        g = build(model_name)
+        assert all(w > 0 for _, _, w in g.weighted_edges())

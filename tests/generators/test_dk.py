@@ -1,0 +1,97 @@
+"""Tests for dK-series generation."""
+
+import pytest
+
+from repro.generators import (
+    BarabasiAlbertGenerator,
+    Dk2Generator,
+    GlpGenerator,
+    dk2_rewired,
+    joint_degree_matrix,
+    rewired_reference,
+)
+from repro.graph import average_clustering, degree_assortativity
+
+
+@pytest.fixture(scope="module")
+def template():
+    return GlpGenerator().generate(300, seed=1)
+
+
+class TestJointDegreeMatrix:
+    def test_triangle(self, triangle):
+        assert joint_degree_matrix(triangle) == {(2, 2): 3}
+
+    def test_star(self, star):
+        assert joint_degree_matrix(star) == {(1, 5): 5}
+
+    def test_total_equals_edge_count(self, template):
+        jdm = joint_degree_matrix(template)
+        assert sum(jdm.values()) == template.num_edges
+
+    def test_keys_ordered(self, template):
+        assert all(j <= k for j, k in joint_degree_matrix(template))
+
+
+class TestDk2Rewired:
+    def test_degrees_preserved(self, template):
+        null = dk2_rewired(template, swaps_per_edge=5, seed=2)
+        assert null.degrees() == template.degrees()
+
+    def test_jdm_preserved_exactly(self, template):
+        null = dk2_rewired(template, swaps_per_edge=5, seed=3)
+        assert joint_degree_matrix(null) == joint_degree_matrix(template)
+
+    def test_wiring_changes(self, template):
+        null = dk2_rewired(template, swaps_per_edge=5, seed=4)
+        ours = {frozenset(e) for e in template.edges()}
+        theirs = {frozenset(e) for e in null.edges()}
+        assert ours != theirs
+
+    def test_assortativity_preserved(self, template):
+        # r is a function of the JDM, so 2K rewiring must preserve it.
+        null = dk2_rewired(template, swaps_per_edge=5, seed=5)
+        assert degree_assortativity(null) == pytest.approx(
+            degree_assortativity(template), abs=1e-9
+        )
+
+    def test_1k_null_does_not_preserve_jdm(self, template):
+        # Contrast: plain Maslov-Sneppen (1K) changes the JDM.
+        null = rewired_reference(template, swaps_per_edge=5, seed=6)
+        assert joint_degree_matrix(null) != joint_degree_matrix(template)
+
+    def test_higher_order_randomized(self):
+        # Clustering (a 3K property) should change under 2K rewiring on a
+        # clustered template.
+        template = GlpGenerator().generate(600, seed=7)
+        null = dk2_rewired(template, swaps_per_edge=10, seed=8)
+        assert average_clustering(null) != pytest.approx(
+            average_clustering(template), abs=1e-6
+        )
+
+    def test_zero_swaps_is_copy(self, template):
+        null = dk2_rewired(template, swaps_per_edge=0, seed=9)
+        assert {frozenset(e) for e in null.edges()} == {
+            frozenset(e) for e in template.edges()
+        }
+
+    def test_negative_rejected(self, template):
+        with pytest.raises(ValueError):
+            dk2_rewired(template, swaps_per_edge=-1)
+
+
+class TestDk2Generator:
+    def test_generate(self, template):
+        gen = Dk2Generator(template, swaps_per_edge=3)
+        null = gen.generate(template.num_nodes, seed=10)
+        assert joint_degree_matrix(null) == joint_degree_matrix(template)
+
+    def test_size_mismatch_rejected(self, template):
+        with pytest.raises(ValueError):
+            Dk2Generator(template).generate(10, seed=1)
+
+    def test_seeds_give_different_nulls(self, template):
+        gen = Dk2Generator(template, swaps_per_edge=3)
+        a = gen.generate(template.num_nodes, seed=11)
+        b = gen.generate(template.num_nodes, seed=12)
+        assert {frozenset(e) for e in a.edges()} != {frozenset(e) for e in b.edges()}

@@ -1,0 +1,59 @@
+"""Tests for Erdős–Rényi baselines."""
+
+import pytest
+
+from repro.generators import ErdosRenyiGnm, ErdosRenyiGnp, GenerationError
+from repro.graph import average_clustering
+
+
+class TestGnp:
+    def test_expected_edge_count(self):
+        n, p = 400, 0.02
+        g = ErdosRenyiGnp(p=p).generate(n, seed=1)
+        expected = p * n * (n - 1) / 2
+        assert g.num_edges == pytest.approx(expected, rel=0.15)
+
+    def test_p_zero_empty(self):
+        g = ErdosRenyiGnp(p=0.0).generate(50, seed=2)
+        assert g.num_edges == 0
+        assert g.num_nodes == 50
+
+    def test_p_one_complete(self):
+        g = ErdosRenyiGnp(p=1.0).generate(20, seed=3)
+        assert g.num_edges == 190
+
+    def test_invalid_p_rejected(self):
+        with pytest.raises(ValueError):
+            ErdosRenyiGnp(p=1.5)
+        with pytest.raises(ValueError):
+            ErdosRenyiGnp(p=-0.1)
+
+    def test_poisson_like_degrees(self):
+        # Max degree should stay near the mean, unlike heavy-tail models.
+        g = ErdosRenyiGnp(p=0.01).generate(600, seed=4)
+        assert g.max_degree < 6 * max(g.average_degree, 1)
+
+    def test_low_clustering(self):
+        g = ErdosRenyiGnp(p=0.01).generate(600, seed=5)
+        assert average_clustering(g) < 0.05
+
+
+class TestGnm:
+    def test_exact_edge_count(self):
+        g = ErdosRenyiGnm(m=777).generate(300, seed=6)
+        assert g.num_edges == 777
+
+    def test_zero_edges(self):
+        assert ErdosRenyiGnm(m=0).generate(10, seed=7).num_edges == 0
+
+    def test_too_many_edges_rejected(self):
+        with pytest.raises(GenerationError):
+            ErdosRenyiGnm(m=100).generate(5, seed=8)
+
+    def test_negative_m_rejected(self):
+        with pytest.raises(ValueError):
+            ErdosRenyiGnm(m=-1)
+
+    def test_all_edges_distinct(self):
+        g = ErdosRenyiGnm(m=190).generate(20, seed=9)
+        assert g.num_edges == 190  # complete graph reached by rejection

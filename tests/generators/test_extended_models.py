@@ -1,0 +1,135 @@
+"""Tests for the extension generators (WS, fitness, BRITE)."""
+
+import pytest
+
+from repro.generators import (
+    BarabasiAlbertGenerator,
+    BianconiBarabasiGenerator,
+    BriteGenerator,
+    WattsStrogatzGenerator,
+)
+from repro.graph import (
+    average_clustering,
+    average_path_length,
+    degree_assortativity,
+    giant_component,
+    is_connected,
+)
+from repro.stats import fit_powerlaw_auto_xmin
+
+
+class TestWattsStrogatz:
+    def test_size_and_edges_conserved(self):
+        g = WattsStrogatzGenerator(k=4, p=0.1).generate(200, seed=1)
+        assert g.num_nodes == 200
+        assert g.num_edges == 400  # rewiring never changes the count
+
+    def test_p_zero_is_lattice(self):
+        g = WattsStrogatzGenerator(k=4, p=0.0).generate(100, seed=2)
+        assert all(d == 4 for d in g.degrees().values())
+        # Ring lattice of k=4 has clustering 1/2.
+        assert average_clustering(g) == pytest.approx(0.5)
+
+    def test_small_p_small_world(self):
+        lattice = WattsStrogatzGenerator(k=4, p=0.0).generate(300, seed=3)
+        rewired = WattsStrogatzGenerator(k=4, p=0.1).generate(300, seed=3)
+        assert average_path_length(giant_component(rewired)) < average_path_length(
+            lattice
+        )
+        assert average_clustering(rewired) > 0.2  # clustering largely survives
+
+    def test_p_one_destroys_clustering(self):
+        g = WattsStrogatzGenerator(k=4, p=1.0).generate(400, seed=4)
+        assert average_clustering(g) < 0.1
+
+    def test_no_heavy_tail(self):
+        g = WattsStrogatzGenerator(k=4, p=0.3).generate(600, seed=5)
+        assert g.max_degree < 15
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WattsStrogatzGenerator(k=3)  # odd
+        with pytest.raises(ValueError):
+            WattsStrogatzGenerator(k=0)
+        with pytest.raises(ValueError):
+            WattsStrogatzGenerator(p=1.5)
+
+
+class TestBianconiBarabasi:
+    def test_size(self):
+        assert BianconiBarabasiGenerator(m=2).generate(300, seed=1).num_nodes == 300
+
+    def test_connected(self):
+        assert is_connected(BianconiBarabasiGenerator(m=1).generate(200, seed=2))
+
+    def test_heavy_tail(self):
+        g = BianconiBarabasiGenerator(m=2).generate(3000, seed=3)
+        fit = fit_powerlaw_auto_xmin(list(g.degrees().values()), min_tail=100)
+        assert 1.9 < fit.gamma < 3.2
+
+    def test_constant_fitness_reduces_to_ba_statistics(self):
+        # With a delta-distributed fitness the attachment kernel is plain
+        # degree preference; hub sizes should match BA within noise.
+        bb = BianconiBarabasiGenerator(m=2, fitness=lambda rng: 1.0)
+        ba = BarabasiAlbertGenerator(m=2)
+        bb_max = sum(bb.generate(800, seed=s).max_degree for s in range(5)) / 5
+        ba_max = sum(ba.generate(800, seed=s).max_degree for s in range(5)) / 5
+        assert bb_max == pytest.approx(ba_max, rel=0.4)
+
+    def test_fit_young_nodes_can_win(self):
+        # With extreme fitness spread, the top node is often NOT among the
+        # very first arrivals (impossible in plain BA at this size).
+        import random
+
+        wins = 0
+        for seed in range(8):
+            gen = BianconiBarabasiGenerator(
+                m=2, fitness=lambda rng: 0.01 + rng.random() ** 6
+            )
+            g = gen.generate(400, seed=seed)
+            top = max(g.nodes(), key=g.degree)
+            if top >= 10:
+                wins += 1
+        assert wins >= 2
+
+    def test_nonpositive_fitness_rejected(self):
+        gen = BianconiBarabasiGenerator(m=1, fitness=lambda rng: 0.0)
+        with pytest.raises(ValueError):
+            gen.generate(50, seed=1)
+
+    def test_invalid_m(self):
+        with pytest.raises(ValueError):
+            BianconiBarabasiGenerator(m=0)
+
+
+class TestBrite:
+    def test_size_and_edges(self):
+        g = BriteGenerator(m=2).generate(300, seed=1)
+        assert g.num_nodes == 300
+        assert g.num_edges == 3 + (300 - 3) * 2
+
+    def test_connected(self):
+        assert is_connected(BriteGenerator(m=1).generate(200, seed=2))
+
+    def test_geometry_off_is_ba_like(self):
+        g = BriteGenerator(m=2, geometry=False).generate(2500, seed=3)
+        fit = fit_powerlaw_auto_xmin(list(g.degrees().values()), min_tail=100)
+        assert fit.gamma == pytest.approx(3.0, abs=0.6)
+
+    def test_geometry_localizes_links(self):
+        # Strong distance penalty caps hub growth relative to pure BA.
+        local = BriteGenerator(m=2, alpha=0.02).generate(800, seed=4)
+        free = BriteGenerator(m=2, geometry=False).generate(800, seed=4)
+        assert local.max_degree < free.max_degree
+
+    def test_fractal_placement_runs(self):
+        g = BriteGenerator(m=2, fractal_dimension=1.5).generate(200, seed=5)
+        assert g.num_nodes == 200
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BriteGenerator(m=0)
+        with pytest.raises(ValueError):
+            BriteGenerator(alpha=0.0)
+        with pytest.raises(ValueError):
+            BriteGenerator(fractal_dimension=2.5)

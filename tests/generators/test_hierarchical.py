@@ -1,0 +1,83 @@
+"""Tests for the two-level router expansion."""
+
+import pytest
+
+from repro.generators import (
+    BarabasiAlbertGenerator,
+    SerranoGenerator,
+    TwoLevelGenerator,
+)
+from repro.graph import giant_component, is_connected
+
+
+@pytest.fixture(scope="module")
+def expanded():
+    gen = TwoLevelGenerator(BarabasiAlbertGenerator(m=2))
+    return gen.generate(100, seed=7)
+
+
+class TestTwoLevel:
+    def test_router_ids_carry_as_ownership(self, expanded):
+        for router in expanded.nodes():
+            as_id, index = router
+            assert isinstance(index, int)
+
+    def test_more_routers_than_ases(self, expanded):
+        as_ids = {as_id for as_id, _ in expanded.nodes()}
+        assert len(as_ids) == 100
+        assert expanded.num_nodes > 300  # base_routers=3 per AS minimum
+
+    def test_connected(self, expanded):
+        assert is_connected(expanded)
+
+    def test_pocket_sizes_scale_with_degree(self):
+        gen = TwoLevelGenerator(
+            BarabasiAlbertGenerator(m=2), routers_per_degree=1.0
+        )
+        router_graph = gen.generate(150, seed=8)
+        as_graph = BarabasiAlbertGenerator(m=2).generate(150, seed=None)
+        pocket_counts = {}
+        for as_id, _ in router_graph.nodes():
+            pocket_counts[as_id] = pocket_counts.get(as_id, 0) + 1
+        # Hubs must own the biggest pockets (within the cap).
+        biggest_pocket_as = max(pocket_counts, key=pocket_counts.get)
+        assert pocket_counts[biggest_pocket_as] > 3
+
+    def test_max_routers_cap(self):
+        gen = TwoLevelGenerator(
+            BarabasiAlbertGenerator(m=2), routers_per_degree=10.0, max_routers=8
+        )
+        router_graph = gen.generate(80, seed=9)
+        pocket_counts = {}
+        for as_id, _ in router_graph.nodes():
+            pocket_counts[as_id] = pocket_counts.get(as_id, 0) + 1
+        assert max(pocket_counts.values()) <= 8
+
+    def test_bandwidth_becomes_parallel_links(self):
+        # Weighted AS edges expand into >= weight inter-pocket links in
+        # aggregate (parallel picks may collapse onto the same router pair,
+        # reinforcing weight instead).
+        gen = TwoLevelGenerator(SerranoGenerator(omega0=20))
+        router_graph = gen.generate(60, seed=10)
+        inter_pocket_weight = sum(
+            w for u, v, w in router_graph.weighted_edges() if u[0] != v[0]
+        )
+        as_graph = SerranoGenerator(omega0=20).generate(60, seed=None)
+        assert inter_pocket_weight > 0
+
+    def test_reproducible(self):
+        gen = TwoLevelGenerator(BarabasiAlbertGenerator(m=1))
+        a = gen.generate(50, seed=11)
+        b = gen.generate(50, seed=11)
+        assert {frozenset(e) for e in a.edges()} == {frozenset(e) for e in b.edges()}
+
+    def test_validation(self):
+        ba = BarabasiAlbertGenerator(m=1)
+        with pytest.raises(ValueError):
+            TwoLevelGenerator(ba, base_routers=0)
+        with pytest.raises(ValueError):
+            TwoLevelGenerator(ba, routers_per_degree=-1)
+        with pytest.raises(ValueError):
+            TwoLevelGenerator(ba, max_routers=1, base_routers=5)
+        with pytest.raises(ValueError):
+            TwoLevelGenerator(ba, chord_fraction=-0.1)

@@ -1,0 +1,77 @@
+"""Tests for degree-preserving rewiring."""
+
+import pytest
+
+from repro.generators import (
+    BarabasiAlbertGenerator,
+    RandomReferenceGenerator,
+    rewired_reference,
+)
+from repro.graph import average_clustering
+
+
+class TestRewiredReference:
+    def test_degree_sequence_preserved(self, medium_random):
+        null = rewired_reference(medium_random, swaps_per_edge=5, seed=1)
+        assert null.degrees() == medium_random.degrees()
+
+    def test_edge_count_preserved(self, medium_random):
+        null = rewired_reference(medium_random, swaps_per_edge=5, seed=2)
+        assert null.num_edges == medium_random.num_edges
+
+    def test_wiring_actually_changes(self, medium_random):
+        null = rewired_reference(medium_random, swaps_per_edge=5, seed=3)
+        ours = {frozenset(e) for e in medium_random.edges()}
+        theirs = {frozenset(e) for e in null.edges()}
+        assert ours != theirs
+
+    def test_zero_swaps_is_copy(self, medium_random):
+        null = rewired_reference(medium_random, swaps_per_edge=0, seed=4)
+        ours = {frozenset(e) for e in medium_random.edges()}
+        theirs = {frozenset(e) for e in null.edges()}
+        assert ours == theirs
+
+    def test_no_self_loops_or_multiedges(self, medium_random):
+        null = rewired_reference(medium_random, swaps_per_edge=10, seed=5)
+        seen = set()
+        for u, v in null.edges():
+            assert u != v
+            key = frozenset((u, v))
+            assert key not in seen
+            seen.add(key)
+
+    def test_destroys_clustering(self):
+        g = BarabasiAlbertGenerator(m=3).generate(400, seed=6)
+        null = rewired_reference(g, swaps_per_edge=10, seed=7)
+        # Randomization should not *increase* clustering systematically.
+        assert average_clustering(null) <= average_clustering(g) * 1.5
+
+    def test_tiny_graph_passthrough(self, path4):
+        small = rewired_reference(path4, swaps_per_edge=10, seed=8)
+        assert small.num_edges == path4.num_edges
+
+    def test_negative_swaps_rejected(self, path4):
+        with pytest.raises(ValueError):
+            rewired_reference(path4, swaps_per_edge=-1)
+
+    def test_weights_reset_to_one(self):
+        from repro.graph import Graph
+
+        g = Graph()
+        g.add_edge(0, 1, weight=5.0)
+        g.add_edge(2, 3, weight=5.0)
+        g.add_edge(4, 5)
+        null = rewired_reference(g, swaps_per_edge=3, seed=9)
+        assert all(w == 1.0 for _, _, w in null.weighted_edges())
+
+
+class TestGeneratorWrapper:
+    def test_generates_randomization(self, medium_random):
+        gen = RandomReferenceGenerator(medium_random, swaps_per_edge=3)
+        null = gen.generate(medium_random.num_nodes, seed=1)
+        assert null.degrees() == medium_random.degrees()
+
+    def test_size_mismatch_rejected(self, medium_random):
+        gen = RandomReferenceGenerator(medium_random)
+        with pytest.raises(ValueError):
+            gen.generate(10, seed=1)

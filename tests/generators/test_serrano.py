@@ -1,0 +1,220 @@
+"""Tests for the weighted supply/demand growth model."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.generators import SerranoGenerator
+from repro.graph import degree_assortativity, giant_component
+from repro.stats import (
+    fit_exponential_growth,
+    fit_power_scaling,
+    fit_powerlaw_auto_xmin,
+)
+
+
+@pytest.fixture(scope="module")
+def run_1500():
+    """One shared medium-size run for the expensive assertions."""
+    return SerranoGenerator().generate_detailed(1500, seed=13)
+
+
+class TestConstruction:
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            SerranoGenerator(omega0=1)
+        with pytest.raises(ValueError):
+            SerranoGenerator(n0=1)
+        with pytest.raises(ValueError):
+            SerranoGenerator(alpha=0.02, beta=0.03)  # beta >= alpha
+        with pytest.raises(ValueError):
+            SerranoGenerator(delta_prime=0.03)  # <= alpha
+        with pytest.raises(ValueError):
+            SerranoGenerator(r=1.0)
+        with pytest.raises(ValueError):
+            SerranoGenerator(churn=1.0)
+
+    def test_predicted_exponents(self):
+        gen = SerranoGenerator(alpha=0.035, beta=0.03, delta_prime=0.04)
+        assert gen.predicted_mu == pytest.approx(0.75)
+        assert gen.predicted_delta == pytest.approx(0.03375)
+        assert gen.predicted_gamma == pytest.approx(2.1428, abs=1e-3)
+        assert gen.tau == pytest.approx(6.0 / 7.0)
+
+
+class TestBasicRun:
+    def test_exact_size(self):
+        g = SerranoGenerator().generate(300, seed=1)
+        assert g.num_nodes == 300
+
+    def test_seed_reproducible(self):
+        a = SerranoGenerator().generate(200, seed=2)
+        b = SerranoGenerator().generate(200, seed=2)
+        assert {frozenset(e) for e in a.edges()} == {frozenset(e) for e in b.edges()}
+
+    def test_users_conserve_arrivals(self, run_1500):
+        history = run_1500.history["users"]
+        # Final W should match the exponential target within rounding drift.
+        final_t = history.times[-1]
+        expected = 50 * 2 * math.exp(0.035 * final_t)
+        assert run_1500.total_users == pytest.approx(expected, rel=0.01)
+
+    def test_minimum_user_floor(self, run_1500):
+        assert min(run_1500.users.values()) >= 1
+
+    def test_multi_edges_present(self, run_1500):
+        g = run_1500.graph
+        assert g.total_weight > 1.2 * g.num_edges
+
+    def test_history_keys(self, run_1500):
+        assert set(run_1500.history) == {"users", "nodes", "edges", "bandwidth"}
+
+
+class TestEmergentStructure:
+    def test_heavy_tail_gamma(self, run_1500):
+        degrees = [d for d in run_1500.graph.degrees().values() if d > 0]
+        fit = fit_powerlaw_auto_xmin(degrees, min_tail=80)
+        assert 1.8 < fit.gamma < 2.6
+
+    def test_size_distribution_exponent(self, run_1500):
+        sizes = [w for w in run_1500.users.values() if w > 0]
+        fit = fit_powerlaw_auto_xmin(sizes, min_tail=80)
+        # Theory: 1 + alpha/beta = 2.17; finite-size cutoff flattens a bit.
+        assert 1.6 < fit.gamma < 2.6
+
+    def test_degree_bandwidth_scaling_sublinear(self, run_1500):
+        g = run_1500.graph
+        pairs = [(g.strength(u), g.degree(u)) for u in g.nodes() if g.strength(u) >= 3]
+        fit = fit_power_scaling([b for b, _ in pairs], [k for _, k in pairs])
+        assert fit.exponent < 0.98  # k grows sublinearly with bandwidth
+
+    def test_disassortative(self, run_1500):
+        assert degree_assortativity(run_1500.graph) < -0.1
+
+    def test_hub_scales_with_system(self, run_1500):
+        g = run_1500.graph
+        assert g.max_degree > 0.05 * g.num_nodes
+
+    def test_growth_rates_recovered(self, run_1500):
+        rates = {}
+        for key, target in (("users", 0.035), ("nodes", 0.03)):
+            series = run_1500.history[key]
+            fit = fit_exponential_growth(series.times[10:], series.values[10:])
+            rates[key] = fit.rate
+            assert fit.rate == pytest.approx(target, abs=0.004)
+        bw = run_1500.history["bandwidth"]
+        fit = fit_exponential_growth(bw.times[30:], bw.values[30:])
+        assert fit.rate == pytest.approx(0.04, abs=0.006)
+
+    def test_edges_grow_slower_than_bandwidth(self, run_1500):
+        edges = run_1500.history["edges"]
+        bandwidth = run_1500.history["bandwidth"]
+        e_rate = fit_exponential_growth(edges.times[30:], edges.values[30:]).rate
+        b_rate = fit_exponential_growth(bandwidth.times[30:], bandwidth.values[30:]).rate
+        assert e_rate < b_rate
+
+
+class TestDistanceVariant:
+    def test_positions_recorded(self):
+        run = SerranoGenerator(distance=True).generate_detailed(200, seed=3)
+        assert len(run.positions) == 200
+        assert all(0 <= p.x <= 1 and 0 <= p.y <= 1 for p in run.positions.values())
+
+    def test_no_positions_without_distance(self):
+        run = SerranoGenerator().generate_detailed(150, seed=4)
+        assert run.positions == {}
+
+    def test_distance_variant_still_heavy_tailed(self):
+        g = SerranoGenerator(distance=True).generate(1000, seed=5)
+        degrees = [d for d in giant_component(g).degrees().values()]
+        fit = fit_powerlaw_auto_xmin(degrees, min_tail=60)
+        assert 1.7 < fit.gamma < 2.7
+
+    def test_auto_kappa_positive(self):
+        gen = SerranoGenerator(distance=True)
+        assert gen._auto_kappa(1000) > 0
+
+    def test_explicit_kappa_respected(self):
+        gen = SerranoGenerator(distance=True, kappa=5.0)
+        g = gen.generate(150, seed=6)
+        assert g.num_nodes == 150
+
+
+class TestSnapshots:
+    def test_snapshots_captured_at_sizes(self):
+        run = SerranoGenerator().generate_detailed(
+            600, seed=9, snapshot_sizes=[150, 300, 600]
+        )
+        assert set(run.snapshots) == {150, 300, 600}
+        for size, graph in run.snapshots.items():
+            assert graph.num_nodes >= size
+            # Captures happen at step boundaries: within one step's growth.
+            assert graph.num_nodes <= size * 1.1 + 5
+
+    def test_snapshots_prefix_consistent(self):
+        run = SerranoGenerator().generate_detailed(
+            500, seed=10, snapshot_sizes=[200, 500]
+        )
+        early = run.snapshots[200]
+        late = run.snapshots[500]
+        for u, v in early.edges():
+            assert late.has_edge(u, v)
+
+    def test_snapshot_is_frozen_copy(self):
+        run = SerranoGenerator().generate_detailed(
+            300, seed=11, snapshot_sizes=[150]
+        )
+        snap_edges = run.snapshots[150].num_edges
+        assert run.graph.num_edges > snap_edges  # growth continued after
+
+    def test_no_snapshots_by_default(self):
+        run = SerranoGenerator().generate_detailed(150, seed=12)
+        assert run.snapshots == {}
+
+    def test_invalid_sizes_rejected(self):
+        gen = SerranoGenerator()
+        with pytest.raises(ValueError):
+            gen.generate_detailed(300, seed=13, snapshot_sizes=[1])
+        with pytest.raises(ValueError):
+            gen.generate_detailed(300, seed=13, snapshot_sizes=[400])
+
+
+class TestAnalyticClaims:
+    def test_churn_is_drift_free(self):
+        # The lambda term only adds diffusion: the size-distribution tail
+        # exponent must be churn-invariant (the paper's analytic claim).
+        from repro.stats import fit_powerlaw_auto_xmin
+
+        quiet = SerranoGenerator(churn=0.0).generate_detailed(800, seed=21)
+        churned = SerranoGenerator(churn=0.05).generate_detailed(800, seed=21)
+        fit_quiet = fit_powerlaw_auto_xmin(
+            [w for w in quiet.users.values() if w > 0], min_tail=60
+        )
+        fit_churned = fit_powerlaw_auto_xmin(
+            [w for w in churned.users.values() if w > 0], min_tail=60
+        )
+        assert abs(fit_quiet.gamma - fit_churned.gamma) < 0.5
+
+    def test_densification_law(self):
+        # E(t) grows superlinearly in N(t): delta/beta > 1 by construction,
+        # the "densification power law" the growth measurements report.
+        from repro.stats import fit_power_scaling
+
+        run = SerranoGenerator().generate_detailed(1200, seed=22)
+        nodes = run.history["nodes"].values[20:]
+        edges = run.history["edges"].values[20:]
+        fit = fit_power_scaling(nodes, edges)
+        assert 1.0 < fit.exponent < 1.5
+
+
+class TestChurn:
+    def test_churn_conserves_users(self):
+        run = SerranoGenerator(churn=0.05).generate_detailed(200, seed=7)
+        final_t = run.history["users"].times[-1]
+        expected = 100 * math.exp(0.035 * final_t)
+        assert run.total_users == pytest.approx(expected, rel=0.02)
+
+    def test_churn_run_completes(self):
+        g = SerranoGenerator(churn=0.1).generate(150, seed=8)
+        assert g.num_nodes == 150

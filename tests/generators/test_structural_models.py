@@ -1,0 +1,167 @@
+"""Tests for structural generators (PLRG, Inet, HOT, transit-stub)."""
+
+import pytest
+
+from repro.generators import (
+    GenerationError,
+    HotGenerator,
+    InetGenerator,
+    PlrgGenerator,
+    TransitStubGenerator,
+    configuration_model,
+)
+from repro.graph import (
+    average_clustering,
+    degree_assortativity,
+    giant_component,
+    is_connected,
+    total_triangles,
+)
+from repro.stats import fit_powerlaw_auto_xmin
+
+
+class TestConfigurationModel:
+    def test_regular_sequence(self):
+        g = configuration_model([2] * 10, seed=1)
+        assert g.num_nodes == 10
+        assert all(d <= 2 for d in g.degrees().values())
+
+    def test_odd_sum_rejected(self):
+        with pytest.raises(GenerationError):
+            configuration_model([1, 1, 1], seed=2)
+
+    def test_negative_degree_rejected(self):
+        with pytest.raises(GenerationError):
+            configuration_model([2, -1, 1], seed=3)
+
+    def test_realized_degrees_bounded_by_prescribed(self):
+        degrees = [5, 3, 3, 2, 2, 1, 1, 1]
+        g = configuration_model(degrees, seed=4)
+        for node, d in g.degrees().items():
+            assert d <= degrees[node]
+
+    def test_empty_sequence(self):
+        g = configuration_model([], seed=5)
+        assert g.num_nodes == 0
+
+
+class TestPlrg:
+    def test_size(self):
+        assert PlrgGenerator().generate(500, seed=1).num_nodes == 500
+
+    def test_degree_sequence_even_sum(self):
+        degrees = PlrgGenerator().degree_sequence(501, seed=2)
+        assert sum(degrees) % 2 == 0
+
+    def test_heavy_tail_preserved(self):
+        g = PlrgGenerator(gamma=2.2).generate(4000, seed=3)
+        fit = fit_powerlaw_auto_xmin(
+            [d for d in g.degrees().values() if d > 0], min_tail=100
+        )
+        assert fit.gamma == pytest.approx(2.2, abs=0.35)
+
+    def test_no_growth_correlations(self):
+        # PLRG's giant component should have weak clustering relative to
+        # growth models with internal linking.
+        g = giant_component(PlrgGenerator().generate(2000, seed=4))
+        assert average_clustering(g) < 0.15
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            PlrgGenerator(gamma=1.0)
+        with pytest.raises(ValueError):
+            PlrgGenerator(k_min=0)
+        with pytest.raises(ValueError):
+            PlrgGenerator(k_max_fraction=0.0)
+
+
+class TestInet:
+    def test_size(self):
+        assert InetGenerator().generate(400, seed=1).num_nodes == 400
+
+    def test_connected(self):
+        assert is_connected(InetGenerator().generate(400, seed=2))
+
+    def test_degree_one_fraction_respected(self):
+        g = InetGenerator(degree_one_fraction=0.3).generate(1000, seed=3)
+        ones = sum(1 for d in g.degrees().values() if d == 1)
+        assert ones == pytest.approx(300, rel=0.25)
+
+    def test_heavy_tail(self):
+        g = InetGenerator().generate(3000, seed=4)
+        fit = fit_powerlaw_auto_xmin(list(g.degrees().values()), min_tail=100)
+        assert 1.9 < fit.gamma < 2.7
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            InetGenerator(gamma=0.9)
+        with pytest.raises(ValueError):
+            InetGenerator(degree_one_fraction=1.0)
+        with pytest.raises(GenerationError):
+            InetGenerator(degree_one_fraction=0.9).generate(5, seed=5)
+
+
+class TestHot:
+    def test_tree_when_no_extras(self):
+        g = HotGenerator(extra_links=0).generate(300, seed=1)
+        assert g.num_edges == 299
+        assert is_connected(g)
+        assert total_triangles(g) == 0
+
+    def test_extra_links_add_redundancy(self):
+        g = HotGenerator(extra_links=1).generate(300, seed=2)
+        assert g.num_edges > 299
+
+    def test_alpha_zero_is_star(self):
+        # With no distance cost everyone attaches to the root (h=0).
+        g = HotGenerator(alpha=0.0).generate(50, seed=3)
+        assert g.max_degree == 49
+
+    def test_huge_alpha_is_nearest_neighbor_tree(self):
+        g = HotGenerator(alpha=1e9).generate(200, seed=4)
+        # Distance dominates: hubs should stay small.
+        assert g.max_degree < 25
+
+    def test_intermediate_alpha_heavy_tailed(self):
+        g = HotGenerator().generate(2000, seed=5)
+        assert g.max_degree > 30  # hubs emerge at the FKP sweet spot
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            HotGenerator(alpha=-1.0)
+        with pytest.raises(ValueError):
+            HotGenerator(extra_links=-1)
+
+
+class TestTransitStub:
+    def test_size_close(self):
+        g = TransitStubGenerator().generate(1000, seed=1)
+        assert abs(g.num_nodes - 1000) <= 100
+
+    def test_connected(self):
+        assert is_connected(TransitStubGenerator().generate(500, seed=2))
+
+    def test_homogeneous_degrees(self):
+        g = TransitStubGenerator().generate(800, seed=3)
+        assert g.max_degree < 30  # no heavy tail by construction
+
+    def test_too_small_n_rejected(self):
+        with pytest.raises(GenerationError):
+            TransitStubGenerator(
+                transit_domains=2, transit_size=4, stubs_per_transit=2
+            ).generate(10, seed=4)
+
+    def test_transit_only_configuration(self):
+        gen = TransitStubGenerator(
+            transit_domains=2, transit_size=5, stubs_per_transit=0
+        )
+        g = gen.generate(10, seed=5)
+        assert g.num_nodes == 10
+        with pytest.raises(GenerationError):
+            gen.generate(11, seed=5)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            TransitStubGenerator(transit_domains=0)
+        with pytest.raises(ValueError):
+            TransitStubGenerator(intra_edge_prob=1.5)

@@ -1,0 +1,93 @@
+"""Tests for fractal point sets."""
+
+import pytest
+
+from repro.geometry import (
+    FractalBoxSet,
+    box_counting_dimension,
+    fractal_points,
+    uniform_points,
+)
+
+
+class TestFractalBoxSet:
+    def test_points_in_bounds(self):
+        points = fractal_points(500, dimension=1.5, side=2.0, seed=1)
+        assert all(0 <= p.x <= 2.0 and 0 <= p.y <= 2.0 for p in points)
+
+    def test_count(self):
+        assert len(fractal_points(123, seed=2)) == 123
+
+    def test_reproducible(self):
+        a = fractal_points(50, seed=3)
+        b = fractal_points(50, seed=3)
+        assert a == b
+
+    def test_shared_support_across_samples(self):
+        # Two sample calls on one set draw from the same surviving boxes.
+        box_set = FractalBoxSet(dimension=1.0, levels=5, seed=4)
+        first = box_set.sample(200)
+        second = box_set.sample(200)
+        cells_first = {(int(p.x * 32), int(p.y * 32)) for p in first}
+        cells_second = {(int(p.x * 32), int(p.y * 32)) for p in second}
+        overlap = len(cells_first & cells_second) / len(cells_first | cells_second)
+        assert overlap > 0.3
+
+    def test_invalid_dimension_rejected(self):
+        with pytest.raises(ValueError):
+            FractalBoxSet(dimension=0.0)
+        with pytest.raises(ValueError):
+            FractalBoxSet(dimension=2.5)
+
+    def test_invalid_levels_rejected(self):
+        with pytest.raises(ValueError):
+            FractalBoxSet(levels=0)
+
+    @pytest.mark.parametrize("dimension", [1.2, 1.5, 2.0])
+    def test_box_counting_recovers_dimension(self, dimension):
+        points = fractal_points(6000, dimension=dimension, levels=7, seed=7)
+        measured = box_counting_dimension(points, max_level=5)
+        assert measured == pytest.approx(dimension, abs=0.3)
+
+    def test_dimension_two_is_uniform_like(self):
+        frac = fractal_points(3000, dimension=2.0, seed=8)
+        measured = box_counting_dimension(frac, max_level=5)
+        assert measured == pytest.approx(2.0, abs=0.2)
+
+
+class TestUniformPoints:
+    def test_bounds_and_count(self):
+        points = uniform_points(200, side=3.0, seed=9)
+        assert len(points) == 200
+        assert all(0 <= p.x <= 3.0 and 0 <= p.y <= 3.0 for p in points)
+
+    def test_dimension_two(self):
+        points = uniform_points(5000, seed=10)
+        assert box_counting_dimension(points, max_level=5) == pytest.approx(2.0, abs=0.15)
+
+
+class TestBoxCounting:
+    def test_single_cluster_dimension_zero(self):
+        from repro.geometry import Point
+
+        points = [Point(0.5 + i * 1e-9, 0.5) for i in range(100)]
+        assert box_counting_dimension(points, max_level=4) == pytest.approx(0.0, abs=0.1)
+
+    def test_line_dimension_one(self):
+        from repro.geometry import Point
+
+        points = [Point(i / 4999.0, 0.5) for i in range(5000)]
+        assert box_counting_dimension(points, max_level=5) == pytest.approx(1.0, abs=0.15)
+
+    def test_too_few_points_rejected(self):
+        from repro.geometry import Point
+
+        with pytest.raises(ValueError):
+            box_counting_dimension([Point(0, 0)])
+
+    def test_bad_levels_rejected(self):
+        from repro.geometry import Point
+
+        pts = [Point(0, 0), Point(1, 1)]
+        with pytest.raises(ValueError):
+            box_counting_dimension(pts, min_level=3, max_level=2)

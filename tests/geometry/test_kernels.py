@@ -1,0 +1,82 @@
+"""Tests for distance kernels."""
+
+import math
+
+import pytest
+
+from repro.geometry import NullKernel, SizeScaledKernel, WaxmanKernel
+
+
+class TestNullKernel:
+    def test_always_one(self):
+        kernel = NullKernel()
+        assert kernel.probability(0.0) == 1.0
+        assert kernel.probability(1e9) == 1.0
+
+
+class TestWaxmanKernel:
+    def test_zero_distance_gives_beta(self):
+        kernel = WaxmanKernel(alpha=0.2, beta=0.6)
+        assert kernel.probability(0.0) == pytest.approx(0.6)
+
+    def test_monotone_decay(self):
+        kernel = WaxmanKernel()
+        ps = [kernel.probability(d) for d in (0.0, 0.2, 0.5, 1.0)]
+        assert all(ps[i] > ps[i + 1] for i in range(len(ps) - 1))
+
+    def test_decay_length(self):
+        kernel = WaxmanKernel(alpha=0.5, beta=1.0, scale=1.0)
+        assert kernel.probability(0.5) == pytest.approx(math.exp(-1.0))
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            WaxmanKernel(alpha=0.0)
+        with pytest.raises(ValueError):
+            WaxmanKernel(alpha=1.5)
+        with pytest.raises(ValueError):
+            WaxmanKernel(beta=0.0)
+        with pytest.raises(ValueError):
+            WaxmanKernel(scale=0.0)
+
+    def test_negative_distance_rejected(self):
+        with pytest.raises(ValueError):
+            WaxmanKernel().probability(-0.1)
+
+
+class TestSizeScaledKernel:
+    def test_cutoff_formula(self):
+        kernel = SizeScaledKernel(kappa=2.0)
+        assert kernel.cutoff(10.0, 20.0, 100.0) == pytest.approx(1.0)
+
+    def test_probability_at_cutoff(self):
+        kernel = SizeScaledKernel(kappa=1.0)
+        d_c = kernel.cutoff(10.0, 10.0, 100.0)
+        assert kernel.probability_for(d_c, 10.0, 10.0, 100.0) == pytest.approx(
+            math.exp(-1.0)
+        )
+
+    def test_bigger_peers_reach_farther(self):
+        kernel = SizeScaledKernel(kappa=1.0)
+        small = kernel.probability_for(0.5, 10.0, 10.0, 1000.0)
+        large = kernel.probability_for(0.5, 100.0, 100.0, 1000.0)
+        assert large > small
+
+    def test_underflow_guard(self):
+        kernel = SizeScaledKernel(kappa=1.0)
+        assert kernel.probability_for(1.0, 1e-8, 1e-8, 1e12) == 0.0
+
+    def test_invalid_kappa_rejected(self):
+        with pytest.raises(ValueError):
+            SizeScaledKernel(kappa=0.0)
+
+    def test_negative_distance_rejected(self):
+        with pytest.raises(ValueError):
+            SizeScaledKernel(kappa=1.0).probability_for(-1.0, 1, 1, 1)
+
+    def test_zero_total_rejected(self):
+        with pytest.raises(ValueError):
+            SizeScaledKernel(kappa=1.0).cutoff(1, 1, 0)
+
+    def test_context_free_call_rejected(self):
+        with pytest.raises(TypeError):
+            SizeScaledKernel(kappa=1.0).probability(0.5)

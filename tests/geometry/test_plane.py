@@ -1,0 +1,92 @@
+"""Tests for the embedding plane."""
+
+import math
+
+import pytest
+
+from repro.geometry import Plane, Point
+
+
+class TestPoint:
+    def test_distance(self):
+        assert Point(0, 0).distance_to(Point(3, 4)) == 5.0
+
+    def test_distance_self_zero(self):
+        p = Point(0.3, 0.7)
+        assert p.distance_to(p) == 0.0
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            Point(0, 0).x = 1.0
+
+
+class TestPlane:
+    def test_place_and_distance(self):
+        plane = Plane(side=1.0)
+        plane.place("a", 0.0, 0.0)
+        plane.place("b", 1.0, 0.0)
+        assert plane.distance("a", "b") == 1.0
+
+    def test_place_outside_rejected(self):
+        plane = Plane(side=1.0)
+        with pytest.raises(ValueError):
+            plane.place("a", 1.5, 0.0)
+        with pytest.raises(ValueError):
+            plane.place("a", 0.0, -0.1)
+
+    def test_invalid_side_rejected(self):
+        with pytest.raises(ValueError):
+            Plane(side=0.0)
+
+    def test_place_uniform_in_bounds(self):
+        plane = Plane(side=2.0)
+        for i in range(50):
+            p = plane.place_uniform(i, rng_seed=i)
+            assert 0 <= p.x <= 2.0 and 0 <= p.y <= 2.0
+
+    def test_membership(self):
+        plane = Plane()
+        plane.place("x", 0.5, 0.5)
+        assert "x" in plane
+        assert "y" not in plane
+        assert len(plane) == 1
+
+    def test_position_lookup(self):
+        plane = Plane()
+        plane.place("x", 0.25, 0.75)
+        assert plane.position("x") == Point(0.25, 0.75)
+        with pytest.raises(KeyError):
+            plane.position("missing")
+
+    def test_positions_copy(self):
+        plane = Plane()
+        plane.place("x", 0.1, 0.1)
+        snapshot = plane.positions()
+        snapshot["y"] = Point(0, 0)
+        assert "y" not in plane
+
+    def test_max_distance_flat(self):
+        assert Plane(side=1.0).max_distance == pytest.approx(math.sqrt(2))
+
+    def test_torus_wraps(self):
+        plane = Plane(side=1.0, torus=True)
+        plane.place("a", 0.05, 0.5)
+        plane.place("b", 0.95, 0.5)
+        assert plane.distance("a", "b") == pytest.approx(0.1)
+
+    def test_torus_max_distance(self):
+        assert Plane(side=1.0, torus=True).max_distance == pytest.approx(
+            math.sqrt(2) / 2
+        )
+
+    def test_nearest(self):
+        plane = Plane()
+        plane.place("q", 0.0, 0.0)
+        plane.place("near", 0.1, 0.0)
+        plane.place("far", 0.9, 0.9)
+        assert plane.nearest("q", ["near", "far"]) == "near"
+
+    def test_nearest_empty(self):
+        plane = Plane()
+        plane.place("q", 0.0, 0.0)
+        assert plane.nearest("q", []) is None

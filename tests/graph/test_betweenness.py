@@ -1,0 +1,96 @@
+"""Tests for Brandes betweenness (exact and pivot-sampled)."""
+
+import pytest
+
+from repro.graph import Graph, approximate_betweenness, betweenness_centrality
+
+
+class TestExact:
+    def test_path_center_nodes(self, path4):
+        bc = betweenness_centrality(path4, normalized=False)
+        # Node 1 sits between (0,2), (0,3); node 2 between (0,3), (1,3).
+        assert bc[1] == pytest.approx(2.0)
+        assert bc[2] == pytest.approx(2.0)
+        assert bc[0] == 0.0
+
+    def test_star_hub(self, star):
+        bc = betweenness_centrality(star, normalized=False)
+        assert bc[0] == pytest.approx(10.0)  # all C(5,2) leaf pairs
+        assert all(bc[leaf] == 0.0 for leaf in range(1, 6))
+
+    def test_star_hub_normalized(self, star):
+        bc = betweenness_centrality(star, normalized=True)
+        assert bc[0] == pytest.approx(1.0)
+
+    def test_complete_graph_zero(self, k4):
+        bc = betweenness_centrality(k4)
+        assert all(v == 0.0 for v in bc.values())
+
+    def test_bridge_carries_load(self, barbell):
+        bc = betweenness_centrality(barbell, normalized=False)
+        assert bc[2] > bc[0]
+        assert bc[3] > bc[4]
+
+    def test_shortest_path_split(self, square):
+        # In C4 each node lies on exactly one opposite pair's two paths,
+        # getting credit 1/2 * 2 orientations / ... = 0.5 raw.
+        bc = betweenness_centrality(square, normalized=False)
+        assert all(v == pytest.approx(0.5) for v in bc.values())
+
+    def test_empty_graph(self):
+        assert betweenness_centrality(Graph()) == {}
+
+    def test_matches_networkx_normalized(self, medium_random):
+        import networkx as nx
+
+        from repro.graph.convert import to_networkx
+
+        ours = betweenness_centrality(medium_random, normalized=True)
+        theirs = nx.betweenness_centrality(to_networkx(medium_random), normalized=True)
+        for node in ours:
+            assert ours[node] == pytest.approx(theirs[node], abs=1e-9)
+
+    def test_matches_networkx_raw(self, barbell):
+        import networkx as nx
+
+        from repro.graph.convert import to_networkx
+
+        ours = betweenness_centrality(barbell, normalized=False)
+        theirs = nx.betweenness_centrality(to_networkx(barbell), normalized=False)
+        for node in ours:
+            assert ours[node] == pytest.approx(theirs[node])
+
+
+class TestApproximate:
+    def test_all_pivots_equals_exact(self, barbell):
+        exact = betweenness_centrality(barbell)
+        approx = approximate_betweenness(barbell, num_pivots=100, seed=1)
+        for node in exact:
+            assert approx[node] == pytest.approx(exact[node])
+
+    def test_estimator_unbiased_enough(self, medium_random):
+        exact = betweenness_centrality(medium_random, normalized=True)
+        approx = approximate_betweenness(medium_random, num_pivots=60, seed=2)
+        top_exact = sorted(exact, key=exact.get, reverse=True)[:5]
+        top_approx = sorted(approx, key=approx.get, reverse=True)[:10]
+        # The true top-5 should appear in the estimated top-10.
+        assert set(top_exact) <= set(top_approx)
+
+    def test_mean_value_preserved(self, medium_random):
+        exact = betweenness_centrality(medium_random, normalized=True)
+        approx = approximate_betweenness(medium_random, num_pivots=75, seed=3)
+        mean_exact = sum(exact.values()) / len(exact)
+        mean_approx = sum(approx.values()) / len(approx)
+        assert mean_approx == pytest.approx(mean_exact, rel=0.25)
+
+    def test_zero_pivots_rejected(self, star):
+        with pytest.raises(ValueError):
+            approximate_betweenness(star, num_pivots=0)
+
+    def test_empty_graph(self):
+        assert approximate_betweenness(Graph(), num_pivots=5) == {}
+
+    def test_reproducible(self, medium_random):
+        a = approximate_betweenness(medium_random, num_pivots=10, seed=7)
+        b = approximate_betweenness(medium_random, num_pivots=10, seed=7)
+        assert a == b

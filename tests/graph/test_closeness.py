@@ -1,0 +1,83 @@
+"""Tests for closeness centrality."""
+
+import pytest
+
+from repro.graph import (
+    Graph,
+    approximate_closeness,
+    closeness_centrality,
+)
+
+
+class TestExactCloseness:
+    def test_star_hub_highest(self, star):
+        scores = closeness_centrality(star)
+        assert scores[0] == max(scores.values())
+        assert scores[0] == pytest.approx(1.0)  # hub at distance 1 from all
+
+    def test_path_center_beats_ends(self, path4):
+        scores = closeness_centrality(path4)
+        assert scores[1] > scores[0]
+        assert scores[2] > scores[3]
+
+    def test_complete_graph_all_one(self, k4):
+        scores = closeness_centrality(k4)
+        assert all(v == pytest.approx(1.0) for v in scores.values())
+
+    def test_isolated_node_zero(self):
+        g = Graph()
+        g.add_edge(0, 1)
+        g.add_node(9)
+        assert closeness_centrality(g)[9] == 0.0
+
+    def test_single_node_graph(self):
+        g = Graph()
+        g.add_node(0)
+        assert closeness_centrality(g) == {0: 0.0}
+
+    def test_component_correction(self, two_triangles):
+        # Each triangle node reaches 2 others at distance 1 out of 5 total:
+        # closeness = (2/2) * (2/5) = 0.4 under Wasserman-Faust.
+        scores = closeness_centrality(two_triangles)
+        assert all(v == pytest.approx(0.4) for v in scores.values())
+
+    def test_matches_networkx(self, medium_random):
+        import networkx as nx
+
+        from repro.graph.convert import to_networkx
+
+        ours = closeness_centrality(medium_random)
+        theirs = nx.closeness_centrality(to_networkx(medium_random))
+        for node in ours:
+            assert ours[node] == pytest.approx(theirs[node]), node
+
+    def test_matches_networkx_disconnected(self, two_triangles):
+        import networkx as nx
+
+        from repro.graph.convert import to_networkx
+
+        ours = closeness_centrality(two_triangles)
+        theirs = nx.closeness_centrality(to_networkx(two_triangles))
+        for node in ours:
+            assert ours[node] == pytest.approx(theirs[node])
+
+
+class TestApproximateCloseness:
+    def test_sample_size_respected(self, medium_random):
+        scores = approximate_closeness(medium_random, sample=20, seed=1)
+        assert len(scores) == 20
+
+    def test_sampled_values_exact(self, medium_random):
+        exact = closeness_centrality(medium_random)
+        sampled = approximate_closeness(medium_random, sample=15, seed=2)
+        for node, value in sampled.items():
+            assert value == pytest.approx(exact[node])
+
+    def test_full_sample_is_exact(self, triangle):
+        assert approximate_closeness(triangle, sample=10) == closeness_centrality(
+            triangle
+        )
+
+    def test_validation(self, triangle):
+        with pytest.raises(ValueError):
+            approximate_closeness(triangle, sample=0)

@@ -1,0 +1,144 @@
+"""Tests for triangles and clustering."""
+
+import pytest
+
+from repro.graph import (
+    Graph,
+    average_clustering,
+    clustering_by_degree,
+    clustering_spectrum,
+    local_clustering,
+    total_triangles,
+    transitivity,
+    triangles_per_node,
+)
+
+
+class TestTriangles:
+    def test_triangle_graph(self, triangle):
+        assert triangles_per_node(triangle) == {0: 1, 1: 1, 2: 1}
+        assert total_triangles(triangle) == 1
+
+    def test_k4(self, k4):
+        counts = triangles_per_node(k4)
+        assert all(c == 3 for c in counts.values())
+        assert total_triangles(k4) == 4
+
+    def test_k5(self, k5):
+        assert total_triangles(k5) == 10
+
+    def test_square_no_triangles(self, square):
+        assert total_triangles(square) == 0
+
+    def test_petersen_no_triangles(self, petersen):
+        assert total_triangles(petersen) == 0
+
+    def test_star_no_triangles(self, star):
+        assert total_triangles(star) == 0
+
+    def test_weights_ignored(self):
+        g = Graph()
+        g.add_edge(0, 1, weight=5)
+        g.add_edge(1, 2, weight=5)
+        g.add_edge(2, 0)
+        assert total_triangles(g) == 1
+
+    def test_matches_networkx(self, medium_random):
+        import networkx as nx
+
+        from repro.graph.convert import to_networkx
+
+        ours = triangles_per_node(medium_random)
+        theirs = nx.triangles(to_networkx(medium_random))
+        assert ours == theirs
+
+
+class TestLocalClustering:
+    def test_complete_graph_is_one(self, k4):
+        assert all(c == 1.0 for c in local_clustering(k4).values())
+
+    def test_low_degree_zero(self, path4):
+        local = local_clustering(path4)
+        assert local[0] == 0.0  # degree 1
+
+    def test_barbell_bridge(self, barbell):
+        local = local_clustering(barbell)
+        # Node 2 has degree 3 (two triangle partners + bridge): 1 triangle.
+        assert local[2] == pytest.approx(1.0 / 3.0)
+        assert local[0] == 1.0
+
+    def test_matches_networkx(self, medium_random):
+        import networkx as nx
+
+        from repro.graph.convert import to_networkx
+
+        ours = local_clustering(medium_random)
+        theirs = nx.clustering(to_networkx(medium_random))
+        for node in ours:
+            assert ours[node] == pytest.approx(theirs[node])
+
+
+class TestAverages:
+    def test_average_clustering_k4(self, k4):
+        assert average_clustering(k4) == 1.0
+
+    def test_average_clustering_empty(self):
+        assert average_clustering(Graph()) == 0.0
+
+    def test_exclude_low_degree(self, barbell):
+        including = average_clustering(barbell, count_low_degree=True)
+        excluding = average_clustering(barbell, count_low_degree=False)
+        # barbell has no degree<2 nodes, so both agree
+        assert including == excluding
+
+    def test_exclusion_changes_star_plus_triangle(self):
+        g = Graph()
+        for a, b in [(0, 1), (1, 2), (2, 0), (0, 3), (0, 4)]:
+            g.add_edge(a, b)
+        assert average_clustering(g, count_low_degree=False) > average_clustering(g)
+
+    def test_transitivity_k4(self, k4):
+        assert transitivity(k4) == 1.0
+
+    def test_transitivity_star_zero(self, star):
+        assert transitivity(star) == 0.0
+
+    def test_transitivity_empty(self):
+        assert transitivity(Graph()) == 0.0
+
+    def test_transitivity_matches_networkx(self, medium_random):
+        import networkx as nx
+
+        from repro.graph.convert import to_networkx
+
+        assert transitivity(medium_random) == pytest.approx(
+            nx.transitivity(to_networkx(medium_random))
+        )
+
+    def test_average_matches_networkx(self, medium_random):
+        import networkx as nx
+
+        from repro.graph.convert import to_networkx
+
+        assert average_clustering(medium_random) == pytest.approx(
+            nx.average_clustering(to_networkx(medium_random))
+        )
+
+
+class TestSpectrum:
+    def test_by_degree_exact(self, barbell):
+        by_degree = clustering_by_degree(barbell)
+        assert by_degree[2] == 1.0  # the four pure-triangle nodes
+        assert by_degree[3] == pytest.approx(1.0 / 3.0)
+
+    def test_degree_below_two_excluded(self, star):
+        assert clustering_by_degree(star) == {5: 0.0}
+
+    def test_spectrum_nonempty_for_clustered_graph(self, medium_random):
+        spectrum = clustering_spectrum(medium_random)
+        assert spectrum
+        assert all(k >= 2 for k, _ in spectrum)
+        assert all(0 <= c <= 1 for _, c in spectrum)
+
+    def test_spectrum_empty_graph(self):
+        assert clustering_spectrum(Graph()) == []

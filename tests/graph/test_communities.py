@@ -1,0 +1,109 @@
+"""Tests for community detection and modularity."""
+
+import pytest
+
+from repro.graph import (
+    Graph,
+    label_propagation_communities,
+    modularity,
+    partition_from_labels,
+)
+
+
+@pytest.fixture
+def two_cliques():
+    """Two K5s joined by a single bridge: the textbook two-community graph."""
+    g = Graph()
+    for base in (0, 10):
+        for i in range(5):
+            for j in range(i + 1, 5):
+                g.add_edge(base + i, base + j)
+    g.add_edge(0, 10)
+    return g
+
+
+class TestLabelPropagation:
+    def test_finds_the_two_cliques(self, two_cliques):
+        communities = label_propagation_communities(two_cliques, seed=1)
+        assert len(communities) == 2
+        assert {frozenset(c) for c in communities} == {
+            frozenset(range(0, 5)),
+            frozenset(range(10, 15)),
+        }
+
+    def test_covers_all_nodes(self, medium_random):
+        communities = label_propagation_communities(medium_random, seed=2)
+        covered = set().union(*communities)
+        assert covered == set(medium_random.nodes())
+
+    def test_isolated_nodes_singletons(self):
+        g = Graph()
+        g.add_edge(0, 1)
+        g.add_node(9)
+        communities = label_propagation_communities(g, seed=3)
+        assert {9} in communities
+
+    def test_largest_first(self, two_cliques):
+        two_cliques.add_node(99)
+        communities = label_propagation_communities(two_cliques, seed=4)
+        sizes = [len(c) for c in communities]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_reproducible(self, medium_random):
+        a = label_propagation_communities(medium_random, seed=5)
+        b = label_propagation_communities(medium_random, seed=5)
+        assert [frozenset(c) for c in a] == [frozenset(c) for c in b]
+
+    def test_validation(self, two_cliques):
+        with pytest.raises(ValueError):
+            label_propagation_communities(two_cliques, max_rounds=0)
+
+
+class TestModularity:
+    def test_two_clique_partition_high(self, two_cliques):
+        partition = [set(range(0, 5)), set(range(10, 15))]
+        assert modularity(two_cliques, partition) > 0.4
+
+    def test_everything_in_one_community_zero(self, two_cliques):
+        q = modularity(two_cliques, [set(two_cliques.nodes())])
+        assert q == pytest.approx(0.0)
+
+    def test_bad_partition_negative_or_small(self, two_cliques):
+        # Split each clique in half across communities: worse than chance.
+        partition = [
+            {0, 1, 10, 11}, {2, 3, 4, 12, 13, 14},
+        ]
+        good = modularity(
+            two_cliques, [set(range(0, 5)), set(range(10, 15))]
+        )
+        assert modularity(two_cliques, partition) < good
+
+    def test_overlapping_partition_rejected(self, two_cliques):
+        with pytest.raises(ValueError, match="multiple"):
+            modularity(two_cliques, [{0, 1}, {1, 2}, set(two_cliques.nodes()) - {0, 1, 2}])
+
+    def test_partial_cover_rejected(self, two_cliques):
+        with pytest.raises(ValueError, match="misses"):
+            modularity(two_cliques, [{0, 1}])
+
+    def test_empty_graph(self):
+        assert modularity(Graph(), []) == 0.0
+
+    def test_matches_networkx(self, medium_random):
+        import networkx as nx
+
+        from repro.graph.convert import to_networkx
+
+        communities = label_propagation_communities(medium_random, seed=6)
+        ours = modularity(medium_random, communities)
+        theirs = nx.algorithms.community.modularity(
+            to_networkx(medium_random), communities, weight=None
+        )
+        assert ours == pytest.approx(theirs, abs=1e-12)
+
+
+class TestPartitionFromLabels:
+    def test_grouping(self):
+        labels = {1: 0, 2: 0, 3: 7}
+        partition = partition_from_labels(labels)
+        assert partition == [{1, 2}, {3}]

@@ -1,0 +1,68 @@
+"""Tests for the networkx bridge."""
+
+import networkx as nx
+import pytest
+
+from repro.graph import Graph
+from repro.graph.convert import from_networkx, to_networkx
+
+
+class TestToNetworkx:
+    def test_structure_preserved(self, medium_random):
+        nxg = to_networkx(medium_random)
+        assert nxg.number_of_nodes() == medium_random.num_nodes
+        assert nxg.number_of_edges() == medium_random.num_edges
+
+    def test_weights_preserved(self):
+        g = Graph()
+        g.add_edge(1, 2, weight=4.0)
+        nxg = to_networkx(g)
+        assert nxg[1][2]["weight"] == 4.0
+
+    def test_isolated_nodes_preserved(self):
+        g = Graph()
+        g.add_node(7)
+        assert 7 in to_networkx(g)
+
+    def test_name_preserved(self):
+        g = Graph(name="topo")
+        assert to_networkx(g).name == "topo"
+
+
+class TestFromNetworkx:
+    def test_structure_preserved(self):
+        nxg = nx.barbell_graph(4, 2)
+        g = from_networkx(nxg)
+        assert g.num_nodes == nxg.number_of_nodes()
+        assert g.num_edges == nxg.number_of_edges()
+
+    def test_weights_imported(self):
+        nxg = nx.Graph()
+        nxg.add_edge(1, 2, weight=2.5)
+        assert from_networkx(nxg).edge_weight(1, 2) == 2.5
+
+    def test_missing_weight_defaults_to_one(self):
+        nxg = nx.Graph()
+        nxg.add_edge(1, 2)
+        assert from_networkx(nxg).edge_weight(1, 2) == 1.0
+
+    def test_multigraph_parallel_edges_accumulate(self):
+        nxg = nx.MultiGraph()
+        nxg.add_edge(1, 2)
+        nxg.add_edge(1, 2)
+        g = from_networkx(nxg)
+        assert g.num_edges == 1
+        assert g.edge_weight(1, 2) == 2.0
+
+    def test_self_loop_rejected(self):
+        nxg = nx.Graph()
+        nxg.add_edge(1, 1)
+        with pytest.raises(ValueError):
+            from_networkx(nxg)
+
+    def test_roundtrip(self, medium_random):
+        back = from_networkx(to_networkx(medium_random))
+        assert set(back.nodes()) == set(medium_random.nodes())
+        ours = {frozenset((u, v)): w for u, v, w in medium_random.weighted_edges()}
+        theirs = {frozenset((u, v)): w for u, v, w in back.weighted_edges()}
+        assert ours == theirs

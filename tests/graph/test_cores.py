@@ -1,0 +1,127 @@
+"""Tests for k-core decomposition."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import Graph, core_numbers, core_profile, degeneracy, k_core
+
+
+class TestCoreNumbers:
+    def test_complete_graph(self, k4):
+        assert core_numbers(k4) == {0: 3, 1: 3, 2: 3, 3: 3}
+
+    def test_star_is_one_core(self, star):
+        cores = core_numbers(star)
+        assert all(c == 1 for c in cores.values())
+
+    def test_path(self, path4):
+        assert all(c == 1 for c in core_numbers(path4).values())
+
+    def test_triangle_with_pendant(self):
+        g = Graph()
+        for a, b in [(0, 1), (1, 2), (2, 0), (0, 9)]:
+            g.add_edge(a, b)
+        cores = core_numbers(g)
+        assert cores[9] == 1
+        assert cores[0] == cores[1] == cores[2] == 2
+
+    def test_isolated_node_zero(self):
+        g = Graph()
+        g.add_node(0)
+        assert core_numbers(g) == {0: 0}
+
+    def test_empty(self):
+        assert core_numbers(Graph()) == {}
+
+    def test_matches_networkx(self, medium_random):
+        import networkx as nx
+
+        from repro.graph.convert import to_networkx
+
+        assert core_numbers(medium_random) == nx.core_number(to_networkx(medium_random))
+
+    def test_matches_networkx_on_disconnected(self, two_triangles):
+        import networkx as nx
+
+        from repro.graph.convert import to_networkx
+
+        assert core_numbers(two_triangles) == nx.core_number(to_networkx(two_triangles))
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 12), st.integers(0, 12)).filter(
+                lambda t: t[0] != t[1]
+            ),
+            max_size=50,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_core_definition_property(self, edges):
+        # Every node in the k-core subgraph has internal degree >= its core k.
+        g = Graph()
+        for u, v in edges:
+            g.add_edge(u, v)
+        cores = core_numbers(g)
+        for k in set(cores.values()):
+            sub = k_core(g, k)
+            for node in sub.nodes():
+                assert sub.degree(node) >= min(k, cores[node]) or sub.degree(node) >= k
+
+
+class TestKCore:
+    def test_pendant_removed(self):
+        g = Graph()
+        for a, b in [(0, 1), (1, 2), (2, 0), (0, 9)]:
+            g.add_edge(a, b)
+        core2 = k_core(g, 2)
+        assert set(core2.nodes()) == {0, 1, 2}
+
+    def test_zero_core_is_everything(self, star):
+        assert k_core(star, 0).num_nodes == star.num_nodes
+
+    def test_too_deep_core_empty(self, k4):
+        assert k_core(k4, 4).num_nodes == 0
+
+    def test_negative_k_rejected(self, k4):
+        with pytest.raises(ValueError):
+            k_core(k4, -1)
+
+
+class TestDegeneracy:
+    def test_complete(self, k5):
+        assert degeneracy(k5) == 4
+
+    def test_tree(self, star):
+        assert degeneracy(star) == 1
+
+    def test_empty(self):
+        assert degeneracy(Graph()) == 0
+
+    def test_ba_graph_equals_m(self):
+        # Plain BA has degeneracy exactly m: the known shallow-core failure.
+        from repro.generators import BarabasiAlbertGenerator
+
+        g = BarabasiAlbertGenerator(m=3).generate(300, seed=1)
+        assert degeneracy(g) == 3
+
+
+class TestCoreProfile:
+    def test_shell_sizes_sum_to_n(self, medium_random):
+        profile = core_profile(medium_random)
+        assert sum(profile.shell_sizes.values()) == medium_random.num_nodes
+
+    def test_core_sizes_monotone(self, medium_random):
+        profile = core_profile(medium_random)
+        sizes = [profile.core_sizes[k] for k in sorted(profile.core_sizes)]
+        assert all(sizes[i] >= sizes[i + 1] for i in range(len(sizes) - 1))
+
+    def test_zero_core_is_n(self, medium_random):
+        profile = core_profile(medium_random)
+        assert profile.core_sizes[0] == medium_random.num_nodes
+
+    def test_rows_aligned(self, k4):
+        profile = core_profile(k4)
+        rows = profile.rows()
+        assert (3, 4, 4) in rows
+        assert profile.degeneracy == 3

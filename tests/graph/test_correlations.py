@@ -1,0 +1,104 @@
+"""Tests for degree-degree correlations."""
+
+import pytest
+
+from repro.graph import (
+    Graph,
+    average_neighbor_degree,
+    degree_assortativity,
+    knn_by_degree,
+    knn_spectrum,
+    normalized_knn_spectrum,
+)
+
+
+class TestAverageNeighborDegree:
+    def test_star(self, star):
+        knn = average_neighbor_degree(star)
+        assert knn[0] == 1.0      # hub's neighbors are leaves
+        assert knn[1] == 5.0      # leaf's neighbor is the hub
+
+    def test_regular_graph(self, k4):
+        assert all(v == 3.0 for v in average_neighbor_degree(k4).values())
+
+    def test_isolated_node_zero(self):
+        g = Graph()
+        g.add_node(0)
+        assert average_neighbor_degree(g) == {0: 0.0}
+
+    def test_matches_networkx(self, medium_random):
+        import networkx as nx
+
+        from repro.graph.convert import to_networkx
+
+        ours = average_neighbor_degree(medium_random)
+        theirs = nx.average_neighbor_degree(to_networkx(medium_random))
+        for node in ours:
+            assert ours[node] == pytest.approx(theirs[node])
+
+
+class TestKnnByDegree:
+    def test_star_by_degree(self, star):
+        assert knn_by_degree(star) == {1: 5.0, 5: 1.0}
+
+    def test_disassortative_decay(self, star):
+        spectrum = knn_by_degree(star)
+        ks = sorted(spectrum)
+        assert spectrum[ks[0]] > spectrum[ks[-1]]
+
+    def test_empty(self):
+        assert knn_by_degree(Graph()) == {}
+
+    def test_spectrum_is_binned(self, medium_random):
+        spectrum = knn_spectrum(medium_random, bins_per_decade=5)
+        assert spectrum
+        ks = [k for k, _ in spectrum]
+        assert ks == sorted(ks)
+
+
+class TestNormalizedKnn:
+    def test_uncorrelated_near_one(self):
+        # An ER-like graph is uncorrelated: normalized knn should hover ~1.
+        from repro.generators import ErdosRenyiGnm
+
+        g = ErdosRenyiGnm(m=2500).generate(500, seed=4)
+        spectrum = normalized_knn_spectrum(g)
+        values = [v for _, v in spectrum]
+        assert all(0.7 < v < 1.3 for v in values)
+
+    def test_empty(self):
+        assert normalized_knn_spectrum(Graph()) == []
+
+
+class TestAssortativity:
+    def test_star_fully_disassortative(self, star):
+        assert degree_assortativity(star) == pytest.approx(-1.0)
+
+    def test_regular_graph_undefined_returns_zero(self, k4):
+        assert degree_assortativity(k4) == 0.0
+
+    def test_empty_graph(self):
+        assert degree_assortativity(Graph()) == 0.0
+
+    def test_assortative_example(self):
+        # Two hubs joined to each other plus pendant leaves: joining equals.
+        g = Graph()
+        g.add_edge("h1", "h2")
+        for i in range(3):
+            g.add_edge("h1", f"a{i}")
+            g.add_edge("h2", f"b{i}")
+        # still disassortative due to hub-leaf edges, but the hub-hub edge
+        # raises r above the pure-star value.
+        assert degree_assortativity(g) > -1.0
+
+    def test_matches_networkx(self, medium_random):
+        import networkx as nx
+
+        from repro.graph.convert import to_networkx
+
+        ours = degree_assortativity(medium_random)
+        theirs = nx.degree_assortativity_coefficient(to_networkx(medium_random))
+        assert ours == pytest.approx(theirs, abs=1e-9)
+
+    def test_range(self, medium_random):
+        assert -1.0 <= degree_assortativity(medium_random) <= 1.0

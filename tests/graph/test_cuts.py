@@ -1,0 +1,110 @@
+"""Tests for bridges and articulation points."""
+
+import pytest
+
+from repro.graph import (
+    Graph,
+    articulation_points,
+    bridges,
+    two_edge_connected_core,
+)
+
+
+class TestBridges:
+    def test_path_all_bridges(self, path4):
+        assert bridges(path4) == {
+            frozenset((0, 1)),
+            frozenset((1, 2)),
+            frozenset((2, 3)),
+        }
+
+    def test_cycle_no_bridges(self, square):
+        assert bridges(square) == set()
+
+    def test_barbell_bridge(self, barbell):
+        assert bridges(barbell) == {frozenset((2, 3))}
+
+    def test_star_all_bridges(self, star):
+        assert len(bridges(star)) == 5
+
+    def test_complete_graph_none(self, k5):
+        assert bridges(k5) == set()
+
+    def test_disconnected_handled(self, two_triangles):
+        assert bridges(two_triangles) == set()
+
+    def test_matches_networkx(self, medium_random):
+        import networkx as nx
+
+        from repro.graph.convert import to_networkx
+
+        ours = bridges(medium_random)
+        theirs = {frozenset(e) for e in nx.bridges(to_networkx(medium_random))}
+        assert ours == theirs
+
+    def test_matches_networkx_on_sparse_model(self):
+        import networkx as nx
+
+        from repro.generators import GlpGenerator
+        from repro.graph.convert import to_networkx
+
+        g = GlpGenerator().generate(300, seed=4)
+        ours = bridges(g)
+        theirs = {frozenset(e) for e in nx.bridges(to_networkx(g))}
+        assert ours == theirs
+
+
+class TestArticulationPoints:
+    def test_path_interior(self, path4):
+        assert articulation_points(path4) == {1, 2}
+
+    def test_cycle_none(self, square):
+        assert articulation_points(square) == set()
+
+    def test_star_hub(self, star):
+        assert articulation_points(star) == {0}
+
+    def test_barbell_bridge_endpoints(self, barbell):
+        assert articulation_points(barbell) == {2, 3}
+
+    def test_complete_none(self, k5):
+        assert articulation_points(k5) == set()
+
+    def test_matches_networkx(self, medium_random):
+        import networkx as nx
+
+        from repro.graph.convert import to_networkx
+
+        ours = articulation_points(medium_random)
+        theirs = set(nx.articulation_points(to_networkx(medium_random)))
+        assert ours == theirs
+
+    def test_matches_networkx_with_leaves(self):
+        import networkx as nx
+
+        from repro.generators import InetGenerator
+        from repro.graph.convert import to_networkx
+
+        g = InetGenerator().generate(300, seed=5)
+        ours = articulation_points(g)
+        theirs = set(nx.articulation_points(to_networkx(g)))
+        assert ours == theirs
+
+
+class TestTwoEdgeConnectedCore:
+    def test_strips_stub_fringe(self, barbell):
+        core = two_edge_connected_core(barbell)
+        # Removing the bridge leaves two triangles; the giant is one of them.
+        assert core.num_nodes == 3
+        assert bridges(core) == set()
+
+    def test_cycle_is_its_own_core(self, square):
+        assert two_edge_connected_core(square).num_nodes == 4
+
+    def test_core_of_model_is_bridge_free(self):
+        from repro.generators import GlpGenerator
+
+        g = GlpGenerator().generate(300, seed=6)
+        core = two_edge_connected_core(g)
+        assert bridges(core) == set()
+        assert 0 < core.num_nodes <= g.num_nodes

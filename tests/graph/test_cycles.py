@@ -1,0 +1,101 @@
+"""Tests for short-cycle counting via trace identities."""
+
+import pytest
+
+from repro.graph import Graph, count_cycles, cycle_counts_3_4_5
+
+
+class TestKnownGraphs:
+    def test_triangle(self, triangle):
+        assert cycle_counts_3_4_5(triangle) == {3: 1, 4: 0, 5: 0}
+
+    def test_square(self, square):
+        assert cycle_counts_3_4_5(square) == {3: 0, 4: 1, 5: 0}
+
+    def test_five_cycle(self):
+        g = Graph()
+        for i in range(5):
+            g.add_edge(i, (i + 1) % 5)
+        assert cycle_counts_3_4_5(g) == {3: 0, 4: 0, 5: 1}
+
+    def test_k4(self, k4):
+        assert cycle_counts_3_4_5(k4) == {3: 4, 4: 3, 5: 0}
+
+    def test_k5(self, k5):
+        # K5: C(5,3)=10 triangles, 15 four-cycles, 12 five-cycles.
+        assert cycle_counts_3_4_5(k5) == {3: 10, 4: 15, 5: 12}
+
+    def test_petersen(self, petersen):
+        # Petersen graph: girth 5 with exactly 12 pentagons.
+        assert cycle_counts_3_4_5(petersen) == {3: 0, 4: 0, 5: 12}
+
+    def test_star_acyclic(self, star):
+        assert cycle_counts_3_4_5(star) == {3: 0, 4: 0, 5: 0}
+
+    def test_empty(self):
+        assert cycle_counts_3_4_5(Graph()) == {3: 0, 4: 0, 5: 0}
+
+    def test_complete_bipartite_k23(self):
+        g = Graph()
+        for u in ("a", "b"):
+            for v in (1, 2, 3):
+                g.add_edge(u, v)
+        # K_{2,3}: no odd cycles; C(2,2)*C(3,2) = 3 four-cycles.
+        assert cycle_counts_3_4_5(g) == {3: 0, 4: 3, 5: 0}
+
+    def test_weights_ignored(self):
+        g = Graph()
+        g.add_edge(0, 1, weight=7)
+        g.add_edge(1, 2, weight=7)
+        g.add_edge(2, 0, weight=7)
+        assert cycle_counts_3_4_5(g)[3] == 1
+
+
+class TestCountCycles:
+    def test_single_length(self, k4):
+        assert count_cycles(k4, 3) == 4
+        assert count_cycles(k4, 4) == 3
+        assert count_cycles(k4, 5) == 0
+
+    def test_unsupported_length_rejected(self, k4):
+        with pytest.raises(ValueError):
+            count_cycles(k4, 6)
+
+
+class TestAgainstNetworkxEnumeration:
+    def test_triangles_match_on_random_graph(self, medium_random):
+        import networkx as nx
+
+        from repro.graph.convert import to_networkx
+
+        triangles = sum(nx.triangles(to_networkx(medium_random)).values()) // 3
+        assert cycle_counts_3_4_5(medium_random)[3] == triangles
+
+    def test_cycles_match_explicit_enumeration(self):
+        # Brute-force enumeration oracle on a small random graph.
+        import itertools
+
+        from repro.generators import ErdosRenyiGnm
+
+        g = ErdosRenyiGnm(m=30).generate(12, seed=5)
+        nodes = list(g.nodes())
+
+        def is_cycle(order):
+            return all(
+                g.has_edge(order[i], order[(i + 1) % len(order)])
+                for i in range(len(order))
+            )
+
+        expected = {}
+        for h in (3, 4, 5):
+            count = 0
+            for combo in itertools.combinations(nodes, h):
+                for perm in itertools.permutations(combo[1:]):
+                    order = (combo[0],) + perm
+                    if is_cycle(order):
+                        count += 1
+            expected[h] = count // (2 * 1)  # each cycle seen twice (direction)
+
+        ours = cycle_counts_3_4_5(g)
+        for h in (3, 4, 5):
+            assert ours[h] == expected[h], f"mismatch at h={h}"

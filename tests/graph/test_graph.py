@@ -1,0 +1,242 @@
+"""Tests for the Graph engine."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import Graph
+
+
+class TestNodes:
+    def test_empty_graph(self):
+        g = Graph()
+        assert g.num_nodes == 0
+        assert g.num_edges == 0
+        assert len(g) == 0
+
+    def test_add_node(self):
+        g = Graph()
+        g.add_node(5)
+        assert g.has_node(5)
+        assert 5 in g
+        assert g.degree(5) == 0
+
+    def test_add_node_idempotent(self):
+        g = Graph()
+        g.add_edge(1, 2)
+        g.add_node(1)  # must not clear adjacency
+        assert g.degree(1) == 1
+
+    def test_add_nodes_bulk(self):
+        g = Graph()
+        g.add_nodes(range(5))
+        assert g.num_nodes == 5
+
+    def test_remove_node_drops_incident_edges(self):
+        g = Graph()
+        g.add_edge(1, 2)
+        g.add_edge(1, 3)
+        g.remove_node(1)
+        assert not g.has_node(1)
+        assert g.num_edges == 0
+        assert g.degree(2) == 0
+
+    def test_remove_missing_node_raises(self):
+        with pytest.raises(KeyError):
+            Graph().remove_node(1)
+
+    def test_string_node_ids(self):
+        g = Graph()
+        g.add_edge("AS1", "AS2")
+        assert g.degree("AS1") == 1
+
+    def test_iteration(self):
+        g = Graph()
+        g.add_nodes([3, 1, 2])
+        assert set(g) == {1, 2, 3}
+
+
+class TestEdges:
+    def test_add_edge_creates_nodes(self):
+        g = Graph()
+        g.add_edge(1, 2)
+        assert g.has_node(1) and g.has_node(2)
+        assert g.num_edges == 1
+
+    def test_edge_is_undirected(self):
+        g = Graph()
+        g.add_edge(1, 2)
+        assert g.has_edge(2, 1)
+        assert g.edge_weight(2, 1) == 1.0
+
+    def test_self_loop_rejected(self):
+        g = Graph()
+        with pytest.raises(ValueError):
+            g.add_edge(1, 1)
+
+    def test_nonpositive_weight_rejected(self):
+        g = Graph()
+        with pytest.raises(ValueError):
+            g.add_edge(1, 2, weight=0)
+        with pytest.raises(ValueError):
+            g.add_edge(1, 2, weight=-1)
+
+    def test_reinforcement_accumulates_weight(self):
+        g = Graph()
+        g.add_edge(1, 2)
+        g.add_edge(1, 2)
+        g.add_edge(1, 2, weight=0.5)
+        assert g.num_edges == 1
+        assert g.edge_weight(1, 2) == pytest.approx(2.5)
+        assert g.total_weight == pytest.approx(2.5)
+
+    def test_set_edge_weight(self):
+        g = Graph()
+        g.add_edge(1, 2, weight=3.0)
+        g.set_edge_weight(1, 2, 7.0)
+        assert g.edge_weight(1, 2) == 7.0
+        assert g.total_weight == 7.0
+
+    def test_set_edge_weight_missing_raises(self):
+        g = Graph()
+        with pytest.raises(KeyError):
+            g.set_edge_weight(1, 2, 1.0)
+
+    def test_remove_edge(self):
+        g = Graph()
+        g.add_edge(1, 2, weight=4.0)
+        g.remove_edge(2, 1)
+        assert g.num_edges == 0
+        assert g.total_weight == 0.0
+        assert g.has_node(1)  # nodes stay
+
+    def test_remove_missing_edge_raises(self):
+        g = Graph()
+        g.add_node(1)
+        g.add_node(2)
+        with pytest.raises(KeyError):
+            g.remove_edge(1, 2)
+
+    def test_edge_weight_default(self):
+        g = Graph()
+        g.add_node(1)
+        assert g.edge_weight(1, 2, default=0.0) == 0.0
+        with pytest.raises(KeyError):
+            g.edge_weight(1, 2)
+
+    def test_edges_yields_each_pair_once(self, k4):
+        edges = list(k4.edges())
+        assert len(edges) == 6
+        normalized = {frozenset(e) for e in edges}
+        assert len(normalized) == 6
+
+    def test_weighted_edges(self):
+        g = Graph()
+        g.add_edge(1, 2, weight=2.0)
+        g.add_edge(2, 3)
+        assert sorted((min(u, v), max(u, v), w) for u, v, w in g.weighted_edges()) == [
+            (1, 2, 2.0),
+            (2, 3, 1.0),
+        ]
+
+
+class TestDegreesAndStrength:
+    def test_degree_vs_strength(self):
+        g = Graph()
+        g.add_edge(1, 2)
+        g.add_edge(1, 2)
+        g.add_edge(1, 3)
+        assert g.degree(1) == 2
+        assert g.strength(1) == pytest.approx(3.0)
+
+    def test_degree_sequence_sorted(self, star):
+        assert star.degree_sequence() == [5, 1, 1, 1, 1, 1]
+
+    def test_average_degree(self, k4):
+        assert k4.average_degree == pytest.approx(3.0)
+
+    def test_average_degree_empty(self):
+        assert Graph().average_degree == 0.0
+
+    def test_max_degree(self, star):
+        assert star.max_degree == 5
+
+    def test_degrees_mapping(self, triangle):
+        assert triangle.degrees() == {0: 2, 1: 2, 2: 2}
+
+    def test_strengths_mapping(self):
+        g = Graph()
+        g.add_edge(1, 2, weight=3.0)
+        assert g.strengths() == {1: 3.0, 2: 3.0}
+
+    def test_handshake_lemma(self, medium_random):
+        assert sum(medium_random.degrees().values()) == 2 * medium_random.num_edges
+
+
+class TestDerived:
+    def test_copy_is_independent(self, triangle):
+        clone = triangle.copy()
+        clone.add_edge(0, 99)
+        assert not triangle.has_node(99)
+        assert triangle.num_edges == 3
+
+    def test_copy_preserves_weights(self):
+        g = Graph(name="x")
+        g.add_edge(1, 2, weight=2.5)
+        clone = g.copy()
+        assert clone.edge_weight(1, 2) == 2.5
+        assert clone.name == "x"
+        assert clone.total_weight == 2.5
+
+    def test_subgraph_induces_edges(self, k4):
+        sub = k4.subgraph([0, 1, 2])
+        assert sub.num_nodes == 3
+        assert sub.num_edges == 3
+
+    def test_subgraph_keeps_weights(self):
+        g = Graph()
+        g.add_edge(1, 2, weight=4.0)
+        g.add_edge(2, 3)
+        sub = g.subgraph([1, 2])
+        assert sub.edge_weight(1, 2) == 4.0
+
+    def test_subgraph_ignores_unknown_nodes(self, triangle):
+        sub = triangle.subgraph([0, 1, 99])
+        assert sub.num_nodes == 2
+        assert not sub.has_node(99)
+
+    def test_relabeled_consecutive(self):
+        g = Graph()
+        g.add_edge("a", "b", weight=2.0)
+        g.add_edge("b", "c")
+        out = g.relabeled()
+        assert set(out.nodes()) == {0, 1, 2}
+        assert out.num_edges == 2
+        assert out.total_weight == pytest.approx(3.0)
+
+    def test_repr_mentions_counts(self, triangle):
+        assert "3 nodes" in repr(triangle)
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 15), st.integers(0, 15)).filter(
+                lambda t: t[0] != t[1]
+            ),
+            max_size=60,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_invariants_hold_under_arbitrary_insertion(self, edges):
+        g = Graph()
+        for u, v in edges:
+            g.add_edge(u, v)
+        # handshake lemma
+        assert sum(g.degrees().values()) == 2 * g.num_edges
+        # edge iteration count matches num_edges
+        assert len(list(g.edges())) == g.num_edges
+        # total weight equals sum over weighted_edges
+        assert g.total_weight == pytest.approx(
+            sum(w for _, _, w in g.weighted_edges())
+        )
+        # strength sums to twice total weight
+        assert sum(g.strengths().values()) == pytest.approx(2 * g.total_weight)

@@ -1,0 +1,100 @@
+"""Tests for graph serialization."""
+
+import pytest
+
+from repro.graph import (
+    Graph,
+    edge_list_lines,
+    parse_edge_list_lines,
+    read_edge_list,
+    read_json,
+    write_edge_list,
+    write_json,
+)
+
+
+def graphs_equal(a: Graph, b: Graph) -> bool:
+    if set(a.nodes()) != set(b.nodes()):
+        return False
+    edges_a = {frozenset((u, v)): w for u, v, w in a.weighted_edges()}
+    edges_b = {frozenset((u, v)): w for u, v, w in b.weighted_edges()}
+    return edges_a == edges_b
+
+
+class TestEdgeList:
+    def test_roundtrip(self, tmp_path, medium_random):
+        path = tmp_path / "g.txt"
+        write_edge_list(medium_random, path)
+        loaded = read_edge_list(path)
+        assert graphs_equal(medium_random, loaded)
+
+    def test_roundtrip_weights(self, tmp_path):
+        g = Graph()
+        g.add_edge(1, 2, weight=3.5)
+        g.add_edge(2, 3)
+        path = tmp_path / "w.txt"
+        write_edge_list(g, path)
+        loaded = read_edge_list(path)
+        assert loaded.edge_weight(1, 2) == 3.5
+        assert loaded.edge_weight(2, 3) == 1.0
+
+    def test_comments_and_blanks_skipped(self):
+        g = parse_edge_list_lines(["# comment", "", "1 2", "  ", "2 3 2.0"])
+        assert g.num_edges == 2
+        assert g.edge_weight(2, 3) == 2.0
+
+    def test_header_comment_written(self, tmp_path, triangle):
+        path = tmp_path / "h.txt"
+        write_edge_list(triangle, path)
+        assert path.read_text().startswith("#")
+
+    def test_bad_line_raises_with_lineno(self):
+        with pytest.raises(ValueError, match="line 2"):
+            parse_edge_list_lines(["1 2", "1 2 3 4"])
+
+    def test_string_ids_preserved(self):
+        g = parse_edge_list_lines(["AS1 AS2"])
+        assert g.has_edge("AS1", "AS2")
+
+    def test_numeric_ids_become_ints(self):
+        g = parse_edge_list_lines(["1 2"])
+        assert g.has_edge(1, 2)
+        assert not g.has_node("1")
+
+    def test_duplicate_lines_reinforce(self):
+        g = parse_edge_list_lines(["1 2", "1 2"])
+        assert g.num_edges == 1
+        assert g.edge_weight(1, 2) == 2.0
+
+    def test_lines_without_weights(self, triangle):
+        lines = list(edge_list_lines(triangle, weights=False))
+        assert all(len(line.split()) == 2 for line in lines)
+
+    def test_read_names_graph_from_stem(self, tmp_path, triangle):
+        path = tmp_path / "mygraph.txt"
+        write_edge_list(triangle, path)
+        assert read_edge_list(path).name == "mygraph"
+
+
+class TestJson:
+    def test_roundtrip(self, tmp_path, medium_random):
+        path = tmp_path / "g.json"
+        write_json(medium_random, path)
+        assert graphs_equal(medium_random, read_json(path))
+
+    def test_isolated_nodes_survive(self, tmp_path):
+        g = Graph(name="iso")
+        g.add_node(1)
+        g.add_edge(2, 3)
+        path = tmp_path / "iso.json"
+        write_json(g, path)
+        loaded = read_json(path)
+        assert loaded.has_node(1)
+        assert loaded.name == "iso"
+
+    def test_weights_survive(self, tmp_path):
+        g = Graph()
+        g.add_edge(1, 2, weight=9.5)
+        path = tmp_path / "w.json"
+        write_json(g, path)
+        assert read_json(path).edge_weight(1, 2) == 9.5

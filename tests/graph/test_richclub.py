@@ -1,0 +1,77 @@
+"""Tests for rich-club coefficients."""
+
+import pytest
+
+from repro.graph import (
+    Graph,
+    normalized_rich_club,
+    rich_club_coefficient,
+    rich_club_spectrum,
+)
+from repro.generators import rewired_reference
+
+
+class TestRichClub:
+    def test_complete_graph_all_one(self, k5):
+        phi = rich_club_coefficient(k5)
+        assert all(v == 1.0 for v in phi.values())
+
+    def test_star_structure(self, star):
+        phi = rich_club_coefficient(star)
+        # phi(k) for k in 0..4: club is all 6 nodes at k=0 → 5 edges/15 pairs.
+        assert phi[0] == pytest.approx(5 / 15)
+        # For 1 <= k < 5 the club is just the hub (size 1): omitted.
+        assert set(phi) == {0}
+
+    def test_two_hubs_connected(self):
+        g = Graph()
+        g.add_edge("h1", "h2")
+        for i in range(3):
+            g.add_edge("h1", f"a{i}")
+            g.add_edge("h2", f"b{i}")
+        phi = rich_club_coefficient(g)
+        # Club above degree 1 = the two hubs, fully connected.
+        assert phi[1] == 1.0
+        assert phi[3] == 1.0
+
+    def test_empty(self):
+        assert rich_club_coefficient(Graph()) == {}
+
+    def test_matches_networkx(self, medium_random):
+        import networkx as nx
+
+        from repro.graph.convert import to_networkx
+
+        ours = rich_club_coefficient(medium_random)
+        theirs = nx.rich_club_coefficient(to_networkx(medium_random), normalized=False)
+        for k in theirs:
+            assert ours[k] == pytest.approx(theirs[k])
+
+
+class TestNormalized:
+    def test_identity_reference_is_one(self, medium_random):
+        rho = normalized_rich_club(medium_random, medium_random)
+        assert all(v == pytest.approx(1.0) for v in rho.values())
+
+    def test_against_rewired_null(self, medium_random):
+        null = rewired_reference(medium_random, swaps_per_edge=5, seed=3)
+        rho = normalized_rich_club(medium_random, null)
+        assert rho  # non-empty
+        assert all(v > 0 for v in rho.values())
+
+    def test_zero_reference_thresholds_omitted(self, star, k5):
+        # star's phi only defined at k=0; K5 reference has phi at 0..3.
+        rho = normalized_rich_club(star, k5)
+        assert set(rho) <= {0}
+
+
+class TestSpectrum:
+    def test_sorted_rows(self, medium_random):
+        rows = rich_club_spectrum(medium_random)
+        ks = [k for k, _ in rows]
+        assert ks == sorted(ks)
+
+    def test_with_reference(self, medium_random):
+        null = rewired_reference(medium_random, swaps_per_edge=2, seed=4)
+        rows = rich_club_spectrum(medium_random, reference=null)
+        assert rows

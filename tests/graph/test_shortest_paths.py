@@ -1,0 +1,101 @@
+"""Tests for path-length statistics."""
+
+import pytest
+
+from repro.graph import (
+    Graph,
+    average_path_length,
+    diameter,
+    eccentricities,
+    path_length_distribution,
+)
+
+
+class TestDistribution:
+    def test_triangle_all_distance_one(self, triangle):
+        stats = path_length_distribution(triangle)
+        assert stats.counts == {1: 6}  # 3 pairs, both directions
+        assert stats.mean == 1.0
+        assert stats.exact
+
+    def test_path4_counts(self, path4):
+        stats = path_length_distribution(path4)
+        # ordered pairs: d=1 x6, d=2 x4, d=3 x2
+        assert stats.counts == {1: 6, 2: 4, 3: 2}
+        assert stats.mean == pytest.approx((6 + 8 + 6) / 12)
+
+    def test_max_observed_is_diameter(self, path4):
+        assert path_length_distribution(path4).max_observed == 3
+
+    def test_probabilities_normalize(self, k4):
+        probs = path_length_distribution(k4).probabilities()
+        assert sum(p for _, p in probs) == pytest.approx(1.0)
+
+    def test_empty_graph(self):
+        stats = path_length_distribution(Graph())
+        assert stats.total_pairs == 0
+        assert stats.mean == 0.0
+
+    def test_sampling_reduces_sources(self, medium_random):
+        stats = path_length_distribution(medium_random, max_sources=20, seed=1)
+        assert stats.sources == 20
+        assert not stats.exact
+
+    def test_sampling_estimate_close_to_exact(self, medium_random):
+        exact = path_length_distribution(medium_random).mean
+        sampled = path_length_distribution(medium_random, max_sources=60, seed=2).mean
+        assert sampled == pytest.approx(exact, rel=0.1)
+
+    def test_sampled_reproducible(self, medium_random):
+        a = path_length_distribution(medium_random, max_sources=10, seed=3)
+        b = path_length_distribution(medium_random, max_sources=10, seed=3)
+        assert a.counts == b.counts
+
+    def test_oversized_sample_is_exact(self, triangle):
+        stats = path_length_distribution(triangle, max_sources=100)
+        assert stats.exact
+
+
+class TestAveragePathLength:
+    def test_star(self, star):
+        # hub-leaf pairs at 1 (x5), leaf-leaf at 2 (x10): mean over 15 pairs.
+        assert average_path_length(star) == pytest.approx((5 * 1 + 10 * 2) / 15)
+
+    def test_matches_networkx(self, medium_random):
+        import networkx as nx
+
+        from repro.graph.convert import to_networkx
+
+        ours = average_path_length(medium_random)
+        theirs = nx.average_shortest_path_length(to_networkx(medium_random))
+        assert ours == pytest.approx(theirs)
+
+
+class TestEccentricityDiameter:
+    def test_path_eccentricities(self, path4):
+        assert eccentricities(path4) == {0: 3, 1: 2, 2: 2, 3: 3}
+
+    def test_diameter_path(self, path4):
+        assert diameter(path4) == 3
+
+    def test_diameter_complete(self, k4):
+        assert diameter(k4) == 1
+
+    def test_diameter_disconnected_raises(self, two_triangles):
+        with pytest.raises(ValueError):
+            diameter(two_triangles)
+
+    def test_diameter_empty(self):
+        assert diameter(Graph()) == 0
+
+    def test_isolated_node_eccentricity_zero(self):
+        g = Graph()
+        g.add_node(0)
+        assert eccentricities(g) == {0: 0}
+
+    def test_diameter_matches_networkx(self, medium_random):
+        import networkx as nx
+
+        from repro.graph.convert import to_networkx
+
+        assert diameter(medium_random) == nx.diameter(to_networkx(medium_random))

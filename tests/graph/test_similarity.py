@@ -1,0 +1,98 @@
+"""Tests for distributional graph distances."""
+
+import math
+
+import pytest
+
+from repro.generators import BarabasiAlbertGenerator, ErdosRenyiGnm, GlpGenerator
+from repro.graph import (
+    clustering_spectrum_distance,
+    core_profile_distance,
+    degree_distribution_distance,
+    path_length_distance,
+    similarity_report,
+)
+
+
+@pytest.fixture(scope="module")
+def ba_pair():
+    return (
+        BarabasiAlbertGenerator(m=2).generate(300, seed=1),
+        BarabasiAlbertGenerator(m=2).generate(300, seed=2),
+    )
+
+
+@pytest.fixture(scope="module")
+def er_graph():
+    return ErdosRenyiGnm(m=600).generate(300, seed=3)
+
+
+class TestDegreeDistance:
+    def test_self_zero(self, ba_pair):
+        assert degree_distribution_distance(ba_pair[0], ba_pair[0]) == 0.0
+
+    def test_same_model_small(self, ba_pair):
+        assert degree_distribution_distance(*ba_pair) < 0.15
+
+    def test_cross_model_larger(self, ba_pair, er_graph):
+        same = degree_distribution_distance(*ba_pair)
+        cross = degree_distribution_distance(ba_pair[0], er_graph)
+        assert cross > same
+
+    def test_symmetric(self, ba_pair, er_graph):
+        assert degree_distribution_distance(
+            ba_pair[0], er_graph
+        ) == pytest.approx(degree_distribution_distance(er_graph, ba_pair[0]))
+
+
+class TestClusteringDistance:
+    def test_self_zero(self, ba_pair):
+        assert clustering_spectrum_distance(ba_pair[0], ba_pair[0]) == 0.0
+
+    def test_clustered_vs_unclustered(self, er_graph):
+        glp = GlpGenerator().generate(300, seed=4)
+        assert clustering_spectrum_distance(glp, er_graph) > 0.01
+
+    def test_no_shared_degrees_nan(self, triangle, star):
+        # triangle degrees {2}, star degrees {1, 5}: no shared k >= 2.
+        assert math.isnan(clustering_spectrum_distance(triangle, star))
+
+
+class TestPathDistance:
+    def test_self_zero(self, ba_pair):
+        assert path_length_distance(ba_pair[0], ba_pair[0]) == 0.0
+
+    def test_bounded(self, ba_pair, er_graph):
+        d = path_length_distance(ba_pair[0], er_graph)
+        assert 0.0 <= d <= 1.0
+
+    def test_long_vs_short_paths(self, path4, k4):
+        assert path_length_distance(path4, k4) > 0.3
+
+
+class TestCoreDistance:
+    def test_self_zero(self, ba_pair):
+        assert core_profile_distance(ba_pair[0], ba_pair[0]) == 0.0
+
+    def test_deep_vs_shallow(self, er_graph):
+        glp = GlpGenerator().generate(300, seed=5)
+        assert core_profile_distance(glp, er_graph) > 0.1
+
+    def test_bounded(self, ba_pair, er_graph):
+        assert 0.0 <= core_profile_distance(ba_pair[0], er_graph) <= 1.0
+
+
+class TestReport:
+    def test_keys(self, ba_pair):
+        report = similarity_report(*ba_pair)
+        assert set(report) == {
+            "degree_ks",
+            "clustering_spectrum",
+            "path_length_tv",
+            "core_profile_l1",
+        }
+
+    def test_self_report_all_zero(self, ba_pair):
+        report = similarity_report(ba_pair[0], ba_pair[0])
+        for key, value in report.items():
+            assert value == 0.0 or math.isnan(value), key

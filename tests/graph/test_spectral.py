@@ -1,0 +1,127 @@
+"""Tests for spectral measurements."""
+
+import math
+
+import pytest
+
+from repro.graph import (
+    Graph,
+    algebraic_connectivity,
+    epidemic_threshold,
+    laplacian_matrix,
+    normalized_spectral_gap,
+    spectral_radius,
+)
+
+
+class TestSpectralRadius:
+    def test_complete_graph(self, k4):
+        # K_n has lambda_1 = n - 1.
+        assert spectral_radius(k4) == pytest.approx(3.0)
+
+    def test_star(self, star):
+        # Star with L leaves: lambda_1 = sqrt(L).
+        assert spectral_radius(star) == pytest.approx(math.sqrt(5.0))
+
+    def test_cycle(self, square):
+        assert spectral_radius(square) == pytest.approx(2.0)
+
+    def test_bounded_by_max_degree(self, medium_random):
+        radius = spectral_radius(medium_random)
+        degrees = list(medium_random.degrees().values())
+        mean_k = sum(degrees) / len(degrees)
+        assert mean_k <= radius + 1e-9 <= medium_random.max_degree + 1e-9
+
+    def test_matches_networkx(self, medium_random):
+        import networkx as nx
+        import numpy as np
+
+        from repro.graph.convert import to_networkx
+
+        ours = spectral_radius(medium_random)
+        theirs = max(np.real(nx.adjacency_spectrum(to_networkx(medium_random), weight=None)))
+        assert ours == pytest.approx(float(theirs), abs=1e-6)
+
+    def test_too_small_rejected(self):
+        g = Graph()
+        g.add_node(0)
+        with pytest.raises(ValueError):
+            spectral_radius(g)
+
+
+class TestAlgebraicConnectivity:
+    def test_disconnected_is_zero(self, two_triangles):
+        assert algebraic_connectivity(two_triangles) == pytest.approx(0.0, abs=1e-8)
+
+    def test_complete_graph(self, k4):
+        # K_n has lambda_2 = n.
+        assert algebraic_connectivity(k4) == pytest.approx(4.0)
+
+    def test_path_is_weakly_connected(self, path4):
+        fiedler = algebraic_connectivity(path4)
+        assert 0 < fiedler < 1.0
+
+    def test_matches_networkx(self, medium_random):
+        import networkx as nx
+
+        from repro.graph.convert import to_networkx
+
+        ours = algebraic_connectivity(medium_random)
+        theirs = nx.algebraic_connectivity(
+            to_networkx(medium_random), weight=None, tol=1e-10
+        )
+        assert ours == pytest.approx(theirs, abs=1e-4)
+
+
+class TestLaplacian:
+    def test_rows_sum_to_zero(self, k4):
+        lap = laplacian_matrix(k4)
+        import numpy as np
+
+        assert np.allclose(np.asarray(lap.sum(axis=1)).ravel(), 0.0)
+
+    def test_diagonal_is_degree(self, star):
+        lap = laplacian_matrix(star).toarray()
+        diag = sorted(lap.diagonal(), reverse=True)
+        assert diag[0] == 5.0
+        assert all(d == 1.0 for d in diag[1:])
+
+
+class TestSpectralGap:
+    def test_complete_graph_large_gap(self, k5):
+        # K_n normalized spectrum: 1 and -1/(n-1): gap = n/(n-1).
+        assert normalized_spectral_gap(k5) == pytest.approx(1.25)
+
+    def test_barbell_small_gap(self, barbell):
+        assert normalized_spectral_gap(barbell) < normalized_spectral_gap_complete()
+
+    def test_positive_on_connected(self, medium_random):
+        assert normalized_spectral_gap(medium_random) > 0
+
+
+def normalized_spectral_gap_complete():
+    from repro.graph import Graph, normalized_spectral_gap
+
+    g = Graph()
+    for u in range(6):
+        for v in range(u + 1, 6):
+            g.add_edge(u, v)
+    return normalized_spectral_gap(g)
+
+
+class TestEpidemicThreshold:
+    def test_inverse_radius(self, k4):
+        assert epidemic_threshold(k4) == pytest.approx(1.0 / 3.0)
+
+    def test_heavy_tail_lower_threshold(self):
+        from repro.generators import ErdosRenyiGnm, PfpGenerator
+
+        heavy = PfpGenerator().generate(400, seed=1)
+        flat = ErdosRenyiGnm(m=heavy.num_edges).generate(400, seed=1)
+        assert epidemic_threshold(heavy) < epidemic_threshold(flat)
+
+    def test_edgeless_rejected(self):
+        g = Graph()
+        g.add_nodes(range(3))
+        with pytest.raises(ValueError):
+            epidemic_threshold(g)

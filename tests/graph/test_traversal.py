@@ -1,0 +1,129 @@
+"""Tests for BFS traversal and connectivity."""
+
+import pytest
+
+from repro.graph import (
+    Graph,
+    bfs_distances,
+    bfs_tree,
+    connected_components,
+    giant_component,
+    is_connected,
+)
+
+
+class TestBfsDistances:
+    def test_source_at_zero(self, triangle):
+        assert bfs_distances(triangle, 0)[0] == 0
+
+    def test_path_distances(self, path4):
+        assert bfs_distances(path4, 0) == {0: 0, 1: 1, 2: 2, 3: 3}
+
+    def test_unreachable_nodes_absent(self, two_triangles):
+        distances = bfs_distances(two_triangles, 0)
+        assert set(distances) == {0, 1, 2}
+
+    def test_cutoff_limits_depth(self, path4):
+        distances = bfs_distances(path4, 0, cutoff=1)
+        assert distances == {0: 0, 1: 1}
+
+    def test_missing_source_raises(self, triangle):
+        with pytest.raises(KeyError):
+            bfs_distances(triangle, 99)
+
+    def test_matches_networkx(self, medium_random):
+        import networkx as nx
+
+        from repro.graph.convert import to_networkx
+
+        ours = bfs_distances(medium_random, 0)
+        theirs = nx.single_source_shortest_path_length(to_networkx(medium_random), 0)
+        assert ours == dict(theirs)
+
+
+class TestBfsTree:
+    def test_parents_point_toward_source(self, path4):
+        parents = bfs_tree(path4, 0)
+        assert parents == {1: 0, 2: 1, 3: 2}
+
+    def test_source_absent_from_mapping(self, triangle):
+        assert 0 not in bfs_tree(triangle, 0)
+
+    def test_tree_spans_component(self, medium_random):
+        parents = bfs_tree(medium_random, 0)
+        assert len(parents) == medium_random.num_nodes - 1
+
+    def test_missing_source_raises(self):
+        with pytest.raises(KeyError):
+            bfs_tree(Graph(), 0)
+
+
+class TestComponents:
+    def test_single_component(self, triangle):
+        components = connected_components(triangle)
+        assert len(components) == 1
+        assert components[0] == {0, 1, 2}
+
+    def test_two_components_sorted_by_size(self):
+        g = Graph()
+        g.add_edge(0, 1)
+        g.add_edge(2, 3)
+        g.add_edge(3, 4)
+        components = connected_components(g)
+        assert len(components[0]) == 3
+        assert len(components[1]) == 2
+
+    def test_isolated_nodes_are_components(self):
+        g = Graph()
+        g.add_node(1)
+        g.add_node(2)
+        assert len(connected_components(g)) == 2
+
+    def test_empty_graph(self):
+        assert connected_components(Graph()) == []
+
+    def test_matches_networkx(self, medium_random):
+        import networkx as nx
+
+        from repro.graph.convert import to_networkx
+
+        ours = sorted(len(c) for c in connected_components(medium_random))
+        theirs = sorted(len(c) for c in nx.connected_components(to_networkx(medium_random)))
+        assert ours == theirs
+
+
+class TestIsConnected:
+    def test_connected(self, k4):
+        assert is_connected(k4)
+
+    def test_disconnected(self, two_triangles):
+        assert not is_connected(two_triangles)
+
+    def test_empty_counts_as_connected(self):
+        assert is_connected(Graph())
+
+    def test_single_node(self):
+        g = Graph()
+        g.add_node(0)
+        assert is_connected(g)
+
+
+class TestGiantComponent:
+    def test_extracts_largest(self):
+        g = Graph()
+        for a, b in [(0, 1), (1, 2), (2, 0), (10, 11)]:
+            g.add_edge(a, b)
+        giant = giant_component(g)
+        assert set(giant.nodes()) == {0, 1, 2}
+        assert giant.num_edges == 3
+
+    def test_keeps_weights(self):
+        g = Graph()
+        g.add_edge(0, 1, weight=5.0)
+        assert giant_component(g).edge_weight(0, 1) == 5.0
+
+    def test_empty_graph(self):
+        assert giant_component(Graph()).num_nodes == 0
+
+    def test_connected_graph_identity_sized(self, k4):
+        assert giant_component(k4).num_nodes == 4

@@ -1,0 +1,130 @@
+"""Tests for Barrat-style weighted metrics."""
+
+import pytest
+
+from repro.graph import (
+    Graph,
+    average_weighted_clustering,
+    disparity,
+    disparity_spectrum,
+    local_clustering,
+    weighted_average_neighbor_degree,
+    weighted_clustering,
+)
+
+
+@pytest.fixture
+def weighted_triangle_plus():
+    """Triangle with one heavy edge plus a pendant."""
+    g = Graph()
+    g.add_edge(0, 1, weight=4.0)
+    g.add_edge(1, 2, weight=1.0)
+    g.add_edge(2, 0, weight=1.0)
+    g.add_edge(0, 9, weight=1.0)
+    return g
+
+
+class TestWeightedClustering:
+    def test_reduces_to_unweighted_on_unit_weights(self, k4, medium_random):
+        for graph in (k4, medium_random):
+            cw = weighted_clustering(graph)
+            c = local_clustering(graph)
+            for node in graph.nodes():
+                assert cw[node] == pytest.approx(c[node]), node
+
+    def test_heavy_triangle_edge_raises_cw(self, weighted_triangle_plus):
+        g = weighted_triangle_plus
+        # node 0: k=3, s=6; one triangle (1,2) with adjacent weights 4 and
+        # 1 — the ordered-pair sum contributes (4+1) = 5.
+        cw = weighted_clustering(g)
+        assert cw[0] == pytest.approx(5 / (6 * 2))
+
+    def test_low_degree_zero(self, weighted_triangle_plus):
+        assert weighted_clustering(weighted_triangle_plus)[9] == 0.0
+
+    def test_bounds(self, medium_random):
+        for value in weighted_clustering(medium_random).values():
+            assert 0.0 <= value <= 1.0 + 1e-9
+
+    def test_average(self, k4):
+        assert average_weighted_clustering(k4) == pytest.approx(1.0)
+
+    def test_average_empty(self):
+        assert average_weighted_clustering(Graph()) == 0.0
+
+    def test_matches_networkx_weighted(self):
+        import networkx as nx
+
+        from repro.generators import SerranoGenerator
+        from repro.graph.convert import to_networkx
+
+        g = SerranoGenerator().generate(200, seed=1)
+        ours = weighted_clustering(g)
+        # networkx "weight" clustering uses geometric means (Onnela), not
+        # Barrat, so compare only the all-unit-weight case semantics:
+        simple = Graph()
+        for u, v in g.edges():
+            simple.add_edge(u, v)
+        ours_simple = weighted_clustering(simple)
+        theirs = nx.clustering(to_networkx(simple))
+        for node in ours_simple:
+            assert ours_simple[node] == pytest.approx(theirs[node])
+
+
+class TestWeightedKnn:
+    def test_unit_weights_match_unweighted(self, medium_random):
+        from repro.graph import average_neighbor_degree
+
+        weighted = weighted_average_neighbor_degree(medium_random)
+        plain = average_neighbor_degree(medium_random)
+        for node in medium_random.nodes():
+            assert weighted[node] == pytest.approx(plain[node])
+
+    def test_heavy_link_dominates(self):
+        g = Graph()
+        g.add_edge("x", "hub", weight=9.0)  # hub has high degree
+        g.add_edge("x", "leaf", weight=1.0)
+        for i in range(4):
+            g.add_edge("hub", f"h{i}")
+        # unweighted knn(x) = (5 + 1)/2 = 3; weighted pulls toward hub's 5.
+        weighted = weighted_average_neighbor_degree(g)
+        assert weighted["x"] == pytest.approx((9 * 5 + 1 * 1) / 10)
+
+    def test_isolated_zero(self):
+        g = Graph()
+        g.add_node(0)
+        assert weighted_average_neighbor_degree(g)[0] == 0.0
+
+
+class TestDisparity:
+    def test_even_spreading(self):
+        g = Graph()
+        for i in range(4):
+            g.add_edge("c", i, weight=2.0)
+        assert disparity(g)["c"] == pytest.approx(0.25)
+
+    def test_dominant_link(self):
+        g = Graph()
+        g.add_edge("c", "big", weight=98.0)
+        g.add_edge("c", "small", weight=2.0)
+        assert disparity(g)["c"] == pytest.approx(0.98**2 + 0.02**2)
+
+    def test_bounds(self, medium_random):
+        values = disparity(medium_random)
+        for node, y in values.items():
+            k = medium_random.degree(node)
+            if k > 0:
+                assert 1.0 / k - 1e-9 <= y <= 1.0 + 1e-9
+
+    def test_spectrum_unit_weights_flat_at_one(self, medium_random):
+        spectrum = disparity_spectrum(medium_random)
+        # With unit weights Y2 = 1/k exactly, so k*Y2 = 1 everywhere.
+        assert all(v == pytest.approx(1.0) for _, v in spectrum)
+
+    def test_serrano_hubs_not_fully_even(self):
+        from repro.generators import SerranoGenerator
+
+        g = SerranoGenerator().generate(500, seed=2)
+        spectrum = disparity_spectrum(g)
+        # Multi-edges concentrate some bandwidth: k*Y2 > 1 somewhere.
+        assert any(v > 1.05 for _, v in spectrum)

@@ -1,0 +1,125 @@
+"""Cross-cutting property-based tests (hypothesis) on pipeline invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.generators import (
+    BarabasiAlbertGenerator,
+    GlpGenerator,
+    PfpGenerator,
+    configuration_model,
+    rewired_reference,
+)
+from repro.graph import (
+    betweenness_centrality,
+    connected_components,
+    core_numbers,
+    cycle_counts_3_4_5,
+    local_clustering,
+    total_triangles,
+)
+
+
+class TestGrowthModelInvariants:
+    @given(st.integers(min_value=10, max_value=80), st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=20, deadline=None)
+    def test_ba_always_connected_exact_size(self, n, seed):
+        g = BarabasiAlbertGenerator(m=2).generate(n, seed=seed)
+        assert g.num_nodes == n
+        assert len(connected_components(g)) == 1
+
+    @given(st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=10, deadline=None)
+    def test_glp_handshake_and_connectivity(self, seed):
+        g = GlpGenerator().generate(60, seed=seed)
+        assert sum(g.degrees().values()) == 2 * g.num_edges
+        assert len(connected_components(g)) == 1
+
+    @given(st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=10, deadline=None)
+    def test_pfp_no_duplicate_edges(self, seed):
+        g = PfpGenerator().generate(50, seed=seed)
+        edges = [frozenset(e) for e in g.edges()]
+        assert len(edges) == len(set(edges))
+
+
+class TestStructuralInvariants:
+    @given(
+        st.lists(st.integers(min_value=0, max_value=6), min_size=4, max_size=30)
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_configuration_model_degree_bound(self, degrees):
+        if sum(degrees) % 2 == 1:
+            degrees[0] += 1
+        g = configuration_model(degrees, seed=1)
+        for node, d in g.degrees().items():
+            assert d <= degrees[node]
+
+    @given(st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=15, deadline=None)
+    def test_rewiring_preserves_degrees_exactly(self, seed):
+        g = BarabasiAlbertGenerator(m=2).generate(60, seed=seed)
+        null = rewired_reference(g, swaps_per_edge=3, seed=seed)
+        assert null.degrees() == g.degrees()
+
+
+class TestMetricInvariants:
+    @given(st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=10, deadline=None)
+    def test_clustering_bounded(self, seed):
+        g = GlpGenerator().generate(80, seed=seed)
+        for value in local_clustering(g).values():
+            assert 0.0 <= value <= 1.0
+
+    @given(st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=10, deadline=None)
+    def test_coreness_bounded_by_degree(self, seed):
+        g = PfpGenerator().generate(60, seed=seed)
+        cores = core_numbers(g)
+        for node, c in cores.items():
+            assert c <= g.degree(node)
+
+    @given(st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=8, deadline=None)
+    def test_betweenness_nonnegative_normalized(self, seed):
+        g = BarabasiAlbertGenerator(m=1).generate(50, seed=seed)
+        for value in betweenness_centrality(g).values():
+            assert 0.0 <= value <= 1.0 + 1e-9
+
+    @given(st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=8, deadline=None)
+    def test_triangle_count_consistency(self, seed):
+        # Trace-identity triangle count equals neighborhood-intersection count.
+        g = GlpGenerator().generate(70, seed=seed)
+        assert cycle_counts_3_4_5(g)[3] == total_triangles(g)
+
+
+class TestEconomicsInvariants:
+    @given(st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=8, deadline=None)
+    def test_tiers_start_at_one_and_are_contiguous_enough(self, seed):
+        from repro.economics import assign_relationships
+        from repro.graph import giant_component
+
+        g = giant_component(GlpGenerator().generate(80, seed=seed))
+        tiers = assign_relationships(g).tiers()
+        assert min(tiers.values()) == 1
+        assert max(tiers.values()) <= 12
+
+    @given(st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=6, deadline=None)
+    def test_routing_paths_terminate(self, seed):
+        from repro.economics import assign_relationships, routing_table
+        from repro.graph import giant_component
+
+        g = giant_component(PfpGenerator().generate(60, seed=seed))
+        rels = assign_relationships(g)
+        destination = next(iter(sorted(g.nodes(), key=str)))
+        table = routing_table(g, rels, destination)
+        for source in g.nodes():
+            path = table.path_from(source)
+            if path is not None:
+                assert path[0] == source
+                assert path[-1] == destination
+                assert len(path) <= g.num_nodes

@@ -1,0 +1,85 @@
+"""Tests for SIS epidemic simulation."""
+
+import pytest
+
+from repro.generators import ErdosRenyiGnm, PfpGenerator
+from repro.graph import Graph, giant_component
+from repro.resilience import endemic_prevalence, prevalence_curve, simulate_sis
+
+
+@pytest.fixture(scope="module")
+def er_graph():
+    return giant_component(ErdosRenyiGnm(m=800).generate(400, seed=1))
+
+
+@pytest.fixture(scope="module")
+def pfp_graph():
+    return giant_component(PfpGenerator().generate(400, seed=2))
+
+
+class TestSimulateSis:
+    def test_beta_zero_dies_out(self, er_graph):
+        result = simulate_sis(er_graph, beta=0.0, mu=0.5, steps=100, seed=3)
+        assert result.died_out
+        assert result.final_prevalence == 0.0
+
+    def test_beta_one_mu_tiny_saturates(self, er_graph):
+        result = simulate_sis(er_graph, beta=1.0, mu=0.01, steps=50, seed=4)
+        assert result.final_prevalence > 0.9
+
+    def test_trajectory_bounded(self, er_graph):
+        result = simulate_sis(er_graph, beta=0.3, steps=50, seed=5)
+        assert all(0.0 <= p <= 1.0 for p in result.trajectory)
+
+    def test_reproducible(self, er_graph):
+        a = simulate_sis(er_graph, beta=0.2, seed=6)
+        b = simulate_sis(er_graph, beta=0.2, seed=6)
+        assert a.trajectory == b.trajectory
+
+    def test_trajectory_stops_on_extinction(self, er_graph):
+        result = simulate_sis(
+            er_graph, beta=0.001, mu=1.0, steps=500, initial_fraction=0.01, seed=7
+        )
+        assert result.died_out
+        assert len(result.trajectory) < 500
+
+    def test_validation(self, er_graph):
+        with pytest.raises(ValueError):
+            simulate_sis(er_graph, beta=1.5)
+        with pytest.raises(ValueError):
+            simulate_sis(er_graph, beta=0.5, mu=0.0)
+        with pytest.raises(ValueError):
+            simulate_sis(er_graph, beta=0.5, initial_fraction=0.0)
+        with pytest.raises(ValueError):
+            simulate_sis(er_graph, beta=0.5, steps=0)
+        with pytest.raises(ValueError):
+            simulate_sis(Graph(), beta=0.5)
+
+
+class TestEndemicBehaviour:
+    def test_above_threshold_endemic_on_er(self, er_graph):
+        # <k> = 4, mu = 0.5: classical threshold ~ 0.125; beta = 0.4 is
+        # deep in the endemic phase.
+        prevalence = endemic_prevalence(er_graph, beta=0.4, mu=0.5, seed=8)
+        assert prevalence > 0.2
+
+    def test_below_threshold_dies_on_er(self, er_graph):
+        prevalence = endemic_prevalence(er_graph, beta=0.02, mu=0.5, seed=9)
+        assert prevalence < 0.02
+
+    def test_heavy_tail_sustains_lower_beta(self, er_graph, pfp_graph):
+        beta = 0.06
+        heavy = endemic_prevalence(pfp_graph, beta=beta, mu=0.5, steps=150, seed=10)
+        flat = endemic_prevalence(er_graph, beta=beta, mu=0.5, steps=150, seed=10)
+        assert heavy > flat + 0.02
+
+    def test_curve_monotone_overall(self, er_graph):
+        curve = prevalence_curve(
+            er_graph, betas=(0.02, 0.2, 0.6), mu=0.5, runs=2, seed=11
+        )
+        values = [p for _, p in curve]
+        assert values[-1] > values[0]
+
+    def test_runs_validation(self, er_graph):
+        with pytest.raises(ValueError):
+            endemic_prevalence(er_graph, beta=0.1, runs=0)

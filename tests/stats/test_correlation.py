@@ -1,0 +1,79 @@
+"""Tests for correlation measures."""
+
+import pytest
+
+from repro.stats import pearson_correlation, rank_values, spearman_correlation
+
+
+class TestPearson:
+    def test_perfect_linear(self):
+        xs = [1, 2, 3, 4]
+        ys = [2, 4, 6, 8]
+        assert pearson_correlation(xs, ys) == pytest.approx(1.0)
+
+    def test_perfect_negative(self):
+        assert pearson_correlation([1, 2, 3], [3, 2, 1]) == pytest.approx(-1.0)
+
+    def test_constant_side_zero(self):
+        assert pearson_correlation([1, 1, 1], [1, 2, 3]) == 0.0
+
+    def test_matches_numpy(self):
+        import numpy as np
+
+        rng = np.random.default_rng(1)
+        xs = rng.random(50).tolist()
+        ys = (np.asarray(xs) * 2 + rng.random(50)).tolist()
+        ours = pearson_correlation(xs, ys)
+        theirs = float(np.corrcoef(xs, ys)[0, 1])
+        assert ours == pytest.approx(theirs, abs=1e-12)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            pearson_correlation([1, 2], [1, 2, 3])
+        with pytest.raises(ValueError):
+            pearson_correlation([1, 2], [1, 2])
+
+
+class TestRanks:
+    def test_simple(self):
+        assert rank_values([10, 30, 20]) == [1.0, 3.0, 2.0]
+
+    def test_ties_averaged(self):
+        assert rank_values([5, 5, 7]) == [1.5, 1.5, 3.0]
+
+    def test_all_equal(self):
+        assert rank_values([2, 2, 2, 2]) == [2.5, 2.5, 2.5, 2.5]
+
+    def test_empty(self):
+        assert rank_values([]) == []
+
+
+class TestSpearman:
+    def test_monotone_nonlinear_is_one(self):
+        xs = [1, 2, 3, 4, 5]
+        ys = [x**3 for x in xs]
+        assert spearman_correlation(xs, ys) == pytest.approx(1.0)
+
+    def test_against_scipy(self):
+        import numpy as np
+        from scipy import stats as scipy_stats
+
+        rng = np.random.default_rng(2)
+        xs = rng.random(80).tolist()
+        ys = rng.random(80).tolist()
+        ours = spearman_correlation(xs, ys)
+        theirs = scipy_stats.spearmanr(xs, ys).statistic
+        assert ours == pytest.approx(float(theirs), abs=1e-10)
+
+    def test_against_scipy_with_ties(self):
+        from scipy import stats as scipy_stats
+
+        xs = [1, 2, 2, 3, 3, 3, 4]
+        ys = [5, 5, 6, 7, 8, 8, 9]
+        ours = spearman_correlation(xs, ys)
+        theirs = scipy_stats.spearmanr(xs, ys).statistic
+        assert ours == pytest.approx(float(theirs), abs=1e-10)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            spearman_correlation([1], [2])

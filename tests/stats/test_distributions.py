@@ -1,0 +1,168 @@
+"""Tests for repro.stats.distributions."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats.distributions import (
+    binned_spectrum,
+    empirical_ccdf,
+    frequency_counts,
+    histogram,
+    ks_distance,
+    log_bin_centers,
+    log_binned_histogram,
+)
+
+
+class TestCcdf:
+    def test_starts_at_one(self):
+        ccdf = empirical_ccdf([3, 1, 2])
+        assert ccdf.probabilities[0] == 1.0
+
+    def test_values_sorted_distinct(self):
+        ccdf = empirical_ccdf([5, 1, 5, 3, 3])
+        assert ccdf.values == (1, 3, 5)
+
+    def test_tail_probabilities(self):
+        ccdf = empirical_ccdf([1, 2, 3, 4])
+        assert ccdf.probabilities == (1.0, 0.75, 0.5, 0.25)
+
+    def test_ties_merge(self):
+        ccdf = empirical_ccdf([2, 2, 2])
+        assert ccdf.values == (2,)
+        assert ccdf.probabilities == (1.0,)
+
+    def test_at_interpolates_tail(self):
+        ccdf = empirical_ccdf([1, 2, 3, 4])
+        assert ccdf.at(2.5) == 0.5  # P(X >= 2.5) = P(X >= 3)
+        assert ccdf.at(0) == 1.0
+        assert ccdf.at(100) == 0.0
+
+    def test_at_exact_value(self):
+        ccdf = empirical_ccdf([1, 2, 3, 4])
+        assert ccdf.at(2) == 0.75
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            empirical_ccdf([])
+
+    def test_as_points_matches(self):
+        ccdf = empirical_ccdf([1, 2])
+        assert ccdf.as_points() == [(1, 1.0), (2, 0.5)]
+
+    @given(st.lists(st.integers(min_value=1, max_value=50), min_size=1, max_size=100))
+    @settings(max_examples=50, deadline=None)
+    def test_monotone_decreasing(self, samples):
+        ccdf = empirical_ccdf(samples)
+        probs = ccdf.probabilities
+        assert all(probs[i] > probs[i + 1] for i in range(len(probs) - 1))
+        assert all(0 < p <= 1 for p in probs)
+
+
+class TestLogBinning:
+    def test_centers_are_geometric(self):
+        centers = log_bin_centers(1.0, 100.0, bins_per_decade=1)
+        ratios = [centers[i + 1] / centers[i] for i in range(len(centers) - 1)]
+        assert all(r == pytest.approx(10.0) for r in ratios)
+
+    def test_centers_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            log_bin_centers(0.0, 10.0)
+
+    def test_histogram_density_normalizes(self):
+        rng = np.random.default_rng(1)
+        samples = rng.pareto(1.5, size=5000) + 1.0
+        points = log_binned_histogram(samples, bins_per_decade=8)
+        # Total mass recovered from density * bin width should be ~1.
+        ratio = 10 ** (1.0 / 8)
+        mass = 0.0
+        x_min = min(samples)
+        for center, density in points:
+            left = center / math.sqrt(ratio)
+            right = center * math.sqrt(ratio)
+            mass += density * (right - left)
+        assert mass == pytest.approx(1.0, abs=0.1)
+
+    def test_histogram_rejects_no_positive(self):
+        with pytest.raises(ValueError):
+            log_binned_histogram([0, -1])
+
+    def test_histogram_recovers_powerlaw_slope(self):
+        rng = np.random.default_rng(2)
+        samples = (rng.pareto(1.3, size=20000) + 1.0)
+        points = log_binned_histogram(samples, bins_per_decade=5)
+        xs = np.log([p[0] for p in points[:10]])
+        ys = np.log([p[1] for p in points[:10]])
+        slope = np.polyfit(xs, ys, 1)[0]
+        assert slope == pytest.approx(-2.3, abs=0.35)
+
+
+class TestBinnedSpectrum:
+    def test_exact_bins_average(self):
+        pairs = [(2, 0.5), (2, 1.5), (4, 3.0)]
+        spectrum = binned_spectrum(pairs, log_bins=False)
+        assert spectrum == [(2, 1.0), (4, 3.0)]
+
+    def test_empty_input(self):
+        assert binned_spectrum([]) == []
+
+    def test_nonpositive_x_dropped(self):
+        assert binned_spectrum([(0, 1.0), (-1, 2.0)]) == []
+
+    def test_log_bins_merge_close_x(self):
+        pairs = [(10, 1.0), (10.5, 3.0), (1000, 5.0)]
+        spectrum = binned_spectrum(pairs, log_bins=True, bins_per_decade=2)
+        assert len(spectrum) == 2
+        assert spectrum[0][1] == pytest.approx(2.0)
+
+    def test_log_bin_x_is_geometric_mean(self):
+        pairs = [(10, 1.0), (10, 1.0)]
+        spectrum = binned_spectrum(pairs, log_bins=True)
+        assert spectrum[0][0] == pytest.approx(10.0)
+
+
+class TestKsDistance:
+    def test_identical_samples_zero(self):
+        assert ks_distance([1, 2, 3], [1, 2, 3]) == 0.0
+
+    def test_disjoint_samples_one(self):
+        assert ks_distance([1, 1, 1], [2, 2, 2]) == 1.0
+
+    def test_symmetry(self):
+        a, b = [1, 2, 3, 4], [2, 3, 5]
+        assert ks_distance(a, b) == pytest.approx(ks_distance(b, a))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ks_distance([], [1])
+
+    def test_against_scipy(self):
+        from scipy import stats as scipy_stats
+
+        rng = np.random.default_rng(3)
+        a = rng.normal(size=200)
+        b = rng.normal(0.5, size=300)
+        ours = ks_distance(a, b)
+        theirs = scipy_stats.ks_2samp(a, b).statistic
+        assert ours == pytest.approx(theirs, abs=1e-12)
+
+
+class TestHistogramAndCounts:
+    def test_histogram_counts_sum(self):
+        data = [1, 2, 2, 3, 9]
+        points = histogram(data, bins=4)
+        assert sum(c for _, c in points) == len(data)
+
+    def test_histogram_empty_rejected(self):
+        with pytest.raises(ValueError):
+            histogram([])
+
+    def test_frequency_counts(self):
+        assert frequency_counts([1, 1, 2]) == {1: 2, 2: 1}
+
+    def test_frequency_counts_empty(self):
+        assert frequency_counts([]) == {}

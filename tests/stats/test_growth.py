@@ -1,0 +1,106 @@
+"""Tests for repro.stats.growth — log-space fitters."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.stats.growth import (
+    doubling_time,
+    fit_exponential_growth,
+    fit_power_scaling,
+)
+
+
+class TestExponentialFit:
+    def test_exact_recovery_on_clean_data(self):
+        times = list(range(40))
+        values = [100 * math.exp(0.05 * t) for t in times]
+        fit = fit_exponential_growth(times, values)
+        assert fit.rate == pytest.approx(0.05, abs=1e-10)
+        assert fit.y0 == pytest.approx(100.0, rel=1e-9)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_noisy_recovery(self):
+        rng = np.random.default_rng(1)
+        times = np.arange(60)
+        values = 50 * np.exp(0.03 * times) * np.exp(rng.normal(0, 0.05, 60))
+        fit = fit_exponential_growth(times, values)
+        assert fit.rate == pytest.approx(0.03, abs=0.005)
+        assert fit.rate_stderr > 0
+
+    def test_negative_rate(self):
+        times = list(range(20))
+        values = [1000 * math.exp(-0.1 * t) for t in times]
+        assert fit_exponential_growth(times, values).rate == pytest.approx(-0.1)
+
+    def test_predict_roundtrip(self):
+        fit = fit_exponential_growth([0, 1, 2], [2.0, 2.2, 2.42])
+        assert fit.predict(0) == pytest.approx(fit.y0)
+
+    def test_rejects_nonpositive_values(self):
+        with pytest.raises(ValueError):
+            fit_exponential_growth([0, 1], [1.0, 0.0])
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValueError):
+            fit_exponential_growth([0, 1], [1.0])
+
+    def test_rejects_single_point(self):
+        with pytest.raises(ValueError):
+            fit_exponential_growth([0], [1.0])
+
+    def test_rejects_constant_times(self):
+        with pytest.raises(ValueError):
+            fit_exponential_growth([1, 1, 1], [1.0, 2.0, 3.0])
+
+    def test_str_contains_rate(self):
+        fit = fit_exponential_growth([0, 1, 2], [1.0, 2.0, 4.0])
+        assert "rate=" in str(fit)
+
+
+class TestPowerFit:
+    def test_exact_recovery(self):
+        xs = [10, 100, 1000, 10000]
+        ys = [3 * x**1.5 for x in xs]
+        fit = fit_power_scaling(xs, ys)
+        assert fit.exponent == pytest.approx(1.5, abs=1e-10)
+        assert fit.c == pytest.approx(3.0, rel=1e-9)
+
+    def test_noisy_recovery(self):
+        rng = np.random.default_rng(2)
+        xs = np.logspace(1, 4, 25)
+        ys = 2 * xs**2.07 * np.exp(rng.normal(0, 0.1, 25))
+        fit = fit_power_scaling(xs, ys)
+        assert fit.exponent == pytest.approx(2.07, abs=0.1)
+
+    def test_rejects_nonpositive_coordinates(self):
+        with pytest.raises(ValueError):
+            fit_power_scaling([1, 0], [1, 2])
+        with pytest.raises(ValueError):
+            fit_power_scaling([1, 2], [1, -2])
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValueError):
+            fit_power_scaling([1, 2, 3], [1, 2])
+
+    def test_stderr_zero_for_two_points(self):
+        fit = fit_power_scaling([1, 10], [1, 100])
+        assert fit.exponent_stderr == 0.0
+
+    def test_predict(self):
+        fit = fit_power_scaling([1, 10, 100], [2, 20, 200])
+        assert fit.predict(1000) == pytest.approx(2000.0, rel=1e-6)
+
+
+class TestDoublingTime:
+    def test_value(self):
+        assert doubling_time(math.log(2.0)) == pytest.approx(1.0)
+
+    def test_internet_host_rate(self):
+        # alpha = 0.036/month doubles in ~19 months.
+        assert doubling_time(0.036) == pytest.approx(19.25, abs=0.1)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            doubling_time(0.0)

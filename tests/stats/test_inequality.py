@@ -1,0 +1,76 @@
+"""Tests for Gini and Lorenz."""
+
+import pytest
+
+from repro.stats import gini_coefficient, lorenz_curve
+
+
+class TestGini:
+    def test_perfect_equality(self):
+        assert gini_coefficient([5, 5, 5, 5]) == pytest.approx(0.0)
+
+    def test_total_concentration(self):
+        n = 100
+        values = [0] * (n - 1) + [10]
+        assert gini_coefficient(values) == pytest.approx(1.0 - 1.0 / n)
+
+    def test_known_value(self):
+        # For [1, 2, 3]: G = (2*(1+4+9)/(3*6)) - 4/3 = 28/18 - 24/18 = 2/9.
+        assert gini_coefficient([1, 2, 3]) == pytest.approx(2.0 / 9.0)
+
+    def test_scale_invariant(self):
+        values = [1, 4, 2, 9]
+        assert gini_coefficient(values) == pytest.approx(
+            gini_coefficient([10 * v for v in values])
+        )
+
+    def test_all_zero_is_equal(self):
+        assert gini_coefficient([0, 0, 0]) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            gini_coefficient([])
+        with pytest.raises(ValueError):
+            gini_coefficient([1, -1])
+
+    def test_degree_inequality_heavy_vs_flat(self):
+        from repro.generators import ErdosRenyiGnm, PfpGenerator
+
+        heavy = PfpGenerator().generate(500, seed=1)
+        flat = ErdosRenyiGnm(m=heavy.num_edges).generate(500, seed=1)
+        heavy_gini = gini_coefficient(heavy.degrees().values())
+        flat_gini = gini_coefficient(flat.degrees().values())
+        assert heavy_gini > flat_gini + 0.15
+
+
+class TestLorenz:
+    def test_endpoints(self):
+        curve = lorenz_curve([1, 2, 3, 4])
+        assert curve[0] == (0.0, 0.0)
+        assert curve[-1] == (1.0, pytest.approx(1.0))
+
+    def test_below_diagonal(self):
+        curve = lorenz_curve([1, 1, 1, 10])
+        assert all(y <= x + 1e-9 for x, y in curve)
+
+    def test_equality_is_diagonal(self):
+        curve = lorenz_curve([3, 3, 3], points=5)
+        for x, y in curve:
+            assert y == pytest.approx(x, abs=0.2)
+
+    def test_monotone(self):
+        curve = lorenz_curve([5, 1, 9, 2, 2], points=11)
+        ys = [y for _, y in curve]
+        assert all(ys[i] <= ys[i + 1] + 1e-12 for i in range(len(ys) - 1))
+
+    def test_all_zero_diagonal(self):
+        curve = lorenz_curve([0, 0], points=3)
+        assert curve == [(0.0, 0.0), (0.5, 0.5), (1.0, 1.0)]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            lorenz_curve([])
+        with pytest.raises(ValueError):
+            lorenz_curve([1], points=1)
+        with pytest.raises(ValueError):
+            lorenz_curve([-1, 2])

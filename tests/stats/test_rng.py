@@ -1,0 +1,80 @@
+"""Tests for repro.stats.rng."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.stats.rng import make_numpy_rng, make_rng, spawn_seed
+
+
+class TestMakeRng:
+    def test_none_gives_random_instance(self):
+        assert isinstance(make_rng(None), random.Random)
+
+    def test_int_seed_is_reproducible(self):
+        a = make_rng(42)
+        b = make_rng(42)
+        assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+    def test_different_seeds_differ(self):
+        assert make_rng(1).random() != make_rng(2).random()
+
+    def test_existing_instance_passes_through(self):
+        rng = random.Random(7)
+        assert make_rng(rng) is rng
+
+    def test_rejects_strings(self):
+        with pytest.raises(TypeError):
+            make_rng("not-a-seed")
+
+    def test_rejects_float(self):
+        with pytest.raises(TypeError):
+            make_rng(1.5)
+
+
+class TestMakeNumpyRng:
+    def test_none_gives_generator(self):
+        assert isinstance(make_numpy_rng(None), np.random.Generator)
+
+    def test_int_seed_is_reproducible(self):
+        a = make_numpy_rng(42).random(5)
+        b = make_numpy_rng(42).random(5)
+        assert np.array_equal(a, b)
+
+    def test_existing_generator_passes_through(self):
+        gen = np.random.default_rng(3)
+        assert make_numpy_rng(gen) is gen
+
+    def test_accepts_numpy_integer(self):
+        assert isinstance(make_numpy_rng(np.int64(5)), np.random.Generator)
+
+    def test_rejects_strings(self):
+        with pytest.raises(TypeError):
+            make_numpy_rng("bad")
+
+
+class TestSpawnSeed:
+    def test_deterministic_given_parent_state(self):
+        a = spawn_seed(random.Random(1))
+        b = spawn_seed(random.Random(1))
+        assert a == b
+
+    def test_in_63_bit_range(self):
+        rng = random.Random(0)
+        for _ in range(100):
+            seed = spawn_seed(rng)
+            assert 0 <= seed < (1 << 63)
+
+    def test_consecutive_spawns_differ(self):
+        rng = random.Random(5)
+        seeds = {spawn_seed(rng) for _ in range(50)}
+        assert len(seeds) == 50
+
+    def test_child_streams_decorrelated(self):
+        # Streams from consecutive spawns should not produce equal leads.
+        rng = random.Random(9)
+        s1, s2 = spawn_seed(rng), spawn_seed(rng)
+        lead1 = random.Random(s1).random()
+        lead2 = random.Random(s2).random()
+        assert lead1 != lead2

@@ -1,0 +1,44 @@
+"""Tests for the top-level public API."""
+
+import pytest
+
+import repro
+
+
+class TestPublicApi:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_generate_by_name(self):
+        g = repro.generate("barabasi-albert", n=100, seed=1, m=2)
+        assert g.num_nodes == 100
+
+    def test_generate_unknown_model(self):
+        with pytest.raises(KeyError):
+            repro.generate("no-such", n=10)
+
+    def test_summarize_exposed(self):
+        g = repro.generate("glp", n=200, seed=2)
+        summary = repro.summarize(g)
+        assert summary.num_nodes <= 200
+
+    def test_compare_exposed(self):
+        a = repro.generate("barabasi-albert", n=200, seed=3)
+        result = repro.compare(a, a)
+        assert result.score == pytest.approx(0.0)
+
+    def test_available_models(self):
+        assert "serrano" in repro.available_models()
+
+    def test_reference_map_exposed(self):
+        ref = repro.reference_as_map(500)
+        assert ref.num_nodes > 400
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_graph_class_exposed(self):
+        g = repro.Graph()
+        g.add_edge(1, 2)
+        assert g.num_edges == 1

@@ -1,0 +1,89 @@
+"""Tests for the CLI."""
+
+import pytest
+
+from repro.cli import build_parser, coerce_value, main
+
+
+class TestCoerce:
+    def test_int(self):
+        assert coerce_value("42") == 42
+
+    def test_float(self):
+        assert coerce_value("0.5") == 0.5
+
+    def test_bool(self):
+        assert coerce_value("true") is True
+        assert coerce_value("False") is False
+
+    def test_string_fallback(self):
+        assert coerce_value("hello") == "hello"
+
+
+class TestCommands:
+    def test_models_lists_registry(self, capsys):
+        assert main(["models"]) == 0
+        out = capsys.readouterr().out
+        assert "glp" in out
+        assert "serrano" in out
+
+    def test_generate_writes_file(self, tmp_path, capsys):
+        out_file = tmp_path / "g.txt"
+        code = main(
+            ["generate", "barabasi-albert", "-n", "100", "-s", "1",
+             "-o", str(out_file), "--param", "m=2"]
+        )
+        assert code == 0
+        assert out_file.exists()
+        assert "100 nodes" in capsys.readouterr().out
+
+    def test_generate_then_summarize(self, tmp_path, capsys):
+        out_file = tmp_path / "g.txt"
+        main(["generate", "glp", "-n", "150", "-s", "2", "-o", str(out_file)])
+        capsys.readouterr()
+        assert main(["summarize", str(out_file)]) == 0
+        out = capsys.readouterr().out
+        assert "average_degree" in out
+
+    def test_compare_command(self, capsys):
+        assert main(["compare", "barabasi-albert", "-n", "400", "-s", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "score=" in out
+
+    def test_bad_param_format(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["generate", "glp", "-n", "100", "-o", str(tmp_path / "x"),
+                  "--param", "badformat"])
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_param_coercion_end_to_end(self, tmp_path, capsys):
+        out_file = tmp_path / "g.txt"
+        code = main(
+            ["generate", "erdos-renyi-gnp", "-n", "50", "-s", "4",
+             "-o", str(out_file), "--param", "p=0.1"]
+        )
+        assert code == 0
+
+    def test_experiment_subcommand(self, capsys):
+        code = main(["experiment", "f1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "== F1" in out
+        assert "fitted monthly growth rates" in out
+
+    def test_experiment_with_params(self, capsys):
+        code = main(["experiment", "a2", "--param", "n=200"])
+        assert code == 0
+        assert "== A2" in capsys.readouterr().out
+
+    def test_experiment_unknown_id(self):
+        with pytest.raises(SystemExit, match="F1"):
+            main(["experiment", "zz"])
+
+    def test_unknown_generator_model(self, tmp_path):
+        with pytest.raises(KeyError):
+            main(["generate", "no-such-model", "-n", "10",
+                  "-o", str(tmp_path / "x.txt")])

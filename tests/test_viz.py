@@ -1,0 +1,76 @@
+"""Tests for ASCII plotting."""
+
+import pytest
+
+from repro.viz import multi_scatter, scatter
+
+
+class TestScatter:
+    def test_basic_render(self):
+        text = scatter([(1, 1), (2, 2), (3, 3)], width=20, height=6)
+        lines = text.splitlines()
+        assert any("o" in line for line in lines)
+
+    def test_title(self):
+        text = scatter([(1, 1)], title="my plot", width=20, height=6)
+        assert text.splitlines()[0] == "my plot"
+
+    def test_log_axes_labels(self):
+        text = scatter([(1, 1), (100, 0.01)], log_x=True, log_y=True, width=20, height=6)
+        assert "1e" in text
+
+    def test_log_axis_drops_nonpositive(self):
+        text = scatter([(0, 1), (10, 1), (100, 2)], log_x=True, width=20, height=6)
+        assert "o" in text
+
+    def test_all_points_undrawable_raises(self):
+        with pytest.raises(ValueError):
+            scatter([(0, 1), (-5, 2)], log_x=True)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            scatter([])
+
+    def test_tiny_grid_rejected(self):
+        with pytest.raises(ValueError):
+            scatter([(1, 1)], width=2, height=2)
+
+    def test_monotone_series_renders_diagonal(self):
+        text = scatter([(i, i) for i in range(1, 11)], width=20, height=10)
+        rows = [line for line in text.splitlines() if "|" in line]
+        first_cols = [row.index("o") for row in rows if "o" in row]
+        # Higher rows (larger y) should sit at larger x columns.
+        assert first_cols == sorted(first_cols, reverse=True)
+
+
+class TestMultiScatter:
+    def test_distinct_markers(self):
+        text = multi_scatter(
+            {"a": [(1, 1)], "b": [(2, 2)]}, width=20, height=6
+        )
+        assert "o = a" in text
+        assert "x = b" in text
+
+    def test_single_unlabeled_series_no_legend(self):
+        text = multi_scatter({"": [(1, 1)]}, width=20, height=6)
+        assert "=" not in text.splitlines()[-1]
+
+    def test_power_law_is_straightish_in_loglog(self):
+        # Sanity: the grid positions of y = x^-2 on log-log axes should be
+        # collinear within one cell.
+        points = [(10**i, 10 ** (-2 * i)) for i in range(5)]
+        text = scatter(points, log_x=True, log_y=True, width=41, height=21)
+        rows = [line for line in text.splitlines() if "|" in line]
+        coords = []
+        for row_index, row in enumerate(rows):
+            body = row.split("|", 1)[1]
+            for col, char in enumerate(body):
+                if char == "o":
+                    coords.append((col, row_index))
+        xs = [c for c, _ in coords]
+        ys = [r for _, r in coords]
+        # Straight line: equal column spacing and equal row spacing.
+        col_gaps = {xs[i + 1] - xs[i] for i in range(len(xs) - 1)}
+        row_gaps = {ys[i + 1] - ys[i] for i in range(len(ys) - 1)}
+        assert len(col_gaps) == 1
+        assert len(row_gaps) == 1
