@@ -1,0 +1,63 @@
+"""Microbenchmark: battery-runner scaling at 1/2/4 workers, plus warm cache.
+
+Records the wall clock of one fixed battery workload at increasing worker
+counts (speedup is hardware-bound — ideal on a 4-core machine, flat on a
+1-core container, which is why this bench records rather than asserts the
+cold-run scaling) and asserts the parts that are hardware-independent:
+every configuration returns bit-identical summaries, and a warm cache
+serves the whole battery without recomputing anything.
+"""
+
+import os
+import time
+
+from repro.core import run_battery
+from repro.experiments.base import ExperimentResult
+
+MODELS = ["barabasi-albert", "glp", "pfp", "serrano"]
+KWARGS = dict(n=400, seeds=2, min_tail=20, path_samples=100, path_sample_threshold=200)
+WORKER_COUNTS = (1, 2, 4)
+
+
+def test_parallel_scaling(record_experiment):
+    result = ExperimentResult(
+        experiment_id="SCALING",
+        title="battery runner scaling (workers and warm cache)",
+    )
+    timings = {}
+    baseline = None
+    for jobs in WORKER_COUNTS:
+        start = time.perf_counter()
+        battery = run_battery(MODELS, jobs=jobs, **KWARGS)
+        timings[f"jobs={jobs}"] = time.perf_counter() - start
+        summaries = {e.model: e.summaries for e in battery.entries}
+        if baseline is None:
+            baseline = summaries
+        else:
+            assert summaries == baseline  # bit-identical at every jobs value
+
+    import tempfile
+
+    with tempfile.TemporaryDirectory() as cache_dir:
+        start = time.perf_counter()
+        cold = run_battery(MODELS, jobs=1, cache=cache_dir, **KWARGS)
+        timings["cold cache"] = time.perf_counter() - start
+        start = time.perf_counter()
+        warm = run_battery(MODELS, jobs=1, cache=cache_dir, **KWARGS)
+        timings["warm cache"] = time.perf_counter() - start
+        assert warm.stats.misses == 0  # zero recomputation
+        assert {e.model: e.summaries for e in warm.entries} == baseline
+        assert {e.model: e.summaries for e in cold.entries} == baseline
+
+    serial = timings["jobs=1"]
+    result.add_table(
+        f"wall clock ({os.cpu_count()} cpus)",
+        ["mode", "seconds", "speedup vs jobs=1"],
+        [[mode, seconds, serial / seconds] for mode, seconds in timings.items()],
+    )
+    for mode, seconds in timings.items():
+        result.notes[f"seconds[{mode}]"] = round(seconds, 4)
+    record_experiment(result)
+
+    # Warm cache must beat serial recomputation regardless of hardware.
+    assert timings["warm cache"] < serial

@@ -1,22 +1,28 @@
 """Command-line interface.
 
-Four subcommands cover the common workflows::
+Five subcommands cover the common workflows::
 
     repro models                           # list registered generators
     repro generate glp -n 3000 -o g.txt    # write an edge list
     repro summarize g.txt                  # metric battery on a file
     repro compare glp --n 2000 --seed 7    # model vs reference map
+    repro battery glp pfp serrano -n 2000 --jobs 4 --cache-dir ~/.repro-cache
 
 Parameters for ``generate``/``compare`` are passed as ``--param key=value``
-pairs and coerced to int/float/bool when they look like one.
+pairs and coerced to int/float/bool when they look like one.  ``battery``
+and ``experiment`` accept ``--jobs N`` (process-parallel work units),
+``--cache-dir PATH`` (content-addressed result reuse across runs) and
+``--no-cache``; results are bit-identical for every combination.
 """
 
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
 from typing import Any, Dict, List, Optional
 
+from .core.battery import compare_models
 from .core.compare import compare_graphs
 from .core.metrics import summarize
 from .core.registry import available_models, make_generator
@@ -77,12 +83,49 @@ def build_parser() -> argparse.ArgumentParser:
     cmp_cmd.add_argument("-s", "--seed", type=int, default=1)
     cmp_cmd.add_argument("--param", action="append", metavar="KEY=VALUE")
 
+    battery = sub.add_parser(
+        "battery",
+        help="parallel, cached metric battery: many models vs reference map",
+    )
+    battery.add_argument(
+        "models", nargs="*",
+        help="model names (default: the standard comparison roster)",
+    )
+    battery.add_argument("-n", "--nodes", type=int, default=2000)
+    battery.add_argument("--seeds", type=int, default=3)
+    battery.add_argument("--base-seed", type=int, default=21)
+    _add_battery_flags(battery)
+
     exp = sub.add_parser("experiment", help="run one experiment harness (F1..F9, T1..T4)")
     exp.add_argument("experiment_id", help="e.g. f2 or T1")
     exp.add_argument("--param", action="append", metavar="KEY=VALUE",
                      help="keyword overrides for the run_* function, e.g. n=1000")
+    _add_battery_flags(exp)
 
     return parser
+
+
+def _add_battery_flags(parser: argparse.ArgumentParser) -> None:
+    """Attach the shared parallelism/caching flags to a subcommand."""
+    parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for battery work units (default 1)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None,
+        help="content-addressed result cache directory (reused across runs)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the result cache even if --cache-dir is given",
+    )
+
+
+def _cache_from_args(args) -> Optional[str]:
+    """--cache-dir unless --no-cache wins; None means no caching."""
+    if getattr(args, "no_cache", False):
+        return None
+    return getattr(args, "cache_dir", None)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -110,6 +153,35 @@ def main(argv: Optional[List[str]] = None) -> int:
         result = compare_graphs(graph, reference_as_map(args.nodes), seed=args.seed)
         print(result)
         return 0
+    if args.command == "battery":
+        from .experiments.rosters import ROSTER_ORDER, standard_roster
+
+        roster = standard_roster(args.nodes)
+        names = args.models or ROSTER_ORDER
+        mapping = {}
+        for name in names:
+            # Roster names carry the calibrated parameters; anything else
+            # falls back to registry defaults.
+            mapping[name] = roster[name] if name in roster else make_generator(name)
+        result = compare_models(
+            mapping,
+            n=args.nodes,
+            seeds=args.seeds,
+            base_seed=args.base_seed,
+            jobs=args.jobs,
+            cache=_cache_from_args(args),
+        )
+        rows = [
+            [score.model, score.mean, score.spread]
+            for score in sorted(result.scores, key=lambda s: s.mean)
+        ]
+        print(format_table(
+            ["model", "score", "spread"], rows,
+            title=f"battery vs reference map (n={args.nodes}, seeds={args.seeds})",
+        ))
+        print()
+        print(result.battery.render_timing())
+        return 0
     if args.command == "experiment":
         from . import experiments
 
@@ -124,7 +196,15 @@ def main(argv: Optional[List[str]] = None) -> int:
             raise SystemExit(
                 f"unknown experiment {args.experiment_id!r}; known: {', '.join(known)}"
             )
-        result = runner(**_parse_params(args.param))
+        params = _parse_params(args.param)
+        # Thread the shared battery flags through to harnesses that take
+        # them (currently T1); other experiments just ignore the flags.
+        accepted = inspect.signature(runner).parameters
+        if "jobs" in accepted and args.jobs != 1:
+            params.setdefault("jobs", args.jobs)
+        if "cache_dir" in accepted and _cache_from_args(args) is not None:
+            params.setdefault("cache_dir", _cache_from_args(args))
+        result = runner(**params)
         print(result.render())
         return 0
     raise SystemExit(f"unknown command {args.command!r}")

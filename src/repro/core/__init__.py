@@ -1,6 +1,17 @@
 """Core pipeline: the metric battery, model comparison and scoring, the
-model registry, calibration, and experiment/report helpers."""
+model registry, calibration, caching, the parallel battery runner, and
+experiment/report helpers."""
 
+from .battery import (
+    BatteryEntry,
+    BatteryResult,
+    ComparisonBattery,
+    ModelScore,
+    UnitRecord,
+    compare_models,
+    run_battery,
+)
+from .cache import CacheStats, NullCache, ResultCache, canonical_key
 from .calibrate import CalibrationResult, grid_calibrate
 from .compare import (
     DEFAULT_SCORED_METRICS,
@@ -10,13 +21,28 @@ from .compare import (
     compare_summaries,
 )
 from .experiment import Replicates, replicate, seed_sequence, sweep_sizes
-from .metrics import TopologySummary, summarize
-from .registry import available_models, generator_class, make_generator, register
+from .metrics import (
+    METRIC_GROUPS,
+    METRICS_VERSION,
+    TopologySummary,
+    compute_metric_groups,
+    summarize,
+)
+from .registry import (
+    available_models,
+    generator_class,
+    make_generator,
+    register,
+    resolve_generator,
+)
 from .report import format_series, format_table, format_value
 
 __all__ = [
     "TopologySummary",
     "summarize",
+    "METRIC_GROUPS",
+    "METRICS_VERSION",
+    "compute_metric_groups",
     "MetricRow",
     "ComparisonResult",
     "compare_summaries",
@@ -26,6 +52,7 @@ __all__ = [
     "generator_class",
     "make_generator",
     "register",
+    "resolve_generator",
     "Replicates",
     "replicate",
     "sweep_sizes",
@@ -35,4 +62,15 @@ __all__ = [
     "format_table",
     "format_series",
     "format_value",
+    "CacheStats",
+    "ResultCache",
+    "NullCache",
+    "canonical_key",
+    "UnitRecord",
+    "BatteryEntry",
+    "BatteryResult",
+    "ModelScore",
+    "ComparisonBattery",
+    "run_battery",
+    "compare_models",
 ]

@@ -1,0 +1,518 @@
+"""Parallel, content-addressed metric-battery runner.
+
+The validation battery — every model × replicate × metric group scored
+against a target map — is embarrassingly parallel and completely
+deterministic, so this module runs it that way:
+
+* **decomposition** — one work unit per (model, replicate); each unit
+  generates its topology once and computes only the metric *groups* not
+  already cached (see :data:`repro.core.metrics.METRIC_GROUPS`);
+* **determinism** — each unit's seed is :func:`repro.stats.rng.derive_seed`
+  of (model identity, params, n, base seed, replicate index), a pure
+  function independent of scheduling, so results are bit-identical at any
+  ``jobs`` value and on warm vs. cold cache;
+* **caching** — every (model, params, n, seed, group, code-version) cell is
+  stored in a :class:`repro.core.cache.ResultCache`; re-running an
+  experiment, adding replicates, or re-scoring against a new target skips
+  every already-computed cell (cache probes and writes happen only in the
+  parent process, so workers never race on files).
+
+:func:`run_battery` produces per-replicate summaries plus per-unit timing
+and cache telemetry; :func:`compare_models` layers target scoring on top
+(the engine behind experiment T1 and the ``repro battery`` CLI command).
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from ..generators.base import TopologyGenerator
+from ..graph.graph import Graph
+from ..stats.rng import derive_seed
+from .cache import CacheStats, NullCache, ResultCache, canonical_key
+from .compare import ComparisonResult, compare_summaries
+from .metrics import (
+    METRIC_GROUPS,
+    METRICS_VERSION,
+    TopologySummary,
+    compute_metric_groups,
+    summarize,
+)
+from .registry import resolve_generator
+from .report import format_table
+
+__all__ = [
+    "UnitRecord",
+    "BatteryEntry",
+    "BatteryResult",
+    "ModelScore",
+    "ComparisonBattery",
+    "run_battery",
+    "compare_models",
+]
+
+CacheLike = Union[None, str, Path, ResultCache, NullCache]
+
+#: Which summarize() parameters each metric group actually depends on;
+#: cache keys embed only these, so e.g. changing ``path_samples`` does not
+#: invalidate cached clustering cells.
+_GROUP_PARAM_KEYS: Dict[str, Tuple[str, ...]] = {
+    "paths": ("path_sample_threshold", "path_samples"),
+    "tail": ("min_tail",),
+}
+
+
+@dataclass(frozen=True)
+class UnitRecord:
+    """Telemetry for one battery cell (or one topology generation)."""
+
+    model: str
+    replicate: int
+    group: str  # metric group name, or "generate" for topology construction
+    seed: int
+    cached: bool
+    seconds: float
+
+
+@dataclass(frozen=True)
+class BatteryEntry:
+    """One model's battery output: a summary per replicate."""
+
+    model: str
+    params: Dict[str, Any]
+    seeds: Tuple[int, ...]
+    summaries: Tuple[TopologySummary, ...]
+
+
+@dataclass
+class BatteryResult:
+    """Everything one :func:`run_battery` call produced."""
+
+    entries: List[BatteryEntry]
+    records: List[UnitRecord]
+    stats: CacheStats
+    jobs: int
+    elapsed: float
+
+    def entry(self, model: str) -> BatteryEntry:
+        """Look up one model's entry by label."""
+        for item in self.entries:
+            if item.model == model:
+                return item
+        raise KeyError(f"model {model!r} not in battery result")
+
+    def summaries(self, model: str) -> Tuple[TopologySummary, ...]:
+        """One model's per-replicate summaries."""
+        return self.entry(model).summaries
+
+    @property
+    def compute_seconds(self) -> float:
+        """Total seconds spent computing (excludes cache hits; sums over
+        workers, so it can exceed ``elapsed`` when ``jobs > 1``)."""
+        return sum(r.seconds for r in self.records if not r.cached)
+
+    def timing_table(self) -> Tuple[List[str], List[List[Any]]]:
+        """Aggregate telemetry rows: per (model, group) computed/cached
+        cell counts and compute seconds."""
+        agg: Dict[Tuple[str, str], List[float]] = {}
+        for rec in self.records:
+            cell = agg.setdefault((rec.model, rec.group), [0, 0, 0.0])
+            if rec.cached:
+                cell[1] += 1
+            else:
+                cell[0] += 1
+                cell[2] += rec.seconds
+        headers = ["model", "group", "computed", "cached", "seconds"]
+        rows = [
+            [model, group, computed, cached, seconds]
+            for (model, group), (computed, cached, seconds) in sorted(agg.items())
+        ]
+        return headers, rows
+
+    def render_timing(self) -> str:
+        """Telemetry as an aligned text table (for reports and logs)."""
+        headers, rows = self.timing_table()
+        table = format_table(headers, rows, title="battery telemetry")
+        footer = (
+            f"jobs={self.jobs} elapsed={self.elapsed:.3f}s "
+            f"compute={self.compute_seconds:.3f}s cache[{self.stats}]"
+        )
+        return f"{table}\n{footer}"
+
+
+@dataclass(frozen=True)
+class ModelScore:
+    """One model's divergence from the target, over all replicates."""
+
+    model: str
+    scores: Tuple[float, ...]
+    comparisons: Tuple[ComparisonResult, ...]
+    summaries: Tuple[TopologySummary, ...]
+
+    @property
+    def mean(self) -> float:
+        """Seed-averaged divergence score (the ranking statistic)."""
+        return sum(self.scores) / len(self.scores)
+
+    @property
+    def spread(self) -> float:
+        """Max − min score across replicates (0 for a single replicate)."""
+        return (max(self.scores) - min(self.scores)) if len(self.scores) > 1 else 0.0
+
+    @property
+    def last_summary(self) -> TopologySummary:
+        """The final replicate's summary (what the T1 table prints)."""
+        return self.summaries[-1]
+
+
+@dataclass
+class ComparisonBattery:
+    """Output of :func:`compare_models`: scored battery vs one target."""
+
+    target: TopologySummary
+    scores: List[ModelScore]
+    battery: BatteryResult
+
+    def score(self, model: str) -> ModelScore:
+        """Look up one model's score block by label."""
+        for item in self.scores:
+            if item.model == model:
+                return item
+        raise KeyError(f"model {model!r} not in comparison")
+
+    def ranking(self) -> List[Tuple[str, float]]:
+        """(model, mean score) pairs, best (lowest) first."""
+        return sorted(
+            ((s.model, s.mean) for s in self.scores), key=lambda pair: pair[1]
+        )
+
+
+def _resolve_cache(cache: CacheLike) -> Union[ResultCache, NullCache]:
+    if cache is None:
+        return NullCache()
+    if isinstance(cache, (str, Path)):
+        return ResultCache(cache)
+    return cache
+
+
+def _normalize_models(models) -> List[Tuple[str, TopologyGenerator]]:
+    """Coerce the accepted model specs to an ordered (label, generator) list.
+
+    Accepts a mapping label → name-or-generator, a sequence of names or
+    generators, or a single name/generator.  Labels are mapping keys where
+    given, else the generator's registry name.
+    """
+    if isinstance(models, (str, TopologyGenerator)):
+        models = [models]
+    out: List[Tuple[str, TopologyGenerator]] = []
+    if isinstance(models, Mapping):
+        items = [(label, resolve_generator(spec)) for label, spec in models.items()]
+    else:
+        items = []
+        for spec in models:
+            generator = resolve_generator(spec)
+            items.append((generator.name or type(generator).__name__, generator))
+    seen = set()
+    for label, generator in items:
+        if label in seen:
+            raise ValueError(f"duplicate model label {label!r}")
+        seen.add(label)
+        out.append((label, generator))
+    if not out:
+        raise ValueError("no models given")
+    return out
+
+
+def _identity(generator: TopologyGenerator) -> Tuple[str, Dict[str, Any]]:
+    """Cache/seed identity of a configured generator: registry name + params.
+
+    Distinct roster labels with identical configuration (and vice versa)
+    hash by *what they compute*, not what they're called, so renaming a
+    table row never invalidates cached cells.
+    """
+    name = generator.name or type(generator).__name__
+    return name, generator.params()
+
+
+def _cell_payload(
+    identity: str,
+    params: Mapping[str, Any],
+    n: int,
+    seed: int,
+    group: str,
+    sum_params: Mapping[str, Any],
+) -> Dict[str, Any]:
+    relevant = {key: sum_params[key] for key in _GROUP_PARAM_KEYS.get(group, ())}
+    return {
+        "kind": "battery-cell",
+        "model": identity,
+        "params": dict(params),
+        "n": n,
+        "seed": seed,
+        "group": group,
+        "group_params": relevant,
+        "version": METRICS_VERSION,
+    }
+
+
+def _battery_task(task):
+    """Worker kernel: generate one topology, compute its missing groups.
+
+    Module-level and argument-pure so it pickles under any multiprocessing
+    start method.  Returns (task index, group → values, group → seconds,
+    generation seconds).
+    """
+    index, generator, n, seed, groups, sum_params = task
+    start = time.perf_counter()
+    graph = generator.generate(n, seed=seed)
+    gen_seconds = time.perf_counter() - start
+    values: Dict[str, Dict[str, float]] = {}
+    timings: Dict[str, float] = {}
+    previous = gen_seconds + start
+    computed = compute_metric_groups(graph, groups, seed=seed, **sum_params)
+    # compute_metric_groups shares one giant-component pass; re-time each
+    # group individually only when fine-grained telemetry is worth a second
+    # pass — it is not, so attribute elapsed time proportionally by order.
+    total = time.perf_counter() - previous
+    per_group = total / len(groups) if groups else 0.0
+    for group in groups:
+        values[group] = computed[group]
+        timings[group] = per_group
+    return index, values, timings, gen_seconds
+
+
+def run_battery(
+    models,
+    n: int,
+    seeds: int = 3,
+    base_seed: int = 17,
+    jobs: int = 1,
+    cache: CacheLike = None,
+    groups: Optional[Sequence[str]] = None,
+    path_sample_threshold: int = 1500,
+    path_samples: int = 400,
+    min_tail: int = 50,
+) -> BatteryResult:
+    """Run the metric battery over *models* × *seeds* replicates.
+
+    *models* may be a mapping label → generator/name, a sequence of
+    generators or registry names, or a single one of either.  *jobs* > 1
+    fans the work units out over a process pool; *cache* (a directory path
+    or :class:`ResultCache`) makes every cell content-addressed and
+    reusable across runs.  Results are bit-identical for any *jobs* value
+    and for warm vs. cold cache — the per-unit seed depends only on the
+    model identity, its parameters, *n*, *base_seed*, and the replicate
+    index.
+    """
+    if jobs < 1:
+        raise ValueError("jobs must be >= 1")
+    if seeds < 1:
+        raise ValueError("seeds must be >= 1")
+    started = time.perf_counter()
+    spec = _normalize_models(models)
+    group_names = tuple(groups) if groups is not None else tuple(METRIC_GROUPS)
+    store = _resolve_cache(cache)
+    sum_params = {
+        "path_sample_threshold": path_sample_threshold,
+        "path_samples": path_samples,
+        "min_tail": min_tail,
+    }
+
+    records: List[UnitRecord] = []
+    tasks: List[Tuple] = []
+    # One slot per (model, replicate): cached values plus pending cell keys.
+    units: List[Dict[str, Any]] = []
+    for label, generator in spec:
+        identity, params = _identity(generator)
+        for rep in range(seeds):
+            unit_seed = derive_seed(
+                "battery-unit", identity, params, n, base_seed, rep
+            )
+            unit = {
+                "label": label,
+                "params": params,
+                "replicate": rep,
+                "seed": unit_seed,
+                "values": {},
+                "pending": {},
+                "task": None,
+            }
+            for group in group_names:
+                payload = _cell_payload(identity, params, n, unit_seed, group, sum_params)
+                key = canonical_key(payload)
+                hit = store.get(key, payload)
+                if hit is not None:
+                    unit["values"][group] = hit
+                    records.append(
+                        UnitRecord(label, rep, group, unit_seed, True, 0.0)
+                    )
+                else:
+                    unit["pending"][group] = (key, payload)
+            if unit["pending"]:
+                unit["task"] = len(tasks)
+                tasks.append(
+                    (
+                        len(tasks),
+                        generator,
+                        n,
+                        unit_seed,
+                        tuple(unit["pending"]),
+                        sum_params,
+                    )
+                )
+            units.append(unit)
+
+    if tasks:
+        if jobs > 1:
+            with ProcessPoolExecutor(max_workers=jobs) as pool:
+                results = list(pool.map(_battery_task, tasks))
+        else:
+            results = [_battery_task(task) for task in tasks]
+        by_index = {index: (values, timings, gen_s) for index, values, timings, gen_s in results}
+        for unit in units:
+            if unit["task"] is None:
+                continue
+            values, timings, gen_seconds = by_index[unit["task"]]
+            records.append(
+                UnitRecord(
+                    unit["label"], unit["replicate"], "generate",
+                    unit["seed"], False, gen_seconds,
+                )
+            )
+            for group, (key, payload) in unit["pending"].items():
+                unit["values"][group] = values[group]
+                store.put(key, values[group], payload)
+                records.append(
+                    UnitRecord(
+                        unit["label"], unit["replicate"], group,
+                        unit["seed"], False, timings[group],
+                    )
+                )
+
+    entries: List[BatteryEntry] = []
+    for label, generator in spec:
+        _, params = _identity(generator)
+        model_units = [u for u in units if u["label"] == label]
+        summaries = []
+        for unit in model_units:
+            merged: Dict[str, float] = {}
+            for group in group_names:
+                merged.update(unit["values"][group])
+            if set(merged) == {
+                f for fields in METRIC_GROUPS.values() for f in fields
+            }:
+                summaries.append(TopologySummary.from_dict(label, merged))
+            else:
+                # Partial-group batteries cannot build a full summary; the
+                # raw values are still in unit["values"].
+                summaries.append(None)
+        entries.append(
+            BatteryEntry(
+                model=label,
+                params=params,
+                seeds=tuple(u["seed"] for u in model_units),
+                summaries=tuple(summaries),
+            )
+        )
+    return BatteryResult(
+        entries=entries,
+        records=records,
+        stats=store.stats,
+        jobs=jobs,
+        elapsed=time.perf_counter() - started,
+    )
+
+
+def _summarize_target(
+    target,
+    n: int,
+    store: Union[ResultCache, NullCache],
+    sum_params: Mapping[str, Any],
+) -> TopologySummary:
+    """Resolve *target* (None → reference map; Graph; TopologySummary) to a
+    summary, caching the reference map's cells like any other unit."""
+    if isinstance(target, TopologySummary):
+        return target
+    if isinstance(target, Graph):
+        return summarize(target, seed=0, **sum_params)
+    if target is not None:
+        raise TypeError(
+            f"target must be None, a Graph or a TopologySummary, "
+            f"not {type(target).__name__}"
+        )
+    from ..datasets.asmap import reference_as_map
+
+    values: Dict[str, float] = {}
+    pending: Dict[str, Tuple[str, Dict[str, Any]]] = {}
+    for group in METRIC_GROUPS:
+        payload = _cell_payload("__reference_as_map__", {}, n, 0, group, sum_params)
+        key = canonical_key(payload)
+        hit = store.get(key, payload)
+        if hit is not None:
+            values.update(hit)
+        else:
+            pending[group] = (key, payload)
+    if pending:
+        graph = reference_as_map(n)
+        computed = compute_metric_groups(graph, tuple(pending), seed=0, **sum_params)
+        for group, (key, payload) in pending.items():
+            store.put(key, computed[group], payload)
+            values.update(computed[group])
+    return TopologySummary.from_dict("reference", values)
+
+
+def compare_models(
+    models,
+    n: int,
+    seeds: int = 3,
+    base_seed: int = 21,
+    target=None,
+    metrics: Optional[Dict[str, Tuple[str, float]]] = None,
+    jobs: int = 1,
+    cache: CacheLike = None,
+    path_sample_threshold: int = 1500,
+    path_samples: int = 400,
+    min_tail: int = 50,
+) -> ComparisonBattery:
+    """Score *models* against *target* over the full battery.
+
+    *target* defaults to the frozen reference AS map at size *n* (cached
+    through the same store as the model cells).  Scoring itself is cheap
+    arithmetic and stays in the parent; all topology generation and metric
+    computation parallelizes/caches via :func:`run_battery`.
+    """
+    store = _resolve_cache(cache)
+    sum_params = {
+        "path_sample_threshold": path_sample_threshold,
+        "path_samples": path_samples,
+        "min_tail": min_tail,
+    }
+    target_summary = _summarize_target(target, n, store, sum_params)
+    battery = run_battery(
+        models,
+        n=n,
+        seeds=seeds,
+        base_seed=base_seed,
+        jobs=jobs,
+        cache=store,
+        **sum_params,
+    )
+    scores: List[ModelScore] = []
+    for entry in battery.entries:
+        comparisons = tuple(
+            compare_summaries(summary, target_summary, metrics=metrics)
+            for summary in entry.summaries
+        )
+        scores.append(
+            ModelScore(
+                model=entry.model,
+                scores=tuple(c.score for c in comparisons),
+                comparisons=comparisons,
+                summaries=entry.summaries,
+            )
+        )
+    return ComparisonBattery(target=target_summary, scores=scores, battery=battery)

@@ -1,0 +1,158 @@
+"""Content-addressed on-disk cache for battery results.
+
+Each cell of the validation battery — one metric group of one (generator,
+params, n, seed) topology — is a pure function of its inputs, so its value
+can be cached under a canonical hash of those inputs and reused across
+runs, experiments, and re-scorings against new targets.  The cache is a
+directory of small JSON files, safe to delete wholesale at any time:
+everything in it can be recomputed.
+
+Robustness rules:
+
+* writes are atomic (temp file + ``os.replace``), so a killed run never
+  leaves a half-written entry visible;
+* reads treat *any* malformed entry (truncated JSON, wrong schema, payload
+  mismatch) as a miss, delete it, and count it in ``stats.corrupt`` — a
+  corrupted cache degrades to recomputation, never to a crash or a wrong
+  result;
+* keys embed :data:`repro.core.metrics.METRICS_VERSION`, so numerically
+  changing a metric implementation invalidates exactly the affected cells.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Mapping, Optional, Union
+
+__all__ = ["CacheStats", "ResultCache", "NullCache", "canonical_key"]
+
+
+def canonical_key(payload: Mapping[str, Any]) -> str:
+    """SHA-256 hex digest of a canonical JSON rendering of *payload*.
+
+    Dict keys are sorted and floats serialized via repr, so logically equal
+    payloads hash identically across processes and platforms; any change to
+    any component (generator name, params, seed, metric group, code
+    version) changes the key.
+    """
+    canon = json.dumps(payload, sort_keys=True, separators=(",", ":"), default=repr)
+    return hashlib.sha256(canon.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting for one battery run."""
+
+    hits: int = 0
+    misses: int = 0
+    writes: int = 0
+    corrupt: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        """Counters as a plain dict (for report tables and notes)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "writes": self.writes,
+            "corrupt": self.corrupt,
+        }
+
+    def __str__(self) -> str:
+        return (
+            f"hits={self.hits} misses={self.misses} "
+            f"writes={self.writes} corrupt={self.corrupt}"
+        )
+
+
+class ResultCache:
+    """Directory-backed store: canonical key → JSON value.
+
+    Entries live at ``<root>/<key[:2]>/<key>.json`` (fan-out keeps any one
+    directory small).  Each file stores ``{"payload": ..., "value": ...}``;
+    the payload echo lets :meth:`get` verify the entry really belongs to
+    the requested key.
+    """
+
+    def __init__(self, root: Union[str, Path]):
+        self.root = Path(root)
+        self.stats = CacheStats()
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str, payload: Optional[Mapping[str, Any]] = None) -> Optional[Any]:
+        """Return the cached value for *key*, or None (counted as a miss).
+
+        Malformed or mismatched entries are deleted and counted in
+        ``stats.corrupt`` as well as ``stats.misses``.
+        """
+        path = self._path(key)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                entry = json.load(handle)
+            if not isinstance(entry, dict) or "value" not in entry:
+                raise ValueError("malformed cache entry")
+            if payload is not None and entry.get("payload") != _roundtrip(payload):
+                raise ValueError("cache entry payload mismatch")
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except (OSError, ValueError, KeyError):
+            # Truncated/corrupt/foreign file: recompute rather than crash.
+            self.stats.corrupt += 1
+            self.stats.misses += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        self.stats.hits += 1
+        return entry["value"]
+
+    def put(self, key: str, value: Any, payload: Optional[Mapping[str, Any]] = None) -> None:
+        """Atomically store *value* under *key*."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        entry = {"payload": _roundtrip(payload) if payload is not None else None,
+                 "value": value}
+        handle = tempfile.NamedTemporaryFile(
+            "w", encoding="utf-8", dir=path.parent, suffix=".tmp", delete=False
+        )
+        try:
+            with handle:
+                json.dump(entry, handle)
+            os.replace(handle.name, path)
+        except OSError:
+            try:
+                os.unlink(handle.name)
+            except OSError:
+                pass
+            raise
+        self.stats.writes += 1
+
+
+class NullCache:
+    """Cache-shaped no-op (``--no-cache``): every get is a miss."""
+
+    def __init__(self):
+        self.stats = CacheStats()
+
+    def get(self, key: str, payload: Optional[Mapping[str, Any]] = None) -> Optional[Any]:
+        """Always a miss."""
+        self.stats.misses += 1
+        return None
+
+    def put(self, key: str, value: Any, payload: Optional[Mapping[str, Any]] = None) -> None:
+        """Discard *value*."""
+        pass
+
+
+def _roundtrip(payload: Mapping[str, Any]) -> Any:
+    """Payload as it looks after a JSON round-trip (tuples → lists, etc.),
+    so stored payload echoes compare equal to freshly built ones."""
+    return json.loads(json.dumps(payload, sort_keys=True, default=repr))

@@ -10,8 +10,9 @@ parameters, for example, came from exactly this kind of fit).
 from __future__ import annotations
 
 import itertools
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Mapping, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..generators.base import TopologyGenerator
 from .compare import ComparisonResult, compare_summaries
@@ -34,6 +35,26 @@ class CalibrationResult:
         return sorted(self.trials, key=lambda pair: pair[1])[:count]
 
 
+def _score_grid_point(spec) -> Optional[Tuple[Dict[str, Any], float]]:
+    """Score one parameter point (module-level so it pickles to workers).
+
+    Returns None when the point's generator raises — the skip decision is
+    made where the exception happens, so parallel and serial grids skip
+    exactly the same points.
+    """
+    generator_factory, params, target, n, seeds, base_seed = spec
+    try:
+        generator = generator_factory(**params)
+        scores = []
+        for seed in seed_sequence(base_seed, seeds):
+            graph = generator.generate(n, seed=seed)
+            result = compare_summaries(summarize(graph, seed=seed), target)
+            scores.append(result.score)
+    except (ValueError, RuntimeError):
+        return None
+    return params, sum(scores) / len(scores)
+
+
 def grid_calibrate(
     generator_factory: Callable[..., TopologyGenerator],
     param_grid: Mapping[str, Sequence[Any]],
@@ -41,6 +62,7 @@ def grid_calibrate(
     n: int,
     seeds: int = 3,
     base_seed: int = 11,
+    jobs: int = 1,
 ) -> CalibrationResult:
     """Exhaustive grid search minimizing the comparison score vs *target*.
 
@@ -48,23 +70,26 @@ def grid_calibrate(
     parameter point is scored as the mean comparison score over *seeds*
     independent topologies of size *n*.  Parameter points whose generator
     raises (invalid combinations) are skipped — a fully failing grid raises.
+    *jobs* > 1 scores grid points in parallel processes (bit-identical
+    trials in the same order; *generator_factory* must then be picklable).
     """
     if not param_grid:
         raise ValueError("param_grid must have at least one axis")
+    if jobs < 1:
+        raise ValueError("jobs must be >= 1")
     axes = sorted(param_grid)
-    trials: List[Tuple[Dict[str, Any], float]] = []
-    for combo in itertools.product(*(param_grid[a] for a in axes)):
-        params = dict(zip(axes, combo))
-        try:
-            generator = generator_factory(**params)
-            scores = []
-            for seed in seed_sequence(base_seed, seeds):
-                graph = generator.generate(n, seed=seed)
-                result = compare_summaries(summarize(graph, seed=seed), target)
-                scores.append(result.score)
-        except (ValueError, RuntimeError):
-            continue
-        trials.append((params, sum(scores) / len(scores)))
+    specs = [
+        (generator_factory, dict(zip(axes, combo)), target, n, seeds, base_seed)
+        for combo in itertools.product(*(param_grid[a] for a in axes))
+    ]
+    if jobs == 1 or len(specs) <= 1:
+        outcomes = [_score_grid_point(spec) for spec in specs]
+    else:
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            outcomes = list(pool.map(_score_grid_point, specs))
+    trials: List[Tuple[Dict[str, Any], float]] = [
+        outcome for outcome in outcomes if outcome is not None
+    ]
     if not trials:
         raise ValueError("every grid point failed to generate")
     best_params, best_score = min(trials, key=lambda pair: pair[1])

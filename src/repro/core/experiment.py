@@ -10,6 +10,7 @@ experiment reproduces it bit-for-bit).
 from __future__ import annotations
 
 import math
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Callable, Dict, Generic, List, Sequence, Tuple, TypeVar
 
@@ -58,19 +59,45 @@ class Replicates(Generic[T]):
         return f"{self.mean:.4g} ± {self.std:.2g} (n={len(self.values)})"
 
 
+def _measure_unit(unit) -> float:
+    """One (generate, measure) cell — module-level so it pickles to workers."""
+    generator, n, metric, seed = unit
+    return float(metric(generator.generate(n, seed=seed)))
+
+
+def _run_units(units: List[Tuple], jobs: int) -> List[float]:
+    """Run measurement units inline (jobs=1) or over a process pool.
+
+    Unit order is preserved either way, and every unit's seed is fixed
+    before dispatch, so results are identical at any *jobs* value.  With
+    ``jobs > 1`` the generator and metric must be picklable (module-level
+    functions, not lambdas).
+    """
+    if jobs < 1:
+        raise ValueError("jobs must be >= 1")
+    if jobs == 1 or len(units) <= 1:
+        return [_measure_unit(unit) for unit in units]
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        return list(pool.map(_measure_unit, units))
+
+
 def replicate(
     generator: TopologyGenerator,
     n: int,
     metric: Callable[[Graph], float],
     seeds: int = 5,
     base_seed: int = 1,
+    jobs: int = 1,
 ) -> Replicates:
-    """Measure *metric* on *seeds* independent topologies of size *n*."""
-    values = []
-    for seed in seed_sequence(base_seed, seeds):
-        graph = generator.generate(n, seed=seed)
-        values.append(float(metric(graph)))
-    return Replicates(values=tuple(values))
+    """Measure *metric* on *seeds* independent topologies of size *n*.
+
+    *jobs* > 1 computes replicates in parallel processes (bit-identical to
+    the serial run; *metric* must then be picklable).
+    """
+    units = [
+        (generator, n, metric, seed) for seed in seed_sequence(base_seed, seeds)
+    ]
+    return Replicates(values=tuple(_run_units(units, jobs)))
 
 
 def sweep_sizes(
@@ -79,13 +106,22 @@ def sweep_sizes(
     metric: Callable[[Graph], float],
     seeds: int = 3,
     base_seed: int = 1,
+    jobs: int = 1,
 ) -> List[Tuple[int, Replicates]]:
     """Measure *metric* across *sizes*, each averaged over *seeds*.
 
     Returns (size, replicates) pairs in the order given — feed the means to
-    :func:`repro.stats.fit_power_scaling` for scaling exponents.
+    :func:`repro.stats.fit_power_scaling` for scaling exponents.  *jobs*
+    parallelizes over every (size, seed) cell at once, not size-by-size, so
+    small sweep tails don't leave workers idle.
     """
-    out = []
+    units = []
     for n in sizes:
-        out.append((n, replicate(generator, n, metric, seeds=seeds, base_seed=base_seed + n)))
+        for seed in seed_sequence(base_seed + n, seeds):
+            units.append((generator, n, metric, seed))
+    values = _run_units(units, jobs)
+    out = []
+    for index, n in enumerate(sizes):
+        chunk = values[index * seeds : (index + 1) * seeds]
+        out.append((n, Replicates(values=tuple(chunk))))
     return out

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, fields
-from typing import Dict, Optional
+from typing import Dict, Mapping, Optional, Sequence, Tuple
 
 from ..graph.clustering import average_clustering, total_triangles, transitivity
 from ..graph.cores import degeneracy
@@ -26,7 +26,37 @@ from ..graph.traversal import giant_component
 from ..stats.powerlaw import fit_powerlaw_auto_xmin
 from ..stats.rng import SeedLike
 
-__all__ = ["TopologySummary", "summarize"]
+__all__ = [
+    "TopologySummary",
+    "summarize",
+    "METRICS_VERSION",
+    "METRIC_GROUPS",
+    "compute_metric_groups",
+]
+
+#: Version tag for the battery's on-disk cache keys.  Bump whenever any
+#: metric implementation changes numerically — cached cells computed by the
+#: old code then stop matching and are recomputed.
+METRICS_VERSION = "1"
+
+#: Partition of the scalar battery into independently computable (and
+#: independently cacheable) groups.  Every :class:`TopologySummary` field
+#: except ``name`` appears in exactly one group.
+METRIC_GROUPS: Dict[str, Tuple[str, ...]] = {
+    "size": (
+        "num_nodes",
+        "num_edges",
+        "average_degree",
+        "max_degree",
+        "max_degree_fraction",
+        "giant_fraction",
+    ),
+    "tail": ("degree_exponent", "degree_exponent_sigma"),
+    "clustering": ("average_clustering", "transitivity", "triangles"),
+    "mixing": ("assortativity",),
+    "core": ("degeneracy",),
+    "paths": ("average_path_length",),
+}
 
 
 @dataclass(frozen=True)
@@ -64,6 +94,18 @@ class TopologySummary:
             out[f.name] = getattr(self, f.name)
         return out
 
+    @classmethod
+    def from_dict(cls, name: str, values: Mapping[str, float]) -> "TopologySummary":
+        """Rebuild a summary from a flat metric dict (cache deserialization)."""
+        kwargs = {}
+        for f in fields(cls):
+            if f.name == "name":
+                continue
+            if f.name not in values:
+                raise KeyError(f"metric {f.name!r} missing from values")
+            kwargs[f.name] = values[f.name]
+        return cls(name=name, **kwargs)
+
     def __str__(self) -> str:
         gamma = (
             f"{self.degree_exponent:.2f}"
@@ -93,33 +135,113 @@ def summarize(
     BFS roots (seeded, so summaries are reproducible).  The power-law fit
     needs at least *min_tail* tail samples, else the exponent is NaN.
     """
-    original_n = graph.num_nodes
-    gc = giant_component(graph)
+    values = compute_metric_groups(
+        graph,
+        METRIC_GROUPS,
+        path_sample_threshold=path_sample_threshold,
+        path_samples=path_samples,
+        min_tail=min_tail,
+        seed=seed,
+    )
+    merged: Dict[str, float] = {}
+    for group_values in values.values():
+        merged.update(group_values)
+    return TopologySummary.from_dict(
+        name if name is not None else (graph.name or "graph"), merged
+    )
+
+
+def _group_size(gc: Graph, original_n: int, **_) -> Dict[str, float]:
     n = gc.num_nodes
-    if n == 0:
-        raise ValueError("cannot summarize an empty graph")
+    return {
+        "num_nodes": n,
+        "num_edges": gc.num_edges,
+        "average_degree": gc.average_degree,
+        "max_degree": gc.max_degree,
+        "max_degree_fraction": gc.max_degree / n,
+        "giant_fraction": n / original_n,
+    }
+
+
+def _group_tail(gc: Graph, min_tail: int = 50, **_) -> Dict[str, float]:
     degrees = list(gc.degrees().values())
     try:
         fit = fit_powerlaw_auto_xmin(degrees, min_tail=min_tail)
         gamma, gamma_sigma = fit.gamma, fit.sigma
     except ValueError:
         gamma, gamma_sigma = float("nan"), float("nan")
-    max_sources = None if n <= path_sample_threshold else path_samples
+    return {"degree_exponent": gamma, "degree_exponent_sigma": gamma_sigma}
+
+
+def _group_clustering(gc: Graph, **_) -> Dict[str, float]:
+    return {
+        "average_clustering": average_clustering(gc),
+        "transitivity": transitivity(gc),
+        "triangles": total_triangles(gc),
+    }
+
+
+def _group_mixing(gc: Graph, **_) -> Dict[str, float]:
+    return {"assortativity": degree_assortativity(gc)}
+
+
+def _group_core(gc: Graph, **_) -> Dict[str, float]:
+    return {"degeneracy": degeneracy(gc)}
+
+
+def _group_paths(
+    gc: Graph,
+    path_sample_threshold: int = 1500,
+    path_samples: int = 400,
+    seed: SeedLike = 0,
+    **_,
+) -> Dict[str, float]:
+    max_sources = None if gc.num_nodes <= path_sample_threshold else path_samples
     paths = path_length_distribution(gc, max_sources=max_sources, seed=seed)
-    return TopologySummary(
-        name=name if name is not None else (graph.name or "graph"),
-        num_nodes=n,
-        num_edges=gc.num_edges,
-        average_degree=gc.average_degree,
-        max_degree=gc.max_degree,
-        max_degree_fraction=gc.max_degree / n,
-        degree_exponent=gamma,
-        degree_exponent_sigma=gamma_sigma,
-        average_clustering=average_clustering(gc),
-        transitivity=transitivity(gc),
-        triangles=total_triangles(gc),
-        assortativity=degree_assortativity(gc),
-        average_path_length=paths.mean,
-        degeneracy=degeneracy(gc),
-        giant_fraction=n / original_n,
-    )
+    return {"average_path_length": paths.mean}
+
+
+_GROUP_FUNCTIONS = {
+    "size": _group_size,
+    "tail": _group_tail,
+    "clustering": _group_clustering,
+    "mixing": _group_mixing,
+    "core": _group_core,
+    "paths": _group_paths,
+}
+
+
+def compute_metric_groups(
+    graph: Graph,
+    groups: Sequence[str],
+    path_sample_threshold: int = 1500,
+    path_samples: int = 400,
+    min_tail: int = 50,
+    seed: SeedLike = 0,
+) -> Dict[str, Dict[str, float]]:
+    """Compute a subset of the battery, one value-dict per metric group.
+
+    This is the work-unit kernel of the parallel battery runner: each group
+    in *groups* is computed independently on the (shared) giant component, so
+    a caller holding cached values for some groups only pays for the missing
+    ones.  ``summarize`` is exactly the merge of all groups.
+    """
+    unknown = [g for g in groups if g not in _GROUP_FUNCTIONS]
+    if unknown:
+        known = ", ".join(sorted(_GROUP_FUNCTIONS))
+        raise KeyError(f"unknown metric group(s) {unknown!r}; available: {known}")
+    original_n = graph.num_nodes
+    gc = giant_component(graph)
+    if gc.num_nodes == 0:
+        raise ValueError("cannot summarize an empty graph")
+    out: Dict[str, Dict[str, float]] = {}
+    for group in groups:
+        out[group] = _GROUP_FUNCTIONS[group](
+            gc,
+            original_n=original_n,
+            path_sample_threshold=path_sample_threshold,
+            path_samples=path_samples,
+            min_tail=min_tail,
+            seed=seed,
+        )
+    return out

@@ -26,7 +26,13 @@ from ..generators.serrano import SerranoGenerator
 from ..generators.watts_strogatz import WattsStrogatzGenerator
 from ..generators.waxman import WaxmanGenerator
 
-__all__ = ["register", "make_generator", "available_models", "generator_class"]
+__all__ = [
+    "register",
+    "make_generator",
+    "available_models",
+    "generator_class",
+    "resolve_generator",
+]
 
 _REGISTRY: Dict[str, Type[TopologyGenerator]] = {}
 
@@ -81,3 +87,19 @@ def generator_class(name: str) -> Type[TopologyGenerator]:
 def make_generator(name: str, **params) -> TopologyGenerator:
     """Instantiate a registered generator with keyword parameters."""
     return generator_class(name)(**params)
+
+
+def resolve_generator(spec, **params) -> TopologyGenerator:
+    """Coerce *spec* (registry name or generator instance) to a generator.
+
+    The battery runner and CLI accept models either way; passing parameters
+    alongside an already-constructed instance is an error (the instance's
+    own parameters win, silently overriding would hide bugs).
+    """
+    if isinstance(spec, TopologyGenerator):
+        if params:
+            raise ValueError(
+                "cannot apply parameters to an already-constructed generator"
+            )
+        return spec
+    return make_generator(spec, **params)

@@ -6,16 +6,20 @@ shape: the weighted-growth and feedback models (serrano, pfp, glp) score
 best; plain BA misses clustering and core depth; PLRG/Inet match the tail
 but not the correlations; ER/Waxman/transit-stub trail the field with no
 heavy tail at all.
+
+Since the battery-runner refactor this harness is a thin shell over
+:func:`repro.core.compare_models`: pass ``jobs=N`` to fan the model ×
+replicate × metric-group cells over worker processes and ``cache_dir`` to
+reuse computed cells across runs — both leave every reported number
+bit-identical.  Battery telemetry (wall clock, cache hits/misses) lands in
+the result's notes and telemetry table.
 """
 
 from __future__ import annotations
 
 from typing import Optional
 
-from ..core.compare import compare_summaries
-from ..core.experiment import seed_sequence
-from ..core.metrics import summarize
-from ..datasets.asmap import reference_as_map
+from ..core.battery import compare_models
 from .base import ExperimentResult
 from .rosters import ROSTER_ORDER, standard_roster
 
@@ -23,63 +27,65 @@ __all__ = ["run_t1"]
 
 
 def run_t1(
-    n: int = 2000, seeds: int = 3, base_seed: int = 21, models: Optional[list] = None
+    n: int = 2000,
+    seeds: int = 3,
+    base_seed: int = 21,
+    models: Optional[list] = None,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
 ) -> ExperimentResult:
     """Score every roster model against the reference map."""
     result = ExperimentResult(
         experiment_id="T1",
         title="Generator comparison vs reference AS map",
     )
-    reference_summary = summarize(reference_as_map(n), seed=0)
     roster = standard_roster(n)
     selected = models if models is not None else ROSTER_ORDER
+    comparison = compare_models(
+        {name: roster[name] for name in selected},
+        n=n,
+        seeds=seeds,
+        base_seed=base_seed,
+        jobs=jobs,
+        cache=cache_dir,
+    )
+    reference_summary = comparison.target
 
-    rows = []
-    ranking = []
-    for name in selected:
-        generator = roster[name]
-        scores = []
-        last_summary = None
-        for seed in seed_sequence(base_seed, seeds):
-            graph = generator.generate(n, seed=seed)
-            last_summary = summarize(graph, name=name, seed=seed)
-            scores.append(compare_summaries(last_summary, reference_summary).score)
-        mean_score = sum(scores) / len(scores)
-        spread = (max(scores) - min(scores)) if len(scores) > 1 else 0.0
-        ranking.append((name, mean_score))
-        rows.append(
-            [
-                name,
-                last_summary.average_degree,
-                last_summary.average_path_length,
-                last_summary.average_clustering,
-                last_summary.assortativity,
-                last_summary.max_degree,
-                last_summary.degree_exponent,
-                last_summary.degeneracy,
-                mean_score,
-                spread,
-            ]
-        )
-    target_row = [
-        "reference",
-        reference_summary.average_degree,
-        reference_summary.average_path_length,
-        reference_summary.average_clustering,
-        reference_summary.assortativity,
-        reference_summary.max_degree,
-        reference_summary.degree_exponent,
-        reference_summary.degeneracy,
-        0.0,
-        0.0,
+    def _summary_row(name, summary, score, spread):
+        return [
+            name,
+            summary.average_degree,
+            summary.average_path_length,
+            summary.average_clustering,
+            summary.assortativity,
+            summary.max_degree,
+            summary.degree_exponent,
+            summary.degeneracy,
+            score,
+            spread,
+        ]
+
+    rows = [
+        _summary_row(score.model, score.last_summary, score.mean, score.spread)
+        for score in comparison.scores
     ]
+    target_row = _summary_row("reference", reference_summary, 0.0, 0.0)
     result.add_table(
         "model comparison (last-seed metrics, seed-averaged score)",
         ["model", "<k>", "<l>", "c", "r", "k_max", "gamma", "core", "score", "spread"],
         [target_row] + rows,
     )
-    ranking.sort(key=lambda pair: pair[1])
+    ranking = comparison.ranking()
     result.add_table("ranking (best first)", ["model", "score"], ranking)
+    battery = comparison.battery
+    result.add_table(
+        "battery telemetry (per model × metric group)", *battery.timing_table()
+    )
     for position, (name, score) in enumerate(ranking, start=1):
         result.notes[f"rank_{position:02d}_{name}"] = score
+    result.notes["battery_jobs"] = battery.jobs
+    result.notes["battery_elapsed_s"] = round(battery.elapsed, 3)
+    result.notes["battery_compute_s"] = round(battery.compute_seconds, 3)
+    result.notes["cache_hits"] = battery.stats.hits
+    result.notes["cache_misses"] = battery.stats.misses
     return result

@@ -110,6 +110,10 @@ class Dk2Generator(TopologyGenerator):
     def __init__(self, template: Graph, swaps_per_edge: float = 10.0):
         self.swaps_per_edge = swaps_per_edge
         self._template = template
+        # Public (so params() reports it): without a content fingerprint,
+        # two generators built on different templates would be identical to
+        # the battery's cache keys and seed derivation.
+        self.template_fingerprint = template.fingerprint()
 
     def generate(self, n: int, seed: SeedLike = None) -> Graph:
         """Produce a fresh 2K-randomization (n must equal template size)."""

@@ -16,6 +16,8 @@ zero).
 
 from __future__ import annotations
 
+from typing import Optional
+
 import numpy as np
 
 from ..geometry.plane import Plane
@@ -38,7 +40,7 @@ class HotGenerator(TopologyGenerator):
 
     name = "hot"
 
-    def __init__(self, alpha: float = None, extra_links: int = 0):
+    def __init__(self, alpha: Optional[float] = None, extra_links: int = 0):
         if alpha is not None and alpha < 0:
             raise ValueError("alpha must be non-negative")
         if extra_links < 0:

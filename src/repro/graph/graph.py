@@ -17,6 +17,7 @@ The *topological degree* ``degree(u)`` counts distinct neighbors; the
 
 from __future__ import annotations
 
+import hashlib
 from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Tuple
 
 __all__ = ["Graph"]
@@ -250,6 +251,26 @@ class Graph:
         for u, v, w in self.weighted_edges():
             out.add_edge(mapping[u], mapping[v], weight=w)
         return out
+
+    def fingerprint(self) -> int:
+        """Stable 62-bit content hash of the node set and weighted edge set.
+
+        Pure function of the graph's content — independent of insertion
+        order, process, and Python's randomized string hashing — so it can
+        identify a topology in cache keys and derived seeds (e.g. the
+        template of a null-model generator).  The name is excluded: two
+        graphs with identical structure fingerprint identically.
+        """
+        nodes = sorted(repr(node) for node in self._adj)
+        edges = sorted(
+            "|".join((min(ru, rv), max(ru, rv), repr(w)))
+            for ru, rv, w in (
+                (repr(u), repr(v), w) for u, v, w in self.weighted_edges()
+            )
+        )
+        canon = ";".join(nodes) + "#" + ";".join(edges)
+        digest = hashlib.sha256(canon.encode("utf-8")).digest()
+        return int.from_bytes(digest[:8], "big") & ((1 << 62) - 1)
 
     def __repr__(self) -> str:
         label = f" {self.name!r}" if self.name else ""

@@ -10,6 +10,8 @@ parent stream without correlating results.
 
 from __future__ import annotations
 
+import hashlib
+import json
 import random
 from typing import Optional, Union
 
@@ -24,6 +26,7 @@ __all__ = [
     "make_rng",
     "make_numpy_rng",
     "spawn_seed",
+    "derive_seed",
 ]
 
 # Large odd multiplier used to decorrelate derived seeds (SplitMix64 constant).
@@ -52,6 +55,22 @@ def make_numpy_rng(seed: NumpySeedLike = None) -> np.random.Generator:
     if seed is None or isinstance(seed, (int, np.integer)):
         return np.random.default_rng(seed)
     raise TypeError(f"cannot build a numpy Generator from {type(seed).__name__}")
+
+
+def derive_seed(*components) -> int:
+    """Deterministic 62-bit seed from arbitrary key components.
+
+    Unlike :func:`spawn_seed` (which advances a live stream), this is a pure
+    function of its arguments: the same components give the same seed in any
+    process, on any platform, in any run — the property the parallel battery
+    runner relies on for bit-identical results at every ``jobs`` value.
+    Components are canonicalized through JSON (dict keys sorted, floats via
+    repr), so ``derive_seed("glp", {"m": 1.13}, 0)`` is stable across
+    interpreter restarts where built-in ``hash()`` is not.
+    """
+    canon = json.dumps(list(components), sort_keys=True, default=repr)
+    digest = hashlib.sha256(canon.encode("utf-8")).digest()
+    return (int.from_bytes(digest[:8], "big") & ((1 << 62) - 1)) + 1
 
 
 def spawn_seed(rng: random.Random) -> int:

@@ -1,0 +1,97 @@
+"""Seed-determinism regression sweep over every registered generator.
+
+Guards the battery's seed-derivation path: the parallel runner is only
+bit-reproducible if every generator is a pure function of (params, n,
+seed).  Each registered model must give the identical edge list for the
+same seed — including from a freshly constructed instance, so no state may
+leak between generate() calls — and a different graph for a different seed.
+"""
+
+import pytest
+
+from repro.core import available_models, make_generator
+from repro.generators.dk import Dk2Generator
+from repro.generators.random_reference import RandomReferenceGenerator
+from repro.graph.graph import Graph
+from repro.stats.rng import derive_seed
+
+N = 500
+SEED = 11
+
+
+def _edge_set(graph):
+    return sorted(tuple(sorted(edge)) for edge in graph.edges())
+
+
+@pytest.mark.parametrize("name", available_models())
+class TestRegistrySweep:
+    def test_same_seed_identical_edge_list(self, name):
+        first = make_generator(name).generate(N, seed=SEED)
+        second = make_generator(name).generate(N, seed=SEED)
+        assert _edge_set(first) == _edge_set(second)
+
+    def test_repeated_calls_on_one_instance_identical(self, name):
+        generator = make_generator(name)
+        first = generator.generate(N, seed=SEED)
+        second = generator.generate(N, seed=SEED)
+        assert _edge_set(first) == _edge_set(second)
+
+    def test_different_seed_different_graph(self, name):
+        generator = make_generator(name)
+        first = generator.generate(N, seed=SEED)
+        second = generator.generate(N, seed=SEED + 1)
+        assert _edge_set(first) != _edge_set(second)
+
+
+class TestDeriveSeed:
+    def test_pure_function(self):
+        assert derive_seed("glp", {"m": 1.13}, 0) == derive_seed("glp", {"m": 1.13}, 0)
+
+    def test_component_sensitivity(self):
+        base = derive_seed("glp", {"m": 1.13}, 2000, 21, 0)
+        assert base != derive_seed("pfp", {"m": 1.13}, 2000, 21, 0)
+        assert base != derive_seed("glp", {"m": 1.14}, 2000, 21, 0)
+        assert base != derive_seed("glp", {"m": 1.13}, 2001, 21, 0)
+        assert base != derive_seed("glp", {"m": 1.13}, 2000, 22, 0)
+        assert base != derive_seed("glp", {"m": 1.13}, 2000, 21, 1)
+
+    def test_dict_order_irrelevant(self):
+        assert derive_seed({"a": 1, "b": 2}) == derive_seed({"b": 2, "a": 1})
+
+    def test_positive_63_bit_range(self):
+        for value in (derive_seed(i) for i in range(100)):
+            assert 1 <= value < (1 << 62) + 1
+
+    def test_frozen_golden_value(self):
+        # Cross-process/cross-version stability contract: if this changes,
+        # every on-disk cache key and battery seed changes with it.  Bump
+        # METRICS_VERSION if you ever intentionally alter the derivation.
+        assert derive_seed("battery-unit", "glp", {}, 100, 1, 0) == 992310465330563871
+
+
+def _path_graph(order):
+    graph = Graph()
+    for u, v in zip(order, order[1:]):
+        graph.add_edge(u, v)
+    return graph
+
+
+class TestTemplateIdentity:
+    """Template-based generators must be distinguishable by params() —
+    otherwise the battery cache would serve one template's cached cells
+    for another."""
+
+    def test_fingerprint_insertion_order_independent(self):
+        assert _path_graph([1, 2, 3, 4]).fingerprint() == \
+            _path_graph([4, 3, 2, 1]).fingerprint()
+
+    def test_fingerprint_content_sensitive(self):
+        assert _path_graph([1, 2, 3, 4]).fingerprint() != \
+            _path_graph([1, 2, 3, 5]).fingerprint()
+
+    @pytest.mark.parametrize("cls", [Dk2Generator, RandomReferenceGenerator])
+    def test_different_templates_different_params(self, cls):
+        a = cls(_path_graph([1, 2, 3, 4]))
+        b = cls(_path_graph([1, 2, 3, 5]))
+        assert a.params() != b.params()
+        assert "template_fingerprint" in a.params()
