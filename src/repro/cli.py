@@ -11,8 +11,12 @@ Five subcommands cover the common workflows::
 Parameters for ``generate``/``compare`` are passed as ``--param key=value``
 pairs and coerced to int/float/bool when they look like one.  ``battery``
 and ``experiment`` accept ``--jobs N`` (process-parallel work units),
-``--cache-dir PATH`` (content-addressed result reuse across runs) and
-``--no-cache``; results are bit-identical for every combination.
+``--cache-dir PATH`` (content-addressed result reuse across runs),
+``--no-cache``, and the fault-tolerance knobs ``--timeout SECONDS``
+(per-unit limit), ``--retries N`` (re-attempts before a unit is declared
+dead) and ``--journal PATH`` (append-only JSONL event log); results are
+bit-identical for every combination, and a failed unit costs only its own
+replicate.
 """
 
 from __future__ import annotations
@@ -119,6 +123,18 @@ def _add_battery_flags(parser: argparse.ArgumentParser) -> None:
         "--no-cache", action="store_true",
         help="disable the result cache even if --cache-dir is given",
     )
+    parser.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-unit wall-clock limit; overruns become recorded failures",
+    )
+    parser.add_argument(
+        "--retries", type=int, default=0, metavar="N",
+        help="re-attempts for a failed/timed-out unit before giving up",
+    )
+    parser.add_argument(
+        "--journal", default=None, metavar="PATH",
+        help="append a JSONL run journal (one event per unit/cache hit)",
+    )
 
 
 def _cache_from_args(args) -> Optional[str]:
@@ -126,6 +142,22 @@ def _cache_from_args(args) -> Optional[str]:
     if getattr(args, "no_cache", False):
         return None
     return getattr(args, "cache_dir", None)
+
+
+def _make_generator_or_exit(name: str, **params):
+    """Instantiate a registered model, exiting cleanly on a bad name.
+
+    A typo'd model name is a usage error, not an internal one: it becomes
+    a ``SystemExit`` message listing :func:`available_models`, never a raw
+    ``KeyError`` traceback.
+    """
+    try:
+        return make_generator(name, **params)
+    except KeyError:
+        known = ", ".join(available_models())
+        raise SystemExit(
+            f"repro: unknown model {name!r}; available models: {known}"
+        ) from None
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -136,7 +168,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(name)
         return 0
     if args.command == "generate":
-        generator = make_generator(args.model, **_parse_params(args.param))
+        generator = _make_generator_or_exit(args.model, **_parse_params(args.param))
         graph = generator.generate(args.nodes, seed=args.seed)
         write_edge_list(graph, args.output)
         print(f"wrote {graph.num_nodes} nodes / {graph.num_edges} edges to {args.output}")
@@ -148,7 +180,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(format_table(["metric", "value"], rows, title=summary.name))
         return 0
     if args.command == "compare":
-        generator = make_generator(args.model, **_parse_params(args.param))
+        generator = _make_generator_or_exit(args.model, **_parse_params(args.param))
         graph = generator.generate(args.nodes, seed=args.seed)
         result = compare_graphs(graph, reference_as_map(args.nodes), seed=args.seed)
         print(result)
@@ -162,7 +194,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         for name in names:
             # Roster names carry the calibrated parameters; anything else
             # falls back to registry defaults.
-            mapping[name] = roster[name] if name in roster else make_generator(name)
+            mapping[name] = (
+                roster[name] if name in roster else _make_generator_or_exit(name)
+            )
         result = compare_models(
             mapping,
             n=args.nodes,
@@ -170,11 +204,14 @@ def main(argv: Optional[List[str]] = None) -> int:
             base_seed=args.base_seed,
             jobs=args.jobs,
             cache=_cache_from_args(args),
+            timeout=args.timeout,
+            retries=args.retries,
+            journal=args.journal,
         )
-        rows = [
-            [score.model, score.mean, score.spread]
-            for score in sorted(result.scores, key=lambda s: s.mean)
-        ]
+        rows = [[model, mean] for model, mean in result.ranking()]
+        spreads = {score.model: score.spread for score in result.scores}
+        for row in rows:
+            row.append(spreads[row[0]])
         print(format_table(
             ["model", "score", "spread"], rows,
             title=f"battery vs reference map (n={args.nodes}, seeds={args.seeds})",
@@ -204,6 +241,12 @@ def main(argv: Optional[List[str]] = None) -> int:
             params.setdefault("jobs", args.jobs)
         if "cache_dir" in accepted and _cache_from_args(args) is not None:
             params.setdefault("cache_dir", _cache_from_args(args))
+        if "timeout" in accepted and args.timeout is not None:
+            params.setdefault("timeout", args.timeout)
+        if "retries" in accepted and args.retries:
+            params.setdefault("retries", args.retries)
+        if "journal" in accepted and args.journal is not None:
+            params.setdefault("journal", args.journal)
         result = runner(**params)
         print(result.render())
         return 0

@@ -13,6 +13,7 @@ from .battery import (
 )
 from .cache import CacheStats, NullCache, ResultCache, canonical_key
 from .calibrate import CalibrationResult, grid_calibrate
+from .journal import NullJournal, RunJournal, resolve_journal
 from .compare import (
     DEFAULT_SCORED_METRICS,
     ComparisonResult,
@@ -24,6 +25,7 @@ from .experiment import Replicates, replicate, seed_sequence, sweep_sizes
 from .metrics import (
     METRIC_GROUPS,
     METRICS_VERSION,
+    PartialSummary,
     TopologySummary,
     compute_metric_groups,
     summarize,
@@ -35,10 +37,11 @@ from .registry import (
     register,
     resolve_generator,
 )
-from .report import format_series, format_table, format_value
+from .report import format_series, format_table, format_value, shorten
 
 __all__ = [
     "TopologySummary",
+    "PartialSummary",
     "summarize",
     "METRIC_GROUPS",
     "METRICS_VERSION",
@@ -62,6 +65,10 @@ __all__ = [
     "format_table",
     "format_series",
     "format_value",
+    "shorten",
+    "RunJournal",
+    "NullJournal",
+    "resolve_journal",
     "CacheStats",
     "ResultCache",
     "NullCache",

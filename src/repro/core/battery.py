@@ -1,4 +1,4 @@
-"""Parallel, content-addressed metric-battery runner.
+"""Parallel, content-addressed, fault-tolerant metric-battery runner.
 
 The validation battery — every model × replicate × metric group scored
 against a target map — is embarrassingly parallel and completely
@@ -15,7 +15,20 @@ deterministic, so this module runs it that way:
   stored in a :class:`repro.core.cache.ResultCache`; re-running an
   experiment, adding replicates, or re-scoring against a new target skips
   every already-computed cell (cache probes and writes happen only in the
-  parent process, so workers never race on files).
+  parent process, so workers never race on files);
+* **fault containment** — units are submitted individually, never via
+  ``pool.map``: one crashing generator, one metric exception, one unit
+  blowing its ``timeout``, even one worker process dying outright, costs
+  exactly that unit (after up to ``retries`` re-attempts).  The failed
+  replicate becomes a :class:`UnitRecord` with ``status="failed"`` (or
+  ``"timeout"``) carrying the traceback, its entry keeps a
+  :class:`~repro.core.metrics.PartialSummary` for the gap, every other
+  unit's results survive, and — with a cache — re-running the same command
+  recomputes only the failed cells;
+* **observability** — an optional :class:`repro.core.journal.RunJournal`
+  records one JSONL event per unit start/finish/retry/failure and per
+  cache hit, with seeds, durations, and worker pids, so long sweeps leave
+  an audit trail that survives a crash.
 
 :func:`run_battery` produces per-replicate summaries plus per-unit timing
 and cache telemetry; :func:`compare_models` layers target scoring on top
@@ -24,8 +37,13 @@ and cache telemetry; :func:`compare_models` layers target scoring on top
 
 from __future__ import annotations
 
+import math
+import os
 import time
-from concurrent.futures import ProcessPoolExecutor
+import traceback
+import warnings
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeout
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
@@ -35,15 +53,17 @@ from ..graph.graph import Graph
 from ..stats.rng import derive_seed
 from .cache import CacheStats, NullCache, ResultCache, canonical_key
 from .compare import ComparisonResult, compare_summaries
+from .journal import JournalLike, NullJournal, RunJournal, resolve_journal
 from .metrics import (
     METRIC_GROUPS,
     METRICS_VERSION,
+    PartialSummary,
     TopologySummary,
     compute_metric_groups,
     summarize,
 )
 from .registry import resolve_generator
-from .report import format_table
+from .report import format_table, shorten
 
 __all__ = [
     "UnitRecord",
@@ -68,24 +88,41 @@ _GROUP_PARAM_KEYS: Dict[str, Tuple[str, ...]] = {
 
 @dataclass(frozen=True)
 class UnitRecord:
-    """Telemetry for one battery cell (or one topology generation)."""
+    """Telemetry for one battery cell, shared pass, or unit failure.
+
+    ``group`` is a metric group name for computed/cached cells,
+    ``"generate"`` for topology construction, ``"giant"`` for the shared
+    giant-component extraction, or ``"unit"`` for a whole-unit failure
+    record.  ``status`` is ``"ok"`` for successful records and
+    ``"failed"``/``"timeout"`` for failures, whose ``error`` carries the
+    worker traceback (or timeout diagnostic).
+    """
 
     model: str
     replicate: int
-    group: str  # metric group name, or "generate" for topology construction
+    group: str
     seed: int
     cached: bool
     seconds: float
+    status: str = "ok"
+    error: Optional[str] = None
 
 
 @dataclass(frozen=True)
 class BatteryEntry:
-    """One model's battery output: a summary per replicate."""
+    """One model's battery output: a summary per replicate.
+
+    Replicates that completed the full group set hold a
+    :class:`TopologySummary`; deliberately-partial batteries and failed
+    units hold a :class:`~repro.core.metrics.PartialSummary` (never
+    ``None``) whose ``missing``/``error`` fields say exactly what is
+    absent and why.
+    """
 
     model: str
     params: Dict[str, Any]
     seeds: Tuple[int, ...]
-    summaries: Tuple[TopologySummary, ...]
+    summaries: Tuple[Union[TopologySummary, PartialSummary], ...]
 
 
 @dataclass
@@ -105,21 +142,31 @@ class BatteryResult:
                 return item
         raise KeyError(f"model {model!r} not in battery result")
 
-    def summaries(self, model: str) -> Tuple[TopologySummary, ...]:
+    def summaries(self, model: str) -> Tuple[Union[TopologySummary, PartialSummary], ...]:
         """One model's per-replicate summaries."""
         return self.entry(model).summaries
+
+    @property
+    def failures(self) -> List[UnitRecord]:
+        """Records of units that failed or timed out (empty when clean)."""
+        return [rec for rec in self.records if rec.status != "ok"]
 
     @property
     def compute_seconds(self) -> float:
         """Total seconds spent computing (excludes cache hits; sums over
         workers, so it can exceed ``elapsed`` when ``jobs > 1``)."""
-        return sum(r.seconds for r in self.records if not r.cached)
+        return sum(
+            r.seconds for r in self.records if not r.cached and r.status == "ok"
+        )
 
     def timing_table(self) -> Tuple[List[str], List[List[Any]]]:
         """Aggregate telemetry rows: per (model, group) computed/cached
-        cell counts and compute seconds."""
+        cell counts and compute seconds (failures are excluded here and
+        reported by :meth:`failure_table`)."""
         agg: Dict[Tuple[str, str], List[float]] = {}
         for rec in self.records:
+            if rec.status != "ok":
+                continue
             cell = agg.setdefault((rec.model, rec.group), [0, 0, 0.0])
             if rec.cached:
                 cell[1] += 1
@@ -133,20 +180,46 @@ class BatteryResult:
         ]
         return headers, rows
 
+    def failure_table(self) -> Tuple[List[str], List[List[Any]]]:
+        """One row per failed unit: replicate identity, status, and the
+        exception message (last traceback line, ellipsized)."""
+        headers = ["model", "replicate", "seed", "status", "error"]
+        rows = []
+        for rec in self.failures:
+            message = ""
+            if rec.error:
+                lines = [ln for ln in rec.error.strip().splitlines() if ln.strip()]
+                message = shorten(lines[-1]) if lines else ""
+            rows.append([rec.model, rec.replicate, rec.seed, rec.status, message])
+        return headers, rows
+
     def render_timing(self) -> str:
-        """Telemetry as an aligned text table (for reports and logs)."""
+        """Telemetry as an aligned text table (for reports and logs),
+        followed by a failed-units table when any unit failed."""
         headers, rows = self.timing_table()
         table = format_table(headers, rows, title="battery telemetry")
         footer = (
             f"jobs={self.jobs} elapsed={self.elapsed:.3f}s "
             f"compute={self.compute_seconds:.3f}s cache[{self.stats}]"
         )
-        return f"{table}\n{footer}"
+        parts = [table, footer]
+        if self.failures:
+            parts.append("")
+            parts.append(
+                format_table(*self.failure_table(), title="failed units")
+            )
+        return "\n".join(parts)
 
 
 @dataclass(frozen=True)
 class ModelScore:
-    """One model's divergence from the target, over all replicates."""
+    """One model's divergence from the target, over surviving replicates.
+
+    Failed replicates are excluded (with a warning at scoring time), so
+    ``scores``/``summaries`` may be shorter than the requested replicate
+    count; a model whose every replicate failed has no scores and a NaN
+    mean.
+    """
 
     model: str
     scores: Tuple[float, ...]
@@ -155,7 +228,10 @@ class ModelScore:
 
     @property
     def mean(self) -> float:
-        """Seed-averaged divergence score (the ranking statistic)."""
+        """Seed-averaged divergence score (the ranking statistic); NaN
+        when no replicate survived."""
+        if not self.scores:
+            return float("nan")
         return sum(self.scores) / len(self.scores)
 
     @property
@@ -165,7 +241,8 @@ class ModelScore:
 
     @property
     def last_summary(self) -> TopologySummary:
-        """The final replicate's summary (what the T1 table prints)."""
+        """The final surviving replicate's summary (what the T1 table
+        prints); raises ``IndexError`` when no replicate survived."""
         return self.summaries[-1]
 
 
@@ -185,9 +262,12 @@ class ComparisonBattery:
         raise KeyError(f"model {model!r} not in comparison")
 
     def ranking(self) -> List[Tuple[str, float]]:
-        """(model, mean score) pairs, best (lowest) first."""
+        """(model, mean score) pairs, best (lowest) first; models with no
+        surviving replicate rank last."""
+        scored = [(s.model, s.mean) for s in self.scores]
         return sorted(
-            ((s.model, s.mean) for s in self.scores), key=lambda pair: pair[1]
+            scored,
+            key=lambda pair: (math.isnan(pair[1]), pair[1]),
         )
 
 
@@ -263,26 +343,201 @@ def _battery_task(task):
     """Worker kernel: generate one topology, compute its missing groups.
 
     Module-level and argument-pure so it pickles under any multiprocessing
-    start method.  Returns (task index, group → values, group → seconds,
-    generation seconds).
+    start method.  Returns (task index, group → values, group → real wall
+    seconds, generation seconds, worker pid).
     """
     index, generator, n, seed, groups, sum_params = task
     start = time.perf_counter()
     graph = generator.generate(n, seed=seed)
     gen_seconds = time.perf_counter() - start
-    values: Dict[str, Dict[str, float]] = {}
-    timings: Dict[str, float] = {}
-    previous = gen_seconds + start
-    computed = compute_metric_groups(graph, groups, seed=seed, **sum_params)
-    # compute_metric_groups shares one giant-component pass; re-time each
-    # group individually only when fine-grained telemetry is worth a second
-    # pass — it is not, so attribute elapsed time proportionally by order.
-    total = time.perf_counter() - previous
-    per_group = total / len(groups) if groups else 0.0
-    for group in groups:
-        values[group] = computed[group]
-        timings[group] = per_group
-    return index, values, timings, gen_seconds
+    values, timings = compute_metric_groups(
+        graph, groups, seed=seed, with_timings=True, **sum_params
+    )
+    return index, values, timings, gen_seconds, os.getpid()
+
+
+@dataclass(frozen=True)
+class _UnitOutcome:
+    """Terminal result of one work unit after all attempts."""
+
+    status: str  # "ok" | "failed" | "timeout"
+    values: Optional[Dict[str, Dict[str, float]]] = None
+    timings: Optional[Dict[str, float]] = None
+    gen_seconds: float = 0.0
+    seconds: float = 0.0
+    worker: Optional[int] = None
+    error: Optional[str] = None
+    attempts: int = 1
+
+
+def _format_exception(exc: BaseException) -> str:
+    return "".join(traceback.format_exception(type(exc), exc, exc.__traceback__))
+
+
+def _run_serial(
+    tasks: Sequence[Tuple],
+    timeout: Optional[float],
+    retries: int,
+    journal: Union[RunJournal, NullJournal],
+    meta: Mapping[int, Dict[str, Any]],
+) -> Dict[int, _UnitOutcome]:
+    """Inline (jobs=1) execution with the same containment semantics.
+
+    A unit that overruns *timeout* inline cannot be preempted, so the
+    limit is enforced retroactively: the overrun unit's values are
+    discarded and it is recorded as a timeout, keeping jobs=1 and jobs>1
+    outcomes identical for deterministic workloads.
+    """
+    outcomes: Dict[int, _UnitOutcome] = {}
+    for task in tasks:
+        index = task[0]
+        info = meta[index]
+        outcome: Optional[_UnitOutcome] = None
+        for attempt in range(retries + 1):
+            journal.emit("unit_start", attempt=attempt, jobs=1, **info)
+            started = time.perf_counter()
+            try:
+                _, values, timings, gen_seconds, worker = _battery_task(task)
+            except Exception as exc:
+                elapsed = time.perf_counter() - started
+                outcome = _UnitOutcome(
+                    "failed", seconds=elapsed, worker=os.getpid(),
+                    error=_format_exception(exc), attempts=attempt + 1,
+                )
+            else:
+                elapsed = time.perf_counter() - started
+                if timeout is not None and elapsed > timeout:
+                    outcome = _UnitOutcome(
+                        "timeout", seconds=elapsed, worker=os.getpid(),
+                        error=(
+                            f"TimeoutError: unit took {elapsed:.3f}s, "
+                            f"exceeding the {timeout}s per-unit timeout"
+                        ),
+                        attempts=attempt + 1,
+                    )
+                else:
+                    outcome = _UnitOutcome(
+                        "ok", values=values, timings=timings,
+                        gen_seconds=gen_seconds, seconds=elapsed,
+                        worker=worker, attempts=attempt + 1,
+                    )
+            if outcome.status == "ok":
+                journal.emit(
+                    "unit_finish", seconds=round(outcome.seconds, 6),
+                    worker=outcome.worker, attempt=attempt, **info,
+                )
+                break
+            if attempt < retries:
+                journal.emit(
+                    "unit_retry", attempt=attempt, status=outcome.status, **info
+                )
+            else:
+                journal.emit(
+                    "unit_fail", status=outcome.status, attempts=outcome.attempts,
+                    error=outcome.error, **info,
+                )
+        outcomes[index] = outcome
+    return outcomes
+
+
+def _run_parallel(
+    tasks: Sequence[Tuple],
+    jobs: int,
+    timeout: Optional[float],
+    retries: int,
+    journal: Union[RunJournal, NullJournal],
+    meta: Mapping[int, Dict[str, Any]],
+) -> Dict[int, _UnitOutcome]:
+    """Pooled execution with per-unit containment.
+
+    Every unit is submitted individually; an exception raised in a worker
+    costs only its own unit, a unit that overruns *timeout* is abandoned
+    (its worker finishes in the background), and a worker process dying
+    outright (:class:`BrokenExecutor`) charges the unit being waited on
+    and rebuilds the pool for the rest.  Failed/timed-out attempts are
+    re-submitted up to *retries* times before the unit is declared dead.
+    """
+    by_index = {task[0]: task for task in tasks}
+    pending: Dict[int, int] = {task[0]: 0 for task in tasks}  # index → attempts used
+    outcomes: Dict[int, _UnitOutcome] = {}
+
+    def charge(index: int, status: str, error: str, seconds: float) -> None:
+        attempts = pending[index] + 1
+        info = meta[index]
+        if attempts > retries:
+            outcomes[index] = _UnitOutcome(
+                status, seconds=seconds, error=error, attempts=attempts
+            )
+            del pending[index]
+            journal.emit(
+                "unit_fail", status=status, attempts=attempts, error=error, **info
+            )
+        else:
+            pending[index] = attempts
+            journal.emit("unit_retry", attempt=attempts - 1, status=status, **info)
+
+    while pending:
+        pool = ProcessPoolExecutor(max_workers=jobs)
+        broken = False
+        hung = False
+        futures = {}
+        for index in sorted(pending):
+            futures[index] = pool.submit(_battery_task, by_index[index])
+            journal.emit(
+                "unit_start", attempt=pending[index], jobs=jobs, **meta[index]
+            )
+        for index, future in futures.items():
+            waited = time.perf_counter()
+            try:
+                _, values, timings, gen_seconds, worker = future.result(
+                    timeout=timeout
+                )
+            except FuturesTimeout:
+                future.cancel()
+                hung = True
+                charge(
+                    index, "timeout",
+                    f"TimeoutError: unit did not finish within the "
+                    f"{timeout}s per-unit timeout",
+                    timeout or 0.0,
+                )
+            except BrokenExecutor as exc:
+                # A worker died without raising (segfault, OOM-kill,
+                # os._exit): the whole pool is unusable.  Attribution is
+                # heuristic — the unit being waited on is charged — and
+                # every other in-flight unit is re-run free of charge in a
+                # fresh pool.
+                journal.emit("pool_broken", error=repr(exc), **meta[index])
+                charge(
+                    index, "failed",
+                    f"BrokenExecutor: worker process died abruptly "
+                    f"({exc!r}); unit charged heuristically",
+                    time.perf_counter() - waited,
+                )
+                broken = True
+                break
+            except Exception as exc:
+                charge(
+                    index, "failed", _format_exception(exc),
+                    time.perf_counter() - waited,
+                )
+            else:
+                seconds = gen_seconds + sum(timings.values())
+                outcomes[index] = _UnitOutcome(
+                    "ok", values=values, timings=timings,
+                    gen_seconds=gen_seconds, seconds=seconds,
+                    worker=worker, attempts=pending[index] + 1,
+                )
+                del pending[index]
+                journal.emit(
+                    "unit_finish", seconds=round(seconds, 6), worker=worker,
+                    **meta[index],
+                )
+        # A hung or broken pool must not block shutdown; a healthy one is
+        # drained normally.  cancel_futures covers queued-but-unstarted
+        # work after a break.
+        pool.shutdown(wait=not (broken or hung), cancel_futures=True)
+    return outcomes
 
 
 def run_battery(
@@ -293,6 +548,9 @@ def run_battery(
     jobs: int = 1,
     cache: CacheLike = None,
     groups: Optional[Sequence[str]] = None,
+    timeout: Optional[float] = None,
+    retries: int = 0,
+    journal: JournalLike = None,
     path_sample_threshold: int = 1500,
     path_samples: int = 400,
     min_tail: int = 50,
@@ -307,15 +565,42 @@ def run_battery(
     and for warm vs. cold cache — the per-unit seed depends only on the
     model identity, its parameters, *n*, *base_seed*, and the replicate
     index.
+
+    Failures are contained, not fatal: a unit that raises, exceeds
+    *timeout* seconds, or loses its worker process is retried up to
+    *retries* times and then recorded as a failed :class:`UnitRecord`
+    (see :attr:`BatteryResult.failures`); its replicate's summary becomes
+    a :class:`~repro.core.metrics.PartialSummary` carrying the traceback
+    while every other unit's results are returned normally.  *journal*
+    (a path or :class:`~repro.core.journal.RunJournal`) appends one JSONL
+    event per unit start/finish/retry/failure and per cache hit.
     """
     if jobs < 1:
         raise ValueError("jobs must be >= 1")
     if seeds < 1:
         raise ValueError("seeds must be >= 1")
+    if retries < 0:
+        raise ValueError("retries must be >= 0")
+    if timeout is not None and timeout <= 0:
+        raise ValueError("timeout must be positive (or None)")
     started = time.perf_counter()
     spec = _normalize_models(models)
     group_names = tuple(groups) if groups is not None else tuple(METRIC_GROUPS)
+    unknown_groups = [g for g in group_names if g not in METRIC_GROUPS]
+    if unknown_groups:
+        known = ", ".join(METRIC_GROUPS)
+        raise KeyError(
+            f"unknown metric group(s) {unknown_groups!r}; available: {known}"
+        )
     store = _resolve_cache(cache)
+    stats_before = store.stats.snapshot()
+    log = resolve_journal(journal)
+    log.emit(
+        "battery_start",
+        models=[label for label, _ in spec],
+        n=n, seeds=seeds, jobs=jobs, groups=list(group_names),
+        timeout=timeout, retries=retries,
+    )
     sum_params = {
         "path_sample_threshold": path_sample_threshold,
         "path_samples": path_samples,
@@ -350,6 +635,10 @@ def run_battery(
                     records.append(
                         UnitRecord(label, rep, group, unit_seed, True, 0.0)
                     )
+                    log.emit(
+                        "cache_hit", model=label, replicate=rep,
+                        seed=unit_seed, group=group, key=key,
+                    )
                 else:
                     unit["pending"][group] = (key, payload)
             if unit["pending"]:
@@ -367,49 +656,80 @@ def run_battery(
             units.append(unit)
 
     if tasks:
+        meta = {
+            unit["task"]: {
+                "model": unit["label"],
+                "replicate": unit["replicate"],
+                "seed": unit["seed"],
+            }
+            for unit in units
+            if unit["task"] is not None
+        }
         if jobs > 1:
-            with ProcessPoolExecutor(max_workers=jobs) as pool:
-                results = list(pool.map(_battery_task, tasks))
+            outcomes = _run_parallel(tasks, jobs, timeout, retries, log, meta)
         else:
-            results = [_battery_task(task) for task in tasks]
-        by_index = {index: (values, timings, gen_s) for index, values, timings, gen_s in results}
+            outcomes = _run_serial(tasks, timeout, retries, log, meta)
         for unit in units:
             if unit["task"] is None:
                 continue
-            values, timings, gen_seconds = by_index[unit["task"]]
-            records.append(
-                UnitRecord(
-                    unit["label"], unit["replicate"], "generate",
-                    unit["seed"], False, gen_seconds,
-                )
-            )
-            for group, (key, payload) in unit["pending"].items():
-                unit["values"][group] = values[group]
-                store.put(key, values[group], payload)
+            outcome = outcomes[unit["task"]]
+            if outcome.status == "ok":
                 records.append(
                     UnitRecord(
-                        unit["label"], unit["replicate"], group,
-                        unit["seed"], False, timings[group],
+                        unit["label"], unit["replicate"], "generate",
+                        unit["seed"], False, outcome.gen_seconds,
+                    )
+                )
+                giant_seconds = (outcome.timings or {}).get("giant")
+                if giant_seconds is not None:
+                    records.append(
+                        UnitRecord(
+                            unit["label"], unit["replicate"], "giant",
+                            unit["seed"], False, giant_seconds,
+                        )
+                    )
+                for group, (key, payload) in unit["pending"].items():
+                    unit["values"][group] = outcome.values[group]
+                    store.put(key, outcome.values[group], payload)
+                    records.append(
+                        UnitRecord(
+                            unit["label"], unit["replicate"], group,
+                            unit["seed"], False, outcome.timings[group],
+                        )
+                    )
+            else:
+                unit["error"] = outcome.error
+                records.append(
+                    UnitRecord(
+                        unit["label"], unit["replicate"], "unit",
+                        unit["seed"], False, outcome.seconds,
+                        status=outcome.status, error=outcome.error,
                     )
                 )
 
+    all_fields = {f for group_fields in METRIC_GROUPS.values() for f in group_fields}
     entries: List[BatteryEntry] = []
     for label, generator in spec:
         _, params = _identity(generator)
         model_units = [u for u in units if u["label"] == label]
-        summaries = []
+        summaries: List[Union[TopologySummary, PartialSummary]] = []
         for unit in model_units:
             merged: Dict[str, float] = {}
-            for group in group_names:
-                merged.update(unit["values"][group])
-            if set(merged) == {
-                f for fields in METRIC_GROUPS.values() for f in fields
-            }:
+            for group_values in unit["values"].values():
+                merged.update(group_values)
+            if set(merged) == all_fields:
                 summaries.append(TopologySummary.from_dict(label, merged))
             else:
-                # Partial-group batteries cannot build a full summary; the
-                # raw values are still in unit["values"].
-                summaries.append(None)
+                # Deliberately-partial batteries and failed units both get
+                # an explicit partial summary, never None.
+                present = tuple(g for g in METRIC_GROUPS if g in unit["values"])
+                missing = tuple(g for g in METRIC_GROUPS if g not in unit["values"])
+                summaries.append(
+                    PartialSummary(
+                        name=label, values=merged, groups=present,
+                        missing=missing, error=unit.get("error"),
+                    )
+                )
         entries.append(
             BatteryEntry(
                 model=label,
@@ -418,13 +738,20 @@ def run_battery(
                 summaries=tuple(summaries),
             )
         )
-    return BatteryResult(
+    result = BatteryResult(
         entries=entries,
         records=records,
-        stats=store.stats,
+        stats=store.stats.delta(stats_before),
         jobs=jobs,
         elapsed=time.perf_counter() - started,
     )
+    log.emit(
+        "battery_end",
+        elapsed=round(result.elapsed, 6),
+        failures=len(result.failures),
+        cache=result.stats.as_dict(),
+    )
+    return result
 
 
 def _summarize_target(
@@ -474,6 +801,9 @@ def compare_models(
     metrics: Optional[Dict[str, Tuple[str, float]]] = None,
     jobs: int = 1,
     cache: CacheLike = None,
+    timeout: Optional[float] = None,
+    retries: int = 0,
+    journal: JournalLike = None,
     path_sample_threshold: int = 1500,
     path_samples: int = 400,
     min_tail: int = 50,
@@ -483,9 +813,16 @@ def compare_models(
     *target* defaults to the frozen reference AS map at size *n* (cached
     through the same store as the model cells).  Scoring itself is cheap
     arithmetic and stays in the parent; all topology generation and metric
-    computation parallelizes/caches via :func:`run_battery`.
+    computation parallelizes/caches via :func:`run_battery`, including its
+    fault containment: replicates whose unit failed (see *timeout* /
+    *retries*) are skipped in scoring with a ``RuntimeWarning`` naming the
+    model, never crashing the comparison, and the reported cache counters
+    are per-run deltas even when a shared :class:`ResultCache` instance is
+    reused across calls.
     """
     store = _resolve_cache(cache)
+    log = resolve_journal(journal)
+    stats_before = store.stats.snapshot()
     sum_params = {
         "path_sample_threshold": path_sample_threshold,
         "path_samples": path_samples,
@@ -499,20 +836,44 @@ def compare_models(
         base_seed=base_seed,
         jobs=jobs,
         cache=store,
+        timeout=timeout,
+        retries=retries,
+        journal=log,
         **sum_params,
     )
+    # Report this run's counters spanning the target cells as well as the
+    # battery's own (run_battery's delta starts after the target probe).
+    battery.stats = store.stats.delta(stats_before)
     scores: List[ModelScore] = []
     for entry in battery.entries:
-        comparisons = tuple(
-            compare_summaries(summary, target_summary, metrics=metrics)
-            for summary in entry.summaries
-        )
+        survivors: List[TopologySummary] = []
+        comparisons: List[ComparisonResult] = []
+        skipped = 0
+        for summary in entry.summaries:
+            if isinstance(summary, PartialSummary) and summary.failed:
+                skipped += 1
+                continue
+            # Non-failed partial summaries (subset-group batteries) raise a
+            # ValueError naming the missing groups inside compare_summaries.
+            comparisons.append(
+                compare_summaries(summary, target_summary, metrics=metrics)
+            )
+            survivors.append(summary)
+        if skipped:
+            warnings.warn(
+                f"model {entry.model!r}: {skipped} of {len(entry.summaries)} "
+                f"replicate(s) failed; scoring the {len(survivors)} "
+                f"surviving replicate(s) only "
+                f"(see BatteryResult.failures for tracebacks)",
+                RuntimeWarning,
+                stacklevel=2,
+            )
         scores.append(
             ModelScore(
                 model=entry.model,
                 scores=tuple(c.score for c in comparisons),
-                comparisons=comparisons,
-                summaries=entry.summaries,
+                comparisons=tuple(comparisons),
+                summaries=tuple(survivors),
             )
         )
     return ComparisonBattery(target=target_summary, scores=scores, battery=battery)

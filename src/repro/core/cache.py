@@ -46,12 +46,32 @@ def canonical_key(payload: Mapping[str, Any]) -> str:
 
 @dataclass
 class CacheStats:
-    """Hit/miss accounting for one battery run."""
+    """Hit/miss accounting.
+
+    A :class:`ResultCache` instance accumulates counters over its whole
+    lifetime; callers that report per-run numbers (the battery runner)
+    :meth:`snapshot` the counters at run start and report the
+    :meth:`delta`, so sharing one cache object across successive runs
+    never inflates the second run's reported hits/misses.
+    """
 
     hits: int = 0
     misses: int = 0
     writes: int = 0
     corrupt: int = 0
+
+    def snapshot(self) -> "CacheStats":
+        """An independent copy of the current counters."""
+        return CacheStats(self.hits, self.misses, self.writes, self.corrupt)
+
+    def delta(self, since: "CacheStats") -> "CacheStats":
+        """Counters accumulated since the *since* snapshot was taken."""
+        return CacheStats(
+            hits=self.hits - since.hits,
+            misses=self.misses - since.misses,
+            writes=self.writes - since.writes,
+            corrupt=self.corrupt - since.corrupt,
+        )
 
     def as_dict(self) -> Dict[str, int]:
         """Counters as a plain dict (for report tables and notes)."""

@@ -21,7 +21,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..graph.graph import Graph
-from .metrics import TopologySummary, summarize
+from .metrics import PartialSummary, TopologySummary, summarize
 
 __all__ = ["MetricRow", "ComparisonResult", "compare_summaries", "compare_graphs", "DEFAULT_SCORED_METRICS"]
 
@@ -101,7 +101,21 @@ def compare_summaries(
     target: TopologySummary,
     metrics: Optional[Dict[str, Tuple[str, float]]] = None,
 ) -> ComparisonResult:
-    """Compare two summaries over *metrics* (default battery)."""
+    """Compare two summaries over *metrics* (default battery).
+
+    Partial summaries (subset-group batteries, failed units) cannot be
+    scored; passing one raises a ``ValueError`` naming the missing metric
+    groups instead of producing a meaningless score.
+    """
+    for role, side in (("model", model), ("target", target)):
+        if isinstance(side, PartialSummary):
+            absent = ", ".join(side.missing) or "unknown"
+            raise ValueError(
+                f"cannot score {role} summary {side.name!r}: metric "
+                f"group(s) {absent} were not computed (partial battery"
+                f"{' after unit failure' if side.failed else ''}); "
+                f"re-run with the full group set to score it"
+            )
     metrics = metrics if metrics is not None else DEFAULT_SCORED_METRICS
     model_values = model.as_dict()
     target_values = target.as_dict()

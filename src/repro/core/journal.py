@@ -1,0 +1,117 @@
+"""Structured JSONL run journal for battery executions.
+
+Long calibration sweeps need an audit trail that survives crashes: which
+unit ran where, how long it took, whether it came from the cache, and —
+when something dies — the full traceback and the seed needed to reproduce
+it.  :class:`RunJournal` appends one JSON object per line to a plain text
+file; each event carries a wall-clock timestamp, the event name, and
+whatever structured fields the emitter attaches (seed, cache key, duration,
+worker pid, attempt number, traceback).
+
+The journal is append-only and crash-safe by construction: every event is
+written and flushed in a single short-lived open, so a killed run leaves a
+readable prefix, and successive runs with the same ``--journal`` path
+accumulate into one history.  :meth:`RunJournal.read` parses a journal
+back, skipping any torn final line.
+
+Event vocabulary used by :mod:`repro.core.battery` (emitters may add more):
+
+====================  =====================================================
+event                 meaning
+====================  =====================================================
+``battery_start``     one :func:`run_battery` call began (models, n, seeds,
+                      jobs, groups, timeout, retries)
+``cache_hit``         a (unit, group) cell was served from the cache
+``unit_start``        a work unit was submitted/started (attempt number)
+``unit_finish``       a unit completed (duration, worker pid)
+``unit_retry``        a failed/timed-out attempt will be retried
+``unit_fail``         a unit exhausted its attempts (status, traceback)
+``pool_broken``       a worker process died abruptly; the pool is rebuilt
+``battery_end``       the run finished (elapsed, failures, cache counters)
+====================  =====================================================
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+__all__ = ["RunJournal", "NullJournal", "resolve_journal"]
+
+JournalLike = Union[None, str, Path, "RunJournal", "NullJournal"]
+
+
+class RunJournal:
+    """Append-only JSONL event log at *path*.
+
+    Each :meth:`emit` call writes one line ``{"ts": ..., "event": ...,
+    **fields}`` and flushes it, so the file is a faithful prefix of the run
+    at any instant.  Values must be JSON-serializable; anything that is not
+    is rendered through ``repr`` rather than failing the run — the journal
+    must never be the thing that crashes a battery.
+    """
+
+    def __init__(self, path: Union[str, Path]):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+
+    def emit(self, event: str, **fields: Any) -> None:
+        """Append one event line (timestamped, flushed)."""
+        record: Dict[str, Any] = {"ts": round(time.time(), 6), "event": event}
+        record.update(fields)
+        line = json.dumps(record, sort_keys=False, default=repr)
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(line + "\n")
+
+    @classmethod
+    def read(cls, path: Union[str, Path]) -> List[Dict[str, Any]]:
+        """Parse a journal file back into a list of event dicts.
+
+        A torn final line (the run was killed mid-write) is skipped rather
+        than raising — the journal degrades to its valid prefix.
+        """
+        events: List[Dict[str, Any]] = []
+        with open(path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    events.append(json.loads(line))
+                except json.JSONDecodeError:
+                    continue
+        return events
+
+    def events(self) -> List[Dict[str, Any]]:
+        """Events currently in this journal's file (empty if absent)."""
+        if not self.path.exists():
+            return []
+        return self.read(self.path)
+
+    def __repr__(self) -> str:
+        return f"<RunJournal {self.path}>"
+
+
+class NullJournal:
+    """Journal-shaped no-op (journaling disabled)."""
+
+    path: Optional[Path] = None
+
+    def emit(self, event: str, **fields: Any) -> None:
+        """Discard the event."""
+
+    def events(self) -> List[Dict[str, Any]]:
+        """Always empty."""
+        return []
+
+
+def resolve_journal(journal: JournalLike) -> Union[RunJournal, NullJournal]:
+    """Coerce the accepted journal specs: None → no-op, path → file journal,
+    instance → itself."""
+    if journal is None:
+        return NullJournal()
+    if isinstance(journal, (str, Path)):
+        return RunJournal(journal)
+    return journal

@@ -14,7 +14,8 @@ follow the AS-map papers:
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, fields
+import time
+from dataclasses import dataclass, field, fields
 from typing import Dict, Mapping, Optional, Sequence, Tuple
 
 from ..graph.clustering import average_clustering, total_triangles, transitivity
@@ -28,6 +29,7 @@ from ..stats.rng import SeedLike
 
 __all__ = [
     "TopologySummary",
+    "PartialSummary",
     "summarize",
     "METRICS_VERSION",
     "METRIC_GROUPS",
@@ -119,6 +121,50 @@ class TopologySummary:
             f"r={self.assortativity:+.3f} <l>={self.average_path_length:.2f} "
             f"core={self.degeneracy}"
         )
+
+
+@dataclass(frozen=True)
+class PartialSummary:
+    """An incomplete battery summary: some metric groups are absent.
+
+    Produced by the battery runner when a replicate cannot assemble a full
+    :class:`TopologySummary` — either because the battery was deliberately
+    run on a subset of groups (``run_battery(..., groups=("tail",))``) or
+    because the work unit failed and only previously-cached groups survive.
+    It is an explicit, inspectable object (never ``None``): ``values`` holds
+    every metric that *was* computed, ``missing`` names the absent groups,
+    and ``error`` carries the failure traceback when a crash caused the gap.
+
+    Scoring a partial summary is a caller error for deliberate subsets —
+    :func:`repro.core.compare.compare_summaries` raises a ``ValueError``
+    naming ``missing`` — while the battery's own scoring path skips failed
+    replicates with a warning instead.
+    """
+
+    name: str
+    values: Dict[str, float] = field(default_factory=dict)
+    groups: Tuple[str, ...] = ()
+    missing: Tuple[str, ...] = ()
+    error: Optional[str] = None
+
+    @property
+    def failed(self) -> bool:
+        """True when a unit failure (not a deliberate subset) caused this."""
+        return self.error is not None
+
+    def as_dict(self) -> Dict[str, float]:
+        """The metrics that are present, as a flat name → value dict."""
+        return dict(self.values)
+
+    def get(self, metric: str, default: float = float("nan")) -> float:
+        """One metric's value, or *default* when its group is missing."""
+        return self.values.get(metric, default)
+
+    def __str__(self) -> str:
+        state = "failed" if self.failed else "partial"
+        present = ",".join(self.groups) or "none"
+        absent = ",".join(self.missing) or "none"
+        return f"{self.name}: {state} summary (groups={present} missing={absent})"
 
 
 def summarize(
@@ -218,24 +264,35 @@ def compute_metric_groups(
     path_samples: int = 400,
     min_tail: int = 50,
     seed: SeedLike = 0,
-) -> Dict[str, Dict[str, float]]:
+    with_timings: bool = False,
+):
     """Compute a subset of the battery, one value-dict per metric group.
 
     This is the work-unit kernel of the parallel battery runner: each group
     in *groups* is computed independently on the (shared) giant component, so
     a caller holding cached values for some groups only pays for the missing
     ones.  ``summarize`` is exactly the merge of all groups.
+
+    With ``with_timings=True`` the return value is a ``(values, timings)``
+    pair where ``timings`` maps each group to the wall seconds its own
+    computation took (the shared giant-component extraction is charged to
+    ``timings["giant"]``) — the real numbers behind the battery telemetry
+    table, not an even split of the total.
     """
     unknown = [g for g in groups if g not in _GROUP_FUNCTIONS]
     if unknown:
         known = ", ".join(sorted(_GROUP_FUNCTIONS))
         raise KeyError(f"unknown metric group(s) {unknown!r}; available: {known}")
     original_n = graph.num_nodes
+    giant_started = time.perf_counter()
     gc = giant_component(graph)
+    giant_seconds = time.perf_counter() - giant_started
     if gc.num_nodes == 0:
         raise ValueError("cannot summarize an empty graph")
     out: Dict[str, Dict[str, float]] = {}
+    timings: Dict[str, float] = {"giant": giant_seconds}
     for group in groups:
+        group_started = time.perf_counter()
         out[group] = _GROUP_FUNCTIONS[group](
             gc,
             original_n=original_n,
@@ -244,4 +301,7 @@ def compute_metric_groups(
             min_tail=min_tail,
             seed=seed,
         )
+        timings[group] = time.perf_counter() - group_started
+    if with_timings:
+        return out, timings
     return out

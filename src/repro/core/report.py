@@ -10,7 +10,20 @@ from __future__ import annotations
 import math
 from typing import Iterable, List, Optional, Sequence, Tuple
 
-__all__ = ["format_table", "format_series", "format_value"]
+__all__ = ["format_table", "format_series", "format_value", "shorten"]
+
+
+def shorten(text: str, limit: int = 72) -> str:
+    """First line of *text*, ellipsized to *limit* characters.
+
+    Used for embedding multi-line diagnostics (tracebacks) in single table
+    cells: the last traceback line is usually the exception message, so
+    callers typically pass that.
+    """
+    line = text.strip().splitlines()[0] if text.strip() else ""
+    if len(line) <= limit:
+        return line
+    return line[: max(0, limit - 1)] + "\N{HORIZONTAL ELLIPSIS}"
 
 
 def format_value(value, precision: int = 4) -> str:

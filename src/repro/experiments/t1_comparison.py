@@ -33,8 +33,17 @@ def run_t1(
     models: Optional[list] = None,
     jobs: int = 1,
     cache_dir: Optional[str] = None,
+    timeout: Optional[float] = None,
+    retries: int = 0,
+    journal: Optional[str] = None,
 ) -> ExperimentResult:
-    """Score every roster model against the reference map."""
+    """Score every roster model against the reference map.
+
+    *timeout* / *retries* bound and re-attempt individual battery units;
+    a unit that still fails is recorded (failure table + notes) and its
+    model is scored over the surviving replicates rather than aborting
+    the whole comparison.  *journal* appends a JSONL event log of the run.
+    """
     result = ExperimentResult(
         experiment_id="T1",
         title="Generator comparison vs reference AS map",
@@ -48,6 +57,9 @@ def run_t1(
         base_seed=base_seed,
         jobs=jobs,
         cache=cache_dir,
+        timeout=timeout,
+        retries=retries,
+        journal=journal,
     )
     reference_summary = comparison.target
 
@@ -68,6 +80,7 @@ def run_t1(
     rows = [
         _summary_row(score.model, score.last_summary, score.mean, score.spread)
         for score in comparison.scores
+        if score.summaries  # a model whose every replicate failed has none
     ]
     target_row = _summary_row("reference", reference_summary, 0.0, 0.0)
     result.add_table(
@@ -81,11 +94,14 @@ def run_t1(
     result.add_table(
         "battery telemetry (per model × metric group)", *battery.timing_table()
     )
+    if battery.failures:
+        result.add_table("failed battery units", *battery.failure_table())
     for position, (name, score) in enumerate(ranking, start=1):
         result.notes[f"rank_{position:02d}_{name}"] = score
     result.notes["battery_jobs"] = battery.jobs
     result.notes["battery_elapsed_s"] = round(battery.elapsed, 3)
     result.notes["battery_compute_s"] = round(battery.compute_seconds, 3)
+    result.notes["battery_failures"] = len(battery.failures)
     result.notes["cache_hits"] = battery.stats.hits
     result.notes["cache_misses"] = battery.stats.misses
     return result

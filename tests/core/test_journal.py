@@ -1,0 +1,65 @@
+"""Unit tests for the JSONL run journal."""
+
+import json
+
+from repro.core import NullJournal, RunJournal, resolve_journal
+
+
+class TestRunJournal:
+    def test_emit_appends_one_json_line_per_event(self, tmp_path):
+        journal = RunJournal(tmp_path / "run.jsonl")
+        journal.emit("battery_start", models=["glp"], n=100)
+        journal.emit("unit_finish", model="glp", replicate=0, seconds=0.5)
+        lines = (tmp_path / "run.jsonl").read_text().strip().splitlines()
+        assert len(lines) == 2
+        first = json.loads(lines[0])
+        assert first["event"] == "battery_start"
+        assert first["models"] == ["glp"]
+        assert "ts" in first
+
+    def test_events_accumulate_across_instances(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        RunJournal(path).emit("battery_start")
+        RunJournal(path).emit("battery_end")
+        assert [e["event"] for e in RunJournal.read(path)] == [
+            "battery_start", "battery_end",
+        ]
+
+    def test_non_serializable_values_fall_back_to_repr(self, tmp_path):
+        journal = RunJournal(tmp_path / "run.jsonl")
+        journal.emit("unit_fail", error=ValueError("boom"))  # not JSON-able
+        (event,) = journal.events()
+        assert "boom" in event["error"]
+
+    def test_read_skips_torn_final_line(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        journal = RunJournal(path)
+        journal.emit("battery_start")
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"event": "unit_fin')  # killed mid-write
+        events = RunJournal.read(path)
+        assert [e["event"] for e in events] == ["battery_start"]
+
+    def test_parent_directories_created(self, tmp_path):
+        journal = RunJournal(tmp_path / "deep" / "nested" / "run.jsonl")
+        journal.emit("battery_start")
+        assert journal.events()[0]["event"] == "battery_start"
+
+    def test_events_on_missing_file_is_empty(self, tmp_path):
+        assert RunJournal(tmp_path / "never-written.jsonl").events() == []
+
+
+class TestResolveJournal:
+    def test_none_resolves_to_null(self):
+        journal = resolve_journal(None)
+        assert isinstance(journal, NullJournal)
+        journal.emit("anything", extra=1)  # no-op, no file
+        assert journal.events() == []
+
+    def test_path_resolves_to_run_journal(self, tmp_path):
+        journal = resolve_journal(str(tmp_path / "run.jsonl"))
+        assert isinstance(journal, RunJournal)
+
+    def test_instance_passes_through(self, tmp_path):
+        journal = RunJournal(tmp_path / "run.jsonl")
+        assert resolve_journal(journal) is journal

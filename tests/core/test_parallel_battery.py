@@ -13,8 +13,10 @@ import pytest
 
 from repro.core import (
     METRIC_GROUPS,
+    PartialSummary,
     ResultCache,
     compare_models,
+    compare_summaries,
     run_battery,
 )
 
@@ -108,6 +110,30 @@ class TestWarmCache:
         # ...and only the new replicate's cells are computed.
         assert grown.stats.misses == len(MODELS) * len(METRIC_GROUPS)
 
+    def test_shared_cache_instance_reports_per_run_stats(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cells = len(MODELS) * SEEDS * len(METRIC_GROUPS)
+        cold = run_battery(MODELS, n=N, seeds=SEEDS, jobs=1, cache=cache, **FAST)
+        warm = run_battery(MODELS, n=N, seeds=SEEDS, jobs=1, cache=cache, **FAST)
+        # One cache OBJECT reused across runs: each run reports its own
+        # delta, not the accumulated lifetime counters.
+        assert cold.stats.misses == cells
+        assert cold.stats.hits == 0
+        assert warm.stats.hits == cells
+        assert warm.stats.misses == 0
+        assert warm.stats.writes == 0
+        # The instance itself still accumulates across its lifetime.
+        assert cache.stats.hits == cells
+        assert cache.stats.misses == cells
+
+    def test_shared_cache_instance_across_compare_models(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        compare_models(MODELS, n=N, seeds=SEEDS, jobs=1, cache=cache, **FAST)
+        second = compare_models(MODELS, n=N, seeds=SEEDS, jobs=1, cache=cache, **FAST)
+        cells = (len(MODELS) * SEEDS + 1) * len(METRIC_GROUPS)  # +1: target
+        assert second.battery.stats.hits == cells
+        assert second.battery.stats.misses == 0
+
     def test_compare_models_warm_includes_target(self, tmp_path):
         compare_models(MODELS, n=N, seeds=SEEDS, jobs=1, cache=str(tmp_path), **FAST)
         warm = compare_models(MODELS, n=N, seeds=SEEDS, jobs=1, cache=str(tmp_path), **FAST)
@@ -116,21 +142,43 @@ class TestWarmCache:
 
 
 class TestBatteryShape:
-    def test_partial_groups(self):
+    def test_partial_groups_yield_partial_summary(self):
         result = run_battery(
             ["barabasi-albert"], n=N, seeds=1, groups=["size", "clustering"], **FAST
         )
-        values = result.entries[0]
-        # Partial batteries cannot assemble a full TopologySummary.
-        assert values.summaries == (None,)
+        (summary,) = result.entries[0].summaries
+        # Partial batteries get an explicit PartialSummary, never None.
+        assert isinstance(summary, PartialSummary)
+        assert not summary.failed
+        assert summary.groups == ("size", "clustering")
+        assert set(summary.missing) == set(METRIC_GROUPS) - {"size", "clustering"}
+        assert summary.values["num_nodes"] > 0
         by_group = {rec.group for rec in result.records}
-        assert by_group == {"size", "clustering", "generate"}
+        assert by_group == {"size", "clustering", "generate", "giant"}
+
+    def test_partial_summary_scoring_raises_naming_missing_groups(self):
+        full = run_battery(["barabasi-albert"], n=N, seeds=1, **FAST)
+        partial = run_battery(
+            ["barabasi-albert"], n=N, seeds=1, groups=["tail"], **FAST
+        )
+        (target,) = full.entries[0].summaries
+        (summary,) = partial.entries[0].summaries
+        with pytest.raises(ValueError, match="clustering"):
+            compare_summaries(summary, target)
+        with pytest.raises(ValueError, match="paths"):
+            compare_summaries(target, summary)
+
+    def test_unknown_group_rejected_upfront(self):
+        with pytest.raises(KeyError, match="bogus"):
+            run_battery(["barabasi-albert"], n=N, seeds=1, groups=["bogus"], **FAST)
 
     def test_records_cover_every_cell(self):
         result = run_battery(MODELS, n=N, seeds=SEEDS, jobs=1, **FAST)
-        metric_records = [r for r in result.records if r.group != "generate"]
+        shared_passes = ("generate", "giant")
+        metric_records = [r for r in result.records if r.group not in shared_passes]
         assert len(metric_records) == len(MODELS) * SEEDS * len(METRIC_GROUPS)
         assert result.stats.misses == len(metric_records)  # NullCache: all miss
+        assert result.failures == []
 
     def test_duplicate_labels_rejected(self):
         with pytest.raises(ValueError):

@@ -83,7 +83,46 @@ class TestCommands:
         with pytest.raises(SystemExit, match="F1"):
             main(["experiment", "zz"])
 
-    def test_unknown_generator_model(self, tmp_path):
-        with pytest.raises(KeyError):
+    def test_unknown_generator_model_exits_listing_models(self, tmp_path):
+        # A typo'd model name is a clean usage error naming the registry,
+        # not a raw KeyError traceback.
+        with pytest.raises(SystemExit, match="glp") as excinfo:
             main(["generate", "no-such-model", "-n", "10",
                   "-o", str(tmp_path / "x.txt")])
+        assert "no-such-model" in str(excinfo.value)
+
+
+class TestBatteryCommand:
+    def test_battery_smoke(self, capsys):
+        code = main(["battery", "barabasi-albert", "-n", "300", "--seeds", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "battery vs reference map" in out
+        assert "barabasi-albert" in out
+        assert "battery telemetry" in out
+        assert "failed units" not in out  # clean run: no failure table
+
+    def test_battery_with_cache_and_journal(self, tmp_path, capsys):
+        args = ["battery", "barabasi-albert", "-n", "300", "--seeds", "1",
+                "--cache-dir", str(tmp_path / "cache"),
+                "--journal", str(tmp_path / "run.jsonl")]
+        assert main(args) == 0
+        capsys.readouterr()
+        assert (tmp_path / "run.jsonl").exists()
+        # Warm re-run: every cell served from the cache.
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "misses=0" in out
+
+    def test_battery_typod_model_exits_cleanly(self):
+        with pytest.raises(SystemExit, match="available models") as excinfo:
+            main(["battery", "glqp", "-n", "300"])
+        message = str(excinfo.value)
+        assert "glqp" in message
+        assert "glp" in message
+        assert "serrano" in message
+
+    def test_battery_rejects_bad_retries(self, capsys):
+        with pytest.raises(ValueError):
+            main(["battery", "barabasi-albert", "-n", "300",
+                  "--seeds", "1", "--retries", "-2"])
