@@ -1,0 +1,95 @@
+"""Microbenchmark: what disabled instrumentation costs a battery unit.
+
+The obs design contract is that a disabled tracer is close enough to free
+that instrumentation can stay on permanently in library code.  This bench
+measures the two halves of that claim directly:
+
+* the per-call cost of a disabled span (``get_tracer().span(...)`` handing
+  back the shared ``NULL_SPAN``) and of a counter increment, measured over
+  a tight loop;
+* the number of instrumentation touch points one real battery unit
+  actually executes (counted with an enabled tracer + registry);
+
+and asserts that the implied instrumentation share of a real unit's wall
+time is under 5%.  Measuring the implied share, rather than differencing
+two noisy end-to-end timings, keeps the assertion stable on loaded CI
+boxes while still bounding the number that matters.
+"""
+
+import time
+
+from repro.core import run_battery
+from repro.experiments.base import ExperimentResult
+from repro.obs import MetricsRegistry, Tracer, get_tracer, set_registry, set_tracer
+
+CALLS = 200_000
+FAST = {"min_tail": 20, "path_samples": 50, "path_sample_threshold": 100}
+
+
+def _per_call_seconds(fn, calls=CALLS, repeats=5):
+    """Best-of-N per-call cost of *fn* over a tight loop."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for _ in range(calls):
+            fn()
+        best = min(best, time.perf_counter() - start)
+    return best / calls
+
+
+def test_disabled_tracer_overhead_under_five_percent(record_experiment):
+    previous_tracer = set_tracer(Tracer(enabled=False))
+    previous_registry = set_registry(MetricsRegistry())
+    try:
+        # Per-call cost of the disabled instrumentation primitives.
+        tracer = get_tracer()
+        disabled_span = _per_call_seconds(lambda: tracer.span("x", model="glp"))
+        registry = MetricsRegistry()
+        counter = registry.counter("bench.calls")
+        counter_inc = _per_call_seconds(counter.inc)
+
+        # How many touch points one real unit executes, and how long the
+        # unit takes: run the same single-model battery traced and timed.
+        probe_tracer = Tracer(enabled=True)
+        probe_registry = MetricsRegistry()
+        set_registry(probe_registry)
+        start = time.perf_counter()
+        run_battery(["glp"], n=400, seeds=1, tracer=probe_tracer, **FAST)
+        unit_seconds = time.perf_counter() - start
+        span_calls = len(probe_tracer.spans)
+        counter_calls = sum(
+            probe_registry.snapshot()["counters"].values()
+        )  # every inc() is one touch
+
+        implied = (
+            span_calls * disabled_span + counter_calls * counter_inc
+        ) / unit_seconds
+        assert implied < 0.05, (
+            f"disabled instrumentation would cost {implied:.2%} of a unit "
+            f"({span_calls} spans x {disabled_span * 1e9:.0f}ns + "
+            f"{counter_calls} incs x {counter_inc * 1e9:.0f}ns "
+            f"over {unit_seconds:.3f}s)"
+        )
+
+        result = ExperimentResult(
+            experiment_id="OBS_OVERHEAD",
+            title="disabled-tracer overhead on one battery unit",
+        )
+        result.add_table(
+            "per-call cost (best of 5 x 200k calls)",
+            ["primitive", "ns/call"],
+            [
+                ["disabled span", disabled_span * 1e9],
+                ["counter inc", counter_inc * 1e9],
+            ],
+        )
+        result.add_table(
+            "implied share of one glp unit (n=400)",
+            ["spans", "counter incs", "unit seconds", "implied overhead"],
+            [[span_calls, int(counter_calls), unit_seconds, implied]],
+        )
+        result.notes["implied_overhead_pct"] = round(implied * 100, 4)
+        record_experiment(result)
+    finally:
+        set_tracer(previous_tracer)
+        set_registry(previous_registry)

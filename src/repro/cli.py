@@ -1,12 +1,13 @@
 """Command-line interface.
 
-Five subcommands cover the common workflows::
+The subcommands cover the common workflows::
 
     repro models                           # list registered generators
     repro generate glp -n 3000 -o g.txt    # write an edge list
     repro summarize g.txt                  # metric battery on a file
     repro compare glp --n 2000 --seed 7    # model vs reference map
     repro battery glp pfp serrano -n 2000 --jobs 4 --cache-dir ~/.repro-cache
+    repro journal summarize run.jsonl      # per-run report from a journal
 
 Parameters for ``generate``/``compare`` are passed as ``--param key=value``
 pairs and coerced to int/float/bool when they look like one.  ``battery``
@@ -17,6 +18,15 @@ and ``experiment`` accept ``--jobs N`` (process-parallel work units),
 dead) and ``--journal PATH`` (append-only JSONL event log); results are
 bit-identical for every combination, and a failed unit costs only its own
 replicate.
+
+Observability rides on the same two subcommands: ``--trace out.json``
+records a Chrome trace-event file of the run's span tree (open it in
+Perfetto), ``--metrics-out metrics.prom`` dumps the run's counters and
+timers in Prometheus text format, and ``--profile-dir DIR`` cProfiles
+each work unit and prints a merged hotspot table.  ``repro journal``
+turns the artifacts back into reports: ``summarize`` (per-run wall time,
+skew, cache efficiency), ``tail`` (last events, one line each) and
+``spans`` (aggregate a trace file by span name).
 """
 
 from __future__ import annotations
@@ -33,6 +43,16 @@ from .core.registry import available_models, make_generator
 from .core.report import format_table
 from .datasets.asmap import reference_as_map
 from .graph.io import read_edge_list, write_edge_list
+from .obs import (
+    MetricsRegistry,
+    Tracer,
+    export_chrome_trace,
+    merge_profiles,
+    render_prometheus,
+    set_registry,
+    set_tracer,
+    validate_chrome_trace,
+)
 
 __all__ = ["main", "build_parser", "coerce_value"]
 
@@ -106,6 +126,30 @@ def build_parser() -> argparse.ArgumentParser:
                      help="keyword overrides for the run_* function, e.g. n=1000")
     _add_battery_flags(exp)
 
+    journal = sub.add_parser(
+        "journal", help="reports from run journals and trace files"
+    )
+    jsub = journal.add_subparsers(dest="journal_command", required=True)
+    jsum = jsub.add_parser(
+        "summarize", help="per-run wall time / skew / cache report"
+    )
+    jsum.add_argument("path", help="JSONL run journal")
+    jsum.add_argument(
+        "--run", default="", metavar="RUN_ID",
+        help="report only this run id (default: every run in the journal)",
+    )
+    jtail = jsub.add_parser("tail", help="last journal events, one line each")
+    jtail.add_argument("path", help="JSONL run journal")
+    jtail.add_argument("-n", "--count", type=int, default=20)
+    jspans = jsub.add_parser(
+        "spans", help="aggregate a Chrome trace file by span name"
+    )
+    jspans.add_argument("path", help="trace file written by --trace")
+    jspans.add_argument(
+        "--top", type=int, default=0,
+        help="only the N heaviest span names (default: all)",
+    )
+
     return parser
 
 
@@ -135,6 +179,56 @@ def _add_battery_flags(parser: argparse.ArgumentParser) -> None:
         "--journal", default=None, metavar="PATH",
         help="append a JSONL run journal (one event per unit/cache hit)",
     )
+    parser.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="write a Chrome trace-event JSON of the run's span tree",
+    )
+    parser.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="write the run's metrics in Prometheus text format",
+    )
+    parser.add_argument(
+        "--profile-dir", default=None, metavar="DIR",
+        help="cProfile every work unit into DIR and print merged hotspots",
+    )
+
+
+def _obs_setup(args):
+    """Install fresh ambient tracer/registry per the --trace/--metrics-out
+    flags; returns an opaque state tuple for :func:`_obs_teardown`."""
+    tracer = previous_tracer = None
+    registry = previous_registry = None
+    if getattr(args, "trace", None):
+        tracer = Tracer(enabled=True)
+        previous_tracer = set_tracer(tracer)
+    if getattr(args, "metrics_out", None):
+        registry = MetricsRegistry()
+        previous_registry = set_registry(registry)
+    return tracer, registry, previous_tracer, previous_registry
+
+
+def _obs_teardown(args, state) -> None:
+    """Export the artifacts the flags asked for, print where they went, and
+    restore the ambient tracer/registry that preceded the command."""
+    tracer, registry, previous_tracer, previous_registry = state
+    if tracer is not None:
+        set_tracer(previous_tracer)
+        path = export_chrome_trace(tracer.spans, args.trace)
+        counts = validate_chrome_trace(path)
+        print(f"trace: {counts['spans']} spans ({counts['nested']} nested) -> {path}")
+    if registry is not None:
+        set_registry(previous_registry)
+        with open(args.metrics_out, "w", encoding="utf-8") as handle:
+            handle.write(render_prometheus(registry))
+        print(f"metrics: wrote {args.metrics_out}")
+    profile_dir = getattr(args, "profile_dir", None)
+    if profile_dir:
+        headers, rows = merge_profiles(profile_dir)
+        if rows:
+            print()
+            print(format_table(
+                headers, rows, title="profile hotspots (by cumulative time)"
+            ))
 
 
 def _cache_from_args(args) -> Optional[str]:
@@ -197,6 +291,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             mapping[name] = (
                 roster[name] if name in roster else _make_generator_or_exit(name)
             )
+        obs_state = _obs_setup(args)
         result = compare_models(
             mapping,
             n=args.nodes,
@@ -207,6 +302,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             timeout=args.timeout,
             retries=args.retries,
             journal=args.journal,
+            profile_dir=args.profile_dir,
         )
         rows = [[model, mean] for model, mean in result.ranking()]
         spreads = {score.model: score.spread for score in result.scores}
@@ -218,6 +314,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         ))
         print()
         print(result.battery.render_timing())
+        _obs_teardown(args, obs_state)
         return 0
     if args.command == "experiment":
         from . import experiments
@@ -247,10 +344,52 @@ def main(argv: Optional[List[str]] = None) -> int:
             params.setdefault("retries", args.retries)
         if "journal" in accepted and args.journal is not None:
             params.setdefault("journal", args.journal)
+        if "profile_dir" in accepted and args.profile_dir is not None:
+            params.setdefault("profile_dir", args.profile_dir)
+        obs_state = _obs_setup(args)
         result = runner(**params)
         print(result.render())
+        _obs_teardown(args, obs_state)
         return 0
+    if args.command == "journal":
+        return _journal_command(args)
     raise SystemExit(f"unknown command {args.command!r}")
+
+
+def _journal_command(args) -> int:
+    """Dispatch ``repro journal summarize|tail|spans``."""
+    from .core.journal import RunJournal
+    from .obs.analysis import (
+        journal_summary_tables,
+        load_trace_spans,
+        span_aggregate,
+        tail_lines,
+    )
+
+    if args.journal_command == "summarize":
+        events = RunJournal.read(args.path)
+        try:
+            tables = journal_summary_tables(events, run_id=args.run)
+        except KeyError as exc:
+            raise SystemExit(f"repro: {exc.args[0]}") from None
+        for position, (title, headers, rows) in enumerate(tables):
+            if position:
+                print()
+            print(format_table(headers, rows, title=title))
+        return 0
+    if args.journal_command == "tail":
+        for line in tail_lines(RunJournal.read(args.path), count=args.count):
+            print(line)
+        return 0
+    if args.journal_command == "spans":
+        try:
+            spans = load_trace_spans(args.path)
+        except (OSError, ValueError) as exc:
+            raise SystemExit(f"repro: {exc}") from None
+        title, headers, rows = span_aggregate(spans, top=args.top)
+        print(format_table(headers, rows, title=title))
+        return 0
+    raise SystemExit(f"unknown journal command {args.journal_command!r}")
 
 
 if __name__ == "__main__":

@@ -25,10 +25,14 @@ deterministic, so this module runs it that way:
   :class:`~repro.core.metrics.PartialSummary` for the gap, every other
   unit's results survive, and — with a cache — re-running the same command
   recomputes only the failed cells;
-* **observability** — an optional :class:`repro.core.journal.RunJournal`
-  records one JSONL event per unit start/finish/retry/failure and per
-  cache hit, with seeds, durations, and worker pids, so long sweeps leave
-  an audit trail that survives a crash.
+* **observability** — the run threads through :mod:`repro.obs`: a
+  hierarchical span tree (``battery`` → ``unit`` → ``generate`` /
+  ``metric.<group>``, exportable as a Chrome trace), ambient metrics
+  counters reconciling with the returned telemetry, per-unit peak RSS and
+  CPU time sampled in the workers, an optional per-unit ``cProfile`` dump
+  (*profile_dir*), and an optional
+  :class:`repro.core.journal.RunJournal` recording one run-stamped JSONL
+  event per unit start/finish/retry/failure and per cache hit.
 
 :func:`run_battery` produces per-replicate summaries plus per-unit timing
 and cache telemetry; :func:`compare_models` layers target scoring on top
@@ -44,12 +48,17 @@ import traceback
 import warnings
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FuturesTimeout
-from dataclasses import dataclass
+from contextlib import contextmanager
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from ..generators.base import TopologyGenerator
 from ..graph.graph import Graph
+from ..obs.metrics import MetricsRegistry, diff_snapshots, get_registry, set_registry
+from ..obs.profiler import profile_unit
+from ..obs.sampler import ResourceSampler
+from ..obs.tracer import Tracer, get_tracer, set_tracer
 from ..stats.rng import derive_seed
 from .cache import CacheStats, NullCache, ResultCache, canonical_key
 from .compare import ComparisonResult, compare_summaries
@@ -95,7 +104,9 @@ class UnitRecord:
     giant-component extraction, or ``"unit"`` for a whole-unit failure
     record.  ``status`` is ``"ok"`` for successful records and
     ``"failed"``/``"timeout"`` for failures, whose ``error`` carries the
-    worker traceback (or timeout diagnostic).
+    worker traceback (or timeout diagnostic).  The per-unit resource
+    sample — worker peak RSS and the unit's CPU seconds — rides on the
+    ``"generate"`` record (one per computed unit).
     """
 
     model: str
@@ -106,6 +117,8 @@ class UnitRecord:
     seconds: float
     status: str = "ok"
     error: Optional[str] = None
+    max_rss_kb: Optional[float] = None
+    cpu_seconds: Optional[float] = None
 
 
 @dataclass(frozen=True)
@@ -134,6 +147,12 @@ class BatteryResult:
     stats: CacheStats
     jobs: int
     elapsed: float
+    #: This run's ambient-metrics delta (counters/gauges/histograms, see
+    #: :func:`repro.obs.metrics.diff_snapshots`); counters here reconcile
+    #: with the record lists above at any ``jobs`` value.
+    metrics: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    #: The journal run id this battery's events were stamped with.
+    run_id: Optional[str] = None
 
     def entry(self, model: str) -> BatteryEntry:
         """Look up one model's entry by label."""
@@ -191,6 +210,25 @@ class BatteryResult:
                 lines = [ln for ln in rec.error.strip().splitlines() if ln.strip()]
                 message = shorten(lines[-1]) if lines else ""
             rows.append([rec.model, rec.replicate, rec.seed, rec.status, message])
+        return headers, rows
+
+    def resource_table(self) -> Tuple[List[str], List[List[Any]]]:
+        """Per-model resource aggregate from the workers' rusage samples:
+        computed units, peak RSS (KB, max over units), CPU seconds (sum).
+        Empty when every unit was cached (nothing ran, nothing sampled)."""
+        agg: Dict[str, List[float]] = {}
+        for rec in self.records:
+            if rec.group != "generate" or rec.max_rss_kb is None:
+                continue
+            cell = agg.setdefault(rec.model, [0, 0.0, 0.0])
+            cell[0] += 1
+            cell[1] = max(cell[1], rec.max_rss_kb)
+            cell[2] += rec.cpu_seconds or 0.0
+        headers = ["model", "units", "peak_rss_kb", "cpu_seconds"]
+        rows = [
+            [model, int(units), peak, round(cpu, 4)]
+            for model, (units, peak, cpu) in sorted(agg.items())
+        ]
         return headers, rows
 
     def render_timing(self) -> str:
@@ -339,21 +377,58 @@ def _cell_payload(
     }
 
 
+@contextmanager
+def _ambient_obs(tracer: Tracer):
+    """Install *tracer* as the ambient one for a block (restored after),
+    so instrumentation points anywhere in the call tree emit into it."""
+    previous = set_tracer(tracer)
+    try:
+        yield tracer
+    finally:
+        set_tracer(previous)
+
+
 def _battery_task(task):
     """Worker kernel: generate one topology, compute its missing groups.
 
     Module-level and argument-pure so it pickles under any multiprocessing
-    start method.  Returns (task index, group → values, group → real wall
-    seconds, generation seconds, worker pid).
+    start method.  Installs a fresh ambient tracer and metrics registry
+    for the unit's duration (identical behavior inline and in a pooled
+    worker — no cross-unit bleed, no double counting) and samples rusage
+    around the work.  Returns (task index, group → values, group → real
+    wall seconds, generation seconds, worker pid, obs payload) where the
+    payload carries the unit's span dicts, metrics snapshot, and resource
+    sample.
     """
-    index, generator, n, seed, groups, sum_params = task
-    start = time.perf_counter()
-    graph = generator.generate(n, seed=seed)
-    gen_seconds = time.perf_counter() - start
-    values, timings = compute_metric_groups(
-        graph, groups, seed=seed, with_timings=True, **sum_params
-    )
-    return index, values, timings, gen_seconds, os.getpid()
+    index, generator, n, seed, groups, sum_params, obs_conf = task
+    model = obs_conf.get("model")
+    tracer = Tracer(enabled=bool(obs_conf.get("trace")))
+    registry = MetricsRegistry()
+    prev_tracer = set_tracer(tracer)
+    prev_registry = set_registry(registry)
+    sampler = ResourceSampler().start()
+    try:
+        with profile_unit(obs_conf.get("profile_dir"), obs_conf.get("label", f"unit-{index}")):
+            with tracer.span(
+                "unit", model=model, replicate=obs_conf.get("replicate"), seed=seed
+            ):
+                start = time.perf_counter()
+                with tracer.span("generate", model=model, n=n):
+                    graph = generator.generate(n, seed=seed)
+                gen_seconds = time.perf_counter() - start
+                values, timings = compute_metric_groups(
+                    graph, groups, seed=seed, with_timings=True, **sum_params
+                )
+    finally:
+        set_tracer(prev_tracer)
+        set_registry(prev_registry)
+    usage = sampler.stop()
+    obs_payload = {
+        "spans": [span.as_dict() for span in tracer.drain()],
+        "metrics": registry.snapshot(),
+        "rusage": usage.as_dict(),
+    }
+    return index, values, timings, gen_seconds, os.getpid(), obs_payload
 
 
 @dataclass(frozen=True)
@@ -368,10 +443,30 @@ class _UnitOutcome:
     worker: Optional[int] = None
     error: Optional[str] = None
     attempts: int = 1
+    extras: Optional[Dict[str, Any]] = None
 
 
 def _format_exception(exc: BaseException) -> str:
     return "".join(traceback.format_exception(type(exc), exc, exc.__traceback__))
+
+
+def _finish_fields(outcome: _UnitOutcome) -> Dict[str, Any]:
+    """Enriched unit_finish journal fields from a successful outcome:
+    generation seconds, per-group seconds, peak RSS, CPU seconds."""
+    fields: Dict[str, Any] = {
+        "seconds": round(outcome.seconds, 6),
+        "worker": outcome.worker,
+        "gen_seconds": round(outcome.gen_seconds, 6),
+        "groups": {
+            group: round(seconds, 6)
+            for group, seconds in (outcome.timings or {}).items()
+        },
+    }
+    rusage = (outcome.extras or {}).get("rusage") or {}
+    if rusage:
+        fields["max_rss_kb"] = rusage.get("max_rss_kb")
+        fields["cpu_seconds"] = rusage.get("cpu_seconds")
+    return fields
 
 
 def _run_serial(
@@ -388,6 +483,7 @@ def _run_serial(
     discarded and it is recorded as a timeout, keeping jobs=1 and jobs>1
     outcomes identical for deterministic workloads.
     """
+    registry = get_registry()
     outcomes: Dict[int, _UnitOutcome] = {}
     for task in tasks:
         index = task[0]
@@ -397,7 +493,7 @@ def _run_serial(
             journal.emit("unit_start", attempt=attempt, jobs=1, **info)
             started = time.perf_counter()
             try:
-                _, values, timings, gen_seconds, worker = _battery_task(task)
+                _, values, timings, gen_seconds, worker, extras = _battery_task(task)
             except Exception as exc:
                 elapsed = time.perf_counter() - started
                 outcome = _UnitOutcome(
@@ -419,15 +515,16 @@ def _run_serial(
                     outcome = _UnitOutcome(
                         "ok", values=values, timings=timings,
                         gen_seconds=gen_seconds, seconds=elapsed,
-                        worker=worker, attempts=attempt + 1,
+                        worker=worker, attempts=attempt + 1, extras=extras,
                     )
             if outcome.status == "ok":
                 journal.emit(
-                    "unit_finish", seconds=round(outcome.seconds, 6),
-                    worker=outcome.worker, attempt=attempt, **info,
+                    "unit_finish", attempt=attempt,
+                    **_finish_fields(outcome), **info,
                 )
                 break
             if attempt < retries:
+                registry.counter("battery.units.retried").inc()
                 journal.emit(
                     "unit_retry", attempt=attempt, status=outcome.status, **info
                 )
@@ -457,6 +554,7 @@ def _run_parallel(
     and rebuilds the pool for the rest.  Failed/timed-out attempts are
     re-submitted up to *retries* times before the unit is declared dead.
     """
+    registry = get_registry()
     by_index = {task[0]: task for task in tasks}
     pending: Dict[int, int] = {task[0]: 0 for task in tasks}  # index → attempts used
     outcomes: Dict[int, _UnitOutcome] = {}
@@ -474,6 +572,7 @@ def _run_parallel(
             )
         else:
             pending[index] = attempts
+            registry.counter("battery.units.retried").inc()
             journal.emit("unit_retry", attempt=attempts - 1, status=status, **info)
 
     while pending:
@@ -489,7 +588,7 @@ def _run_parallel(
         for index, future in futures.items():
             waited = time.perf_counter()
             try:
-                _, values, timings, gen_seconds, worker = future.result(
+                _, values, timings, gen_seconds, worker, extras = future.result(
                     timeout=timeout
                 )
             except FuturesTimeout:
@@ -523,15 +622,15 @@ def _run_parallel(
                 )
             else:
                 seconds = gen_seconds + sum(timings.values())
-                outcomes[index] = _UnitOutcome(
+                outcome = _UnitOutcome(
                     "ok", values=values, timings=timings,
                     gen_seconds=gen_seconds, seconds=seconds,
-                    worker=worker, attempts=pending[index] + 1,
+                    worker=worker, attempts=pending[index] + 1, extras=extras,
                 )
+                outcomes[index] = outcome
                 del pending[index]
                 journal.emit(
-                    "unit_finish", seconds=round(seconds, 6), worker=worker,
-                    **meta[index],
+                    "unit_finish", **_finish_fields(outcome), **meta[index]
                 )
         # A hung or broken pool must not block shutdown; a healthy one is
         # drained normally.  cancel_futures covers queued-but-unstarted
@@ -551,6 +650,8 @@ def run_battery(
     timeout: Optional[float] = None,
     retries: int = 0,
     journal: JournalLike = None,
+    tracer: Optional[Tracer] = None,
+    profile_dir: Union[None, str, Path] = None,
     path_sample_threshold: int = 1500,
     path_samples: int = 400,
     min_tail: int = 50,
@@ -573,7 +674,16 @@ def run_battery(
     a :class:`~repro.core.metrics.PartialSummary` carrying the traceback
     while every other unit's results are returned normally.  *journal*
     (a path or :class:`~repro.core.journal.RunJournal`) appends one JSONL
-    event per unit start/finish/retry/failure and per cache hit.
+    event per unit start/finish/retry/failure and per cache hit, all
+    stamped with a fresh ``run_id``.
+
+    Observability: *tracer* (default: the ambient
+    :func:`repro.obs.get_tracer`, disabled unless someone enabled it) is
+    installed as ambient for the run and — when enabled — collects the
+    full span tree, including the workers' unit/generate/metric spans;
+    *profile_dir* turns on per-unit ``cProfile`` dumps there.  The run's
+    counter deltas land in :attr:`BatteryResult.metrics` and reconcile
+    with the returned records at any *jobs* value.
     """
     if jobs < 1:
         raise ValueError("jobs must be >= 1")
@@ -594,156 +704,197 @@ def run_battery(
         )
     store = _resolve_cache(cache)
     stats_before = store.stats.snapshot()
+    registry = get_registry()
+    registry_before = registry.snapshot()
+    trc = tracer if tracer is not None else get_tracer()
     log = resolve_journal(journal)
+    run_id = log.begin_run(
+        {
+            "models": [label for label, _ in spec],
+            "n": n, "seeds": seeds, "base_seed": base_seed,
+            "groups": list(group_names),
+        }
+    )
     log.emit(
         "battery_start",
         models=[label for label, _ in spec],
         n=n, seeds=seeds, jobs=jobs, groups=list(group_names),
         timeout=timeout, retries=retries,
     )
+    registry.gauge("battery.jobs").set(jobs)
     sum_params = {
         "path_sample_threshold": path_sample_threshold,
         "path_samples": path_samples,
         "min_tail": min_tail,
     }
+    obs_base = {"trace": trc.enabled, "profile_dir": profile_dir}
 
-    records: List[UnitRecord] = []
-    tasks: List[Tuple] = []
-    # One slot per (model, replicate): cached values plus pending cell keys.
-    units: List[Dict[str, Any]] = []
-    for label, generator in spec:
-        identity, params = _identity(generator)
-        for rep in range(seeds):
-            unit_seed = derive_seed(
-                "battery-unit", identity, params, n, base_seed, rep
-            )
-            unit = {
-                "label": label,
-                "params": params,
-                "replicate": rep,
-                "seed": unit_seed,
-                "values": {},
-                "pending": {},
-                "task": None,
+    with _ambient_obs(trc), trc.span(
+        "battery", models=[label for label, _ in spec], n=n,
+        seeds=seeds, jobs=jobs, run_id=run_id,
+    ) as battery_span:
+        records: List[UnitRecord] = []
+        tasks: List[Tuple] = []
+        # One slot per (model, replicate): cached values plus pending cell keys.
+        units: List[Dict[str, Any]] = []
+        for label, generator in spec:
+            identity, params = _identity(generator)
+            for rep in range(seeds):
+                unit_seed = derive_seed(
+                    "battery-unit", identity, params, n, base_seed, rep
+                )
+                unit = {
+                    "label": label,
+                    "params": params,
+                    "replicate": rep,
+                    "seed": unit_seed,
+                    "values": {},
+                    "pending": {},
+                    "task": None,
+                }
+                for group in group_names:
+                    payload = _cell_payload(identity, params, n, unit_seed, group, sum_params)
+                    key = canonical_key(payload)
+                    hit = store.get(key, payload)
+                    if hit is not None:
+                        unit["values"][group] = hit
+                        records.append(
+                            UnitRecord(label, rep, group, unit_seed, True, 0.0)
+                        )
+                        registry.counter("battery.cells.cached").inc()
+                        log.emit(
+                            "cache_hit", model=label, replicate=rep,
+                            seed=unit_seed, group=group, key=key,
+                        )
+                    else:
+                        unit["pending"][group] = (key, payload)
+                if unit["pending"]:
+                    unit["task"] = len(tasks)
+                    tasks.append(
+                        (
+                            len(tasks),
+                            generator,
+                            n,
+                            unit_seed,
+                            tuple(unit["pending"]),
+                            sum_params,
+                            dict(
+                                obs_base,
+                                model=label,
+                                replicate=rep,
+                                label=f"{label}-rep{rep}",
+                            ),
+                        )
+                    )
+                units.append(unit)
+
+        if tasks:
+            meta = {
+                unit["task"]: {
+                    "model": unit["label"],
+                    "replicate": unit["replicate"],
+                    "seed": unit["seed"],
+                }
+                for unit in units
+                if unit["task"] is not None
             }
-            for group in group_names:
-                payload = _cell_payload(identity, params, n, unit_seed, group, sum_params)
-                key = canonical_key(payload)
-                hit = store.get(key, payload)
-                if hit is not None:
-                    unit["values"][group] = hit
+            if jobs > 1:
+                outcomes = _run_parallel(tasks, jobs, timeout, retries, log, meta)
+            else:
+                outcomes = _run_serial(tasks, timeout, retries, log, meta)
+            for unit in units:
+                if unit["task"] is None:
+                    continue
+                outcome = outcomes[unit["task"]]
+                extras = outcome.extras or {}
+                if extras.get("metrics"):
+                    registry.merge(extras["metrics"])
+                if trc.enabled and extras.get("spans"):
+                    trc.adopt(extras["spans"], parent=battery_span)
+                if outcome.status == "ok":
+                    registry.counter("battery.units.completed").inc()
+                    registry.counter("battery.cells.computed").inc(
+                        len(unit["pending"])
+                    )
+                    registry.histogram("battery.unit.seconds").observe(
+                        outcome.seconds
+                    )
+                    rusage = extras.get("rusage") or {}
                     records.append(
-                        UnitRecord(label, rep, group, unit_seed, True, 0.0)
+                        UnitRecord(
+                            unit["label"], unit["replicate"], "generate",
+                            unit["seed"], False, outcome.gen_seconds,
+                            max_rss_kb=rusage.get("max_rss_kb"),
+                            cpu_seconds=rusage.get("cpu_seconds"),
+                        )
                     )
-                    log.emit(
-                        "cache_hit", model=label, replicate=rep,
-                        seed=unit_seed, group=group, key=key,
-                    )
+                    giant_seconds = (outcome.timings or {}).get("giant")
+                    if giant_seconds is not None:
+                        records.append(
+                            UnitRecord(
+                                unit["label"], unit["replicate"], "giant",
+                                unit["seed"], False, giant_seconds,
+                            )
+                        )
+                    for group, (key, payload) in unit["pending"].items():
+                        unit["values"][group] = outcome.values[group]
+                        store.put(key, outcome.values[group], payload)
+                        records.append(
+                            UnitRecord(
+                                unit["label"], unit["replicate"], group,
+                                unit["seed"], False, outcome.timings[group],
+                            )
+                        )
                 else:
-                    unit["pending"][group] = (key, payload)
-            if unit["pending"]:
-                unit["task"] = len(tasks)
-                tasks.append(
-                    (
-                        len(tasks),
-                        generator,
-                        n,
-                        unit_seed,
-                        tuple(unit["pending"]),
-                        sum_params,
-                    )
-                )
-            units.append(unit)
-
-    if tasks:
-        meta = {
-            unit["task"]: {
-                "model": unit["label"],
-                "replicate": unit["replicate"],
-                "seed": unit["seed"],
-            }
-            for unit in units
-            if unit["task"] is not None
-        }
-        if jobs > 1:
-            outcomes = _run_parallel(tasks, jobs, timeout, retries, log, meta)
-        else:
-            outcomes = _run_serial(tasks, timeout, retries, log, meta)
-        for unit in units:
-            if unit["task"] is None:
-                continue
-            outcome = outcomes[unit["task"]]
-            if outcome.status == "ok":
-                records.append(
-                    UnitRecord(
-                        unit["label"], unit["replicate"], "generate",
-                        unit["seed"], False, outcome.gen_seconds,
-                    )
-                )
-                giant_seconds = (outcome.timings or {}).get("giant")
-                if giant_seconds is not None:
+                    registry.counter("battery.units.failed").inc()
+                    unit["error"] = outcome.error
                     records.append(
                         UnitRecord(
-                            unit["label"], unit["replicate"], "giant",
-                            unit["seed"], False, giant_seconds,
+                            unit["label"], unit["replicate"], "unit",
+                            unit["seed"], False, outcome.seconds,
+                            status=outcome.status, error=outcome.error,
                         )
                     )
-                for group, (key, payload) in unit["pending"].items():
-                    unit["values"][group] = outcome.values[group]
-                    store.put(key, outcome.values[group], payload)
-                    records.append(
-                        UnitRecord(
-                            unit["label"], unit["replicate"], group,
-                            unit["seed"], False, outcome.timings[group],
-                        )
-                    )
-            else:
-                unit["error"] = outcome.error
-                records.append(
-                    UnitRecord(
-                        unit["label"], unit["replicate"], "unit",
-                        unit["seed"], False, outcome.seconds,
-                        status=outcome.status, error=outcome.error,
-                    )
-                )
 
-    all_fields = {f for group_fields in METRIC_GROUPS.values() for f in group_fields}
-    entries: List[BatteryEntry] = []
-    for label, generator in spec:
-        _, params = _identity(generator)
-        model_units = [u for u in units if u["label"] == label]
-        summaries: List[Union[TopologySummary, PartialSummary]] = []
-        for unit in model_units:
-            merged: Dict[str, float] = {}
-            for group_values in unit["values"].values():
-                merged.update(group_values)
-            if set(merged) == all_fields:
-                summaries.append(TopologySummary.from_dict(label, merged))
-            else:
-                # Deliberately-partial batteries and failed units both get
-                # an explicit partial summary, never None.
-                present = tuple(g for g in METRIC_GROUPS if g in unit["values"])
-                missing = tuple(g for g in METRIC_GROUPS if g not in unit["values"])
-                summaries.append(
-                    PartialSummary(
-                        name=label, values=merged, groups=present,
-                        missing=missing, error=unit.get("error"),
+        all_fields = {f for group_fields in METRIC_GROUPS.values() for f in group_fields}
+        entries: List[BatteryEntry] = []
+        for label, generator in spec:
+            _, params = _identity(generator)
+            model_units = [u for u in units if u["label"] == label]
+            summaries: List[Union[TopologySummary, PartialSummary]] = []
+            for unit in model_units:
+                merged: Dict[str, float] = {}
+                for group_values in unit["values"].values():
+                    merged.update(group_values)
+                if set(merged) == all_fields:
+                    summaries.append(TopologySummary.from_dict(label, merged))
+                else:
+                    # Deliberately-partial batteries and failed units both get
+                    # an explicit partial summary, never None.
+                    present = tuple(g for g in METRIC_GROUPS if g in unit["values"])
+                    missing = tuple(g for g in METRIC_GROUPS if g not in unit["values"])
+                    summaries.append(
+                        PartialSummary(
+                            name=label, values=merged, groups=present,
+                            missing=missing, error=unit.get("error"),
+                        )
                     )
+            entries.append(
+                BatteryEntry(
+                    model=label,
+                    params=params,
+                    seeds=tuple(u["seed"] for u in model_units),
+                    summaries=tuple(summaries),
                 )
-        entries.append(
-            BatteryEntry(
-                model=label,
-                params=params,
-                seeds=tuple(u["seed"] for u in model_units),
-                summaries=tuple(summaries),
             )
-        )
     result = BatteryResult(
         entries=entries,
         records=records,
         stats=store.stats.delta(stats_before),
         jobs=jobs,
         elapsed=time.perf_counter() - started,
+        metrics=diff_snapshots(registry.snapshot(), registry_before),
+        run_id=run_id,
     )
     log.emit(
         "battery_end",
@@ -804,6 +955,8 @@ def compare_models(
     timeout: Optional[float] = None,
     retries: int = 0,
     journal: JournalLike = None,
+    tracer: Optional[Tracer] = None,
+    profile_dir: Union[None, str, Path] = None,
     path_sample_threshold: int = 1500,
     path_samples: int = 400,
     min_tail: int = 50,
@@ -818,62 +971,77 @@ def compare_models(
     *retries*) are skipped in scoring with a ``RuntimeWarning`` naming the
     model, never crashing the comparison, and the reported cache counters
     are per-run deltas even when a shared :class:`ResultCache` instance is
-    reused across calls.
+    reused across calls.  *tracer* / *profile_dir* thread through to
+    :func:`run_battery`; the target-summary and scoring stages emit their
+    own spans.
     """
     store = _resolve_cache(cache)
     log = resolve_journal(journal)
     stats_before = store.stats.snapshot()
+    trc = tracer if tracer is not None else get_tracer()
+    registry = get_registry()
+    registry_before = registry.snapshot()
     sum_params = {
         "path_sample_threshold": path_sample_threshold,
         "path_samples": path_samples,
         "min_tail": min_tail,
     }
-    target_summary = _summarize_target(target, n, store, sum_params)
-    battery = run_battery(
-        models,
-        n=n,
-        seeds=seeds,
-        base_seed=base_seed,
-        jobs=jobs,
-        cache=store,
-        timeout=timeout,
-        retries=retries,
-        journal=log,
-        **sum_params,
-    )
-    # Report this run's counters spanning the target cells as well as the
-    # battery's own (run_battery's delta starts after the target probe).
-    battery.stats = store.stats.delta(stats_before)
-    scores: List[ModelScore] = []
-    for entry in battery.entries:
-        survivors: List[TopologySummary] = []
-        comparisons: List[ComparisonResult] = []
-        skipped = 0
-        for summary in entry.summaries:
-            if isinstance(summary, PartialSummary) and summary.failed:
-                skipped += 1
-                continue
-            # Non-failed partial summaries (subset-group batteries) raise a
-            # ValueError naming the missing groups inside compare_summaries.
-            comparisons.append(
-                compare_summaries(summary, target_summary, metrics=metrics)
-            )
-            survivors.append(summary)
-        if skipped:
-            warnings.warn(
-                f"model {entry.model!r}: {skipped} of {len(entry.summaries)} "
-                f"replicate(s) failed; scoring the {len(survivors)} "
-                f"surviving replicate(s) only "
-                f"(see BatteryResult.failures for tracebacks)",
-                RuntimeWarning,
-                stacklevel=2,
-            )
-        scores.append(
-            ModelScore(
-                model=entry.model,
-                scores=tuple(c.score for c in comparisons),
-                comparisons=tuple(comparisons),
-                summaries=tuple(survivors),
-            )
+    with _ambient_obs(trc), trc.span(
+        "compare", models=len(_normalize_models(models)), n=n, seeds=seeds
+    ):
+        with trc.span("target.summarize", n=n):
+            target_summary = _summarize_target(target, n, store, sum_params)
+        battery = run_battery(
+            models,
+            n=n,
+            seeds=seeds,
+            base_seed=base_seed,
+            jobs=jobs,
+            cache=store,
+            timeout=timeout,
+            retries=retries,
+            journal=log,
+            tracer=trc,
+            profile_dir=profile_dir,
+            **sum_params,
         )
+        # Report this run's counters spanning the target cells as well as
+        # the battery's own (run_battery's deltas start after the target
+        # probe), for both the cache stats and the metrics snapshot.
+        battery.stats = store.stats.delta(stats_before)
+        battery.metrics = diff_snapshots(registry.snapshot(), registry_before)
+        scores: List[ModelScore] = []
+        with trc.span("score", models=len(battery.entries)):
+            for entry in battery.entries:
+                survivors: List[TopologySummary] = []
+                comparisons: List[ComparisonResult] = []
+                skipped = 0
+                for summary in entry.summaries:
+                    if isinstance(summary, PartialSummary) and summary.failed:
+                        skipped += 1
+                        continue
+                    # Non-failed partial summaries (subset-group batteries)
+                    # raise a ValueError naming the missing groups inside
+                    # compare_summaries.
+                    comparisons.append(
+                        compare_summaries(summary, target_summary, metrics=metrics)
+                    )
+                    survivors.append(summary)
+                if skipped:
+                    warnings.warn(
+                        f"model {entry.model!r}: {skipped} of {len(entry.summaries)} "
+                        f"replicate(s) failed; scoring the {len(survivors)} "
+                        f"surviving replicate(s) only "
+                        f"(see BatteryResult.failures for tracebacks)",
+                        RuntimeWarning,
+                        stacklevel=2,
+                    )
+                scores.append(
+                    ModelScore(
+                        model=entry.model,
+                        scores=tuple(c.score for c in comparisons),
+                        comparisons=tuple(comparisons),
+                        summaries=tuple(survivors),
+                    )
+                )
     return ComparisonBattery(target=target_summary, scores=scores, battery=battery)

@@ -29,6 +29,9 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, Mapping, Optional, Union
 
+from ..obs.metrics import get_registry
+from ..obs.tracer import get_tracer
+
 __all__ = ["CacheStats", "ResultCache", "NullCache", "canonical_key"]
 
 
@@ -112,48 +115,59 @@ class ResultCache:
         ``stats.corrupt`` as well as ``stats.misses``.
         """
         path = self._path(key)
-        try:
-            with open(path, "r", encoding="utf-8") as handle:
-                entry = json.load(handle)
-            if not isinstance(entry, dict) or "value" not in entry:
-                raise ValueError("malformed cache entry")
-            if payload is not None and entry.get("payload") != _roundtrip(payload):
-                raise ValueError("cache entry payload mismatch")
-        except FileNotFoundError:
-            self.stats.misses += 1
-            return None
-        except (OSError, ValueError, KeyError):
-            # Truncated/corrupt/foreign file: recompute rather than crash.
-            self.stats.corrupt += 1
-            self.stats.misses += 1
+        with get_tracer().span("cache.get", key=key[:12]) as span:
             try:
-                path.unlink()
-            except OSError:
-                pass
-            return None
-        self.stats.hits += 1
-        return entry["value"]
+                with open(path, "r", encoding="utf-8") as handle:
+                    entry = json.load(handle)
+                if not isinstance(entry, dict) or "value" not in entry:
+                    raise ValueError("malformed cache entry")
+                if payload is not None and entry.get("payload") != _roundtrip(payload):
+                    raise ValueError("cache entry payload mismatch")
+            except FileNotFoundError:
+                self.stats.misses += 1
+                get_registry().counter("cache.miss").inc()
+                span.set(outcome="miss")
+                return None
+            except (OSError, ValueError, KeyError):
+                # Truncated/corrupt/foreign file: recompute rather than crash.
+                self.stats.corrupt += 1
+                self.stats.misses += 1
+                registry = get_registry()
+                registry.counter("cache.corrupt").inc()
+                registry.counter("cache.miss").inc()
+                span.set(outcome="corrupt")
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+                return None
+            self.stats.hits += 1
+            get_registry().counter("cache.hit").inc()
+            span.set(outcome="hit")
+            return entry["value"]
 
     def put(self, key: str, value: Any, payload: Optional[Mapping[str, Any]] = None) -> None:
         """Atomically store *value* under *key*."""
         path = self._path(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        entry = {"payload": _roundtrip(payload) if payload is not None else None,
-                 "value": value}
-        handle = tempfile.NamedTemporaryFile(
-            "w", encoding="utf-8", dir=path.parent, suffix=".tmp", delete=False
-        )
-        try:
-            with handle:
-                json.dump(entry, handle)
-            os.replace(handle.name, path)
-        except OSError:
+        with get_tracer().span("cache.put", key=key[:12]):
+            path.parent.mkdir(parents=True, exist_ok=True)
+            entry = {"payload": _roundtrip(payload) if payload is not None else None,
+                     "value": value}
+            handle = tempfile.NamedTemporaryFile(
+                "w", encoding="utf-8", dir=path.parent, suffix=".tmp", delete=False
+            )
             try:
-                os.unlink(handle.name)
+                with handle:
+                    json.dump(entry, handle)
+                os.replace(handle.name, path)
             except OSError:
-                pass
-            raise
-        self.stats.writes += 1
+                try:
+                    os.unlink(handle.name)
+                except OSError:
+                    pass
+                raise
+            self.stats.writes += 1
+            get_registry().counter("cache.write").inc()
 
 
 class NullCache:
@@ -165,6 +179,7 @@ class NullCache:
     def get(self, key: str, payload: Optional[Mapping[str, Any]] = None) -> Optional[Any]:
         """Always a miss."""
         self.stats.misses += 1
+        get_registry().counter("cache.miss").inc()
         return None
 
     def put(self, key: str, value: Any, payload: Optional[Mapping[str, Any]] = None) -> None:

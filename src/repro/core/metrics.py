@@ -24,6 +24,8 @@ from ..graph.correlations import degree_assortativity
 from ..graph.graph import Graph
 from ..graph.shortest_paths import path_length_distribution
 from ..graph.traversal import giant_component
+from ..obs.metrics import get_registry
+from ..obs.tracer import get_tracer
 from ..stats.powerlaw import fit_powerlaw_auto_xmin
 from ..stats.rng import SeedLike
 
@@ -283,9 +285,11 @@ def compute_metric_groups(
     if unknown:
         known = ", ".join(sorted(_GROUP_FUNCTIONS))
         raise KeyError(f"unknown metric group(s) {unknown!r}; available: {known}")
+    tracer = get_tracer()
     original_n = graph.num_nodes
     giant_started = time.perf_counter()
-    gc = giant_component(graph)
+    with tracer.span("giant", n=original_n):
+        gc = giant_component(graph)
     giant_seconds = time.perf_counter() - giant_started
     if gc.num_nodes == 0:
         raise ValueError("cannot summarize an empty graph")
@@ -293,15 +297,17 @@ def compute_metric_groups(
     timings: Dict[str, float] = {"giant": giant_seconds}
     for group in groups:
         group_started = time.perf_counter()
-        out[group] = _GROUP_FUNCTIONS[group](
-            gc,
-            original_n=original_n,
-            path_sample_threshold=path_sample_threshold,
-            path_samples=path_samples,
-            min_tail=min_tail,
-            seed=seed,
-        )
+        with tracer.span(f"metric.{group}", n=gc.num_nodes):
+            out[group] = _GROUP_FUNCTIONS[group](
+                gc,
+                original_n=original_n,
+                path_sample_threshold=path_sample_threshold,
+                path_samples=path_samples,
+                min_tail=min_tail,
+                seed=seed,
+            )
         timings[group] = time.perf_counter() - group_started
+    get_registry().counter("metrics.groups.computed").inc(len(tuple(groups)))
     if with_timings:
         return out, timings
     return out

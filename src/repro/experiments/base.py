@@ -10,11 +10,26 @@ records.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Any, Dict, List, Sequence, Tuple
 
 from ..core.report import format_series, format_table
+from ..obs.metrics import get_registry
+from ..obs.tracer import get_tracer
 
-__all__ = ["ExperimentResult"]
+__all__ = ["ExperimentResult", "stage"]
+
+
+def stage(experiment_id: str, name: str, **attrs: Any):
+    """A span context for one experiment stage (battery, tables, sweep …).
+
+    Emits ``experiment.<name>`` into the ambient tracer with the
+    experiment id attached and counts ``experiment.stages`` in the ambient
+    registry, so a traced ``repro experiment t1 --trace out.json`` renders
+    as stage blocks with the battery's span tree nested inside.  A shared
+    no-op when tracing is disabled.
+    """
+    get_registry().counter("experiment.stages").inc()
+    return get_tracer().span(f"experiment.{name}", experiment=experiment_id, **attrs)
 
 
 @dataclass

@@ -20,7 +20,7 @@ from __future__ import annotations
 from typing import Optional
 
 from ..core.battery import compare_models
-from .base import ExperimentResult
+from .base import ExperimentResult, stage
 from .rosters import ROSTER_ORDER, standard_roster
 
 __all__ = ["run_t1"]
@@ -36,6 +36,7 @@ def run_t1(
     timeout: Optional[float] = None,
     retries: int = 0,
     journal: Optional[str] = None,
+    profile_dir: Optional[str] = None,
 ) -> ExperimentResult:
     """Score every roster model against the reference map.
 
@@ -50,17 +51,19 @@ def run_t1(
     )
     roster = standard_roster(n)
     selected = models if models is not None else ROSTER_ORDER
-    comparison = compare_models(
-        {name: roster[name] for name in selected},
-        n=n,
-        seeds=seeds,
-        base_seed=base_seed,
-        jobs=jobs,
-        cache=cache_dir,
-        timeout=timeout,
-        retries=retries,
-        journal=journal,
-    )
+    with stage("T1", "battery", n=n, seeds=seeds, jobs=jobs):
+        comparison = compare_models(
+            {name: roster[name] for name in selected},
+            n=n,
+            seeds=seeds,
+            base_seed=base_seed,
+            jobs=jobs,
+            cache=cache_dir,
+            timeout=timeout,
+            retries=retries,
+            journal=journal,
+            profile_dir=profile_dir,
+        )
     reference_summary = comparison.target
 
     def _summary_row(name, summary, score, spread):
@@ -77,11 +80,12 @@ def run_t1(
             spread,
         ]
 
-    rows = [
-        _summary_row(score.model, score.last_summary, score.mean, score.spread)
-        for score in comparison.scores
-        if score.summaries  # a model whose every replicate failed has none
-    ]
+    with stage("T1", "tables"):
+        rows = [
+            _summary_row(score.model, score.last_summary, score.mean, score.spread)
+            for score in comparison.scores
+            if score.summaries  # a model whose every replicate failed has none
+        ]
     target_row = _summary_row("reference", reference_summary, 0.0, 0.0)
     result.add_table(
         "model comparison (last-seed metrics, seed-averaged score)",

@@ -64,13 +64,16 @@ class BarabasiAlbertGenerator(TopologyGenerator):
         rng = make_rng(seed)
         graph = Graph(name=self.name)
         repeated: List[int] = []
-        for i in range(seed_size):
-            j = (i + 1) % seed_size
-            graph.add_edge(i, j)
-            repeated.extend((i, j))
-        for new in range(seed_size, n):
-            targets = preferential_targets(repeated, self.m, rng, exclude=new)
-            for target in targets:
-                graph.add_edge(new, target)
-                repeated.extend((new, target))
+        with self.trace_phase("seed", size=seed_size):
+            for i in range(seed_size):
+                j = (i + 1) % seed_size
+                graph.add_edge(i, j)
+                repeated.extend((i, j))
+        with self.trace_phase("growth", n=n):
+            for new in range(seed_size, n):
+                targets = preferential_targets(repeated, self.m, rng, exclude=new)
+                for target in targets:
+                    graph.add_edge(new, target)
+                    repeated.extend((new, target))
+            self.count_steps(n - seed_size)
         return graph

@@ -16,6 +16,8 @@ import abc
 from typing import Any, Dict, Optional
 
 from ..graph.graph import Graph
+from ..obs.metrics import get_registry
+from ..obs.tracer import get_tracer
 from ..stats.rng import SeedLike
 
 __all__ = ["TopologyGenerator", "GenerationError"]
@@ -46,6 +48,28 @@ class TopologyGenerator(abc.ABC):
         few nodes after cleanup (multi-edge collapse, component extraction)
         and say so in their docstring.
         """
+
+    def trace_phase(self, phase: str, **attrs: Any):
+        """A span context for one generation phase (seed, growth, rewire …).
+
+        Emits ``generator.<phase>`` into the ambient tracer with the model
+        name attached; a shared no-op when tracing is disabled, so growth
+        loops can bracket their phases unconditionally.  Use at *phase*
+        granularity (a handful of spans per generate call), never once per
+        growth step.
+        """
+        return get_tracer().span(
+            f"generator.{phase}",
+            model=self.name or type(self).__name__,
+            **attrs,
+        )
+
+    def count_steps(self, steps: int) -> None:
+        """Report *steps* growth-loop iterations to the ambient metrics
+        registry (``generator.steps``).  Called once per generate with the
+        batch total — one counter bump, not one per step."""
+        if steps:
+            get_registry().counter("generator.steps").inc(steps)
 
     def params(self) -> Dict[str, Any]:
         """Configured parameters (public attributes), for provenance."""

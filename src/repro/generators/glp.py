@@ -52,27 +52,34 @@ class GlpGenerator(TopologyGenerator):
         rng = make_rng(seed)
         graph = Graph(name=self.name)
         sampler = FenwickSampler(seed=rng)
-        # Seed: a triangle, so internal-edge moves have somewhere to land.
-        for i in range(seed_size):
-            graph.add_node(i)
-            sampler.append(0.0)
-        for i, j in ((0, 1), (1, 2), (2, 0)):
-            graph.add_edge(i, j)
-        for i in range(seed_size):
-            sampler.update(i, graph.degree(i) - self.beta)
+        with self.trace_phase("seed", size=seed_size):
+            # Seed: a triangle, so internal-edge moves have somewhere to land.
+            for i in range(seed_size):
+                graph.add_node(i)
+                sampler.append(0.0)
+            for i, j in ((0, 1), (1, 2), (2, 0)):
+                graph.add_edge(i, j)
+            for i in range(seed_size):
+                sampler.update(i, graph.degree(i) - self.beta)
 
-        next_node = seed_size
-        stall_budget = 100 * n
-        while next_node < n:
-            if stall_budget <= 0:
-                raise GenerationError("GLP growth stalled before reaching target size")
-            stall_budget -= 1
-            m_step = self._links_this_step(rng)
-            if rng.random() < self.p:
-                self._add_internal_links(graph, sampler, m_step, rng)
-            else:
-                self._add_node(graph, sampler, next_node, m_step, rng)
-                next_node += 1
+        with self.trace_phase("growth", n=n):
+            next_node = seed_size
+            steps = 0
+            stall_budget = 100 * n
+            while next_node < n:
+                if stall_budget <= 0:
+                    raise GenerationError(
+                        "GLP growth stalled before reaching target size"
+                    )
+                stall_budget -= 1
+                steps += 1
+                m_step = self._links_this_step(rng)
+                if rng.random() < self.p:
+                    self._add_internal_links(graph, sampler, m_step, rng)
+                else:
+                    self._add_node(graph, sampler, next_node, m_step, rng)
+                    next_node += 1
+            self.count_steps(steps)
         return graph
 
     def _bump(self, sampler: FenwickSampler, node: int) -> None:

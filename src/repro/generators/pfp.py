@@ -59,26 +59,29 @@ class PfpGenerator(TopologyGenerator):
         rng = make_rng(seed)
         graph = Graph(name=self.name)
         sampler = FenwickSampler(seed=rng)
-        for i in range(seed_size):
-            graph.add_node(i)
-            sampler.append(0.0)
-        for i, j in ((0, 1), (1, 2), (2, 0)):
-            graph.add_edge(i, j)
-        for i in range(seed_size):
-            sampler.update(i, self._preference(graph.degree(i)))
+        with self.trace_phase("seed", size=seed_size):
+            for i in range(seed_size):
+                graph.add_node(i)
+                sampler.append(0.0)
+            for i, j in ((0, 1), (1, 2), (2, 0)):
+                graph.add_edge(i, j)
+            for i in range(seed_size):
+                sampler.update(i, self._preference(graph.degree(i)))
 
-        for new in range(seed_size, n):
-            roll = rng.random()
-            if roll < self.p:
-                hosts = self._attach_new(graph, sampler, new, num_hosts=1)
-                self._develop_links(graph, sampler, hosts[0], count=2, rng=rng)
-            elif roll < self.p + self.q:
-                hosts = self._attach_new(graph, sampler, new, num_hosts=1)
-                self._develop_links(graph, sampler, hosts[0], count=1, rng=rng)
-            else:
-                hosts = self._attach_new(graph, sampler, new, num_hosts=2)
-                chosen = hosts[rng.randrange(len(hosts))]
-                self._develop_links(graph, sampler, chosen, count=1, rng=rng)
+        with self.trace_phase("growth", n=n):
+            for new in range(seed_size, n):
+                roll = rng.random()
+                if roll < self.p:
+                    hosts = self._attach_new(graph, sampler, new, num_hosts=1)
+                    self._develop_links(graph, sampler, hosts[0], count=2, rng=rng)
+                elif roll < self.p + self.q:
+                    hosts = self._attach_new(graph, sampler, new, num_hosts=1)
+                    self._develop_links(graph, sampler, hosts[0], count=1, rng=rng)
+                else:
+                    hosts = self._attach_new(graph, sampler, new, num_hosts=2)
+                    chosen = hosts[rng.randrange(len(hosts))]
+                    self._develop_links(graph, sampler, chosen, count=1, rng=rng)
+            self.count_steps(n - seed_size)
         return graph
 
     def _refresh(self, graph: Graph, sampler: FenwickSampler, node: int) -> None:

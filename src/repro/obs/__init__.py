@@ -1,0 +1,79 @@
+"""repro.obs — the observability layer.
+
+Four instruments and their plumbing, threaded through the generators, the
+metric battery, the cache, and the experiment harnesses:
+
+* :mod:`~repro.obs.tracer` — hierarchical span tracing (parent/child ids,
+  thread- and process-safe, near-zero cost when disabled);
+* :mod:`~repro.obs.metrics` — in-process counters/gauges/histograms,
+  aggregated across worker processes back to the parent;
+* :mod:`~repro.obs.sampler` — per-unit peak RSS and CPU time via
+  ``resource.getrusage`` in the workers;
+* :mod:`~repro.obs.profiler` — opt-in per-unit ``cProfile`` dumps with a
+  merged hotspot table;
+* :mod:`~repro.obs.exporters` — Chrome trace-event JSON (Perfetto /
+  ``about://tracing``) and Prometheus text exposition;
+* :mod:`~repro.obs.analysis` — journal/trace reports (the ``repro
+  journal`` CLI surface).
+
+Import discipline: this package depends only on the standard library, so
+any layer of the system — graph code, generators, core, experiments — may
+instrument itself without creating a cycle.
+"""
+
+from .analysis import (
+    group_runs,
+    journal_summary_tables,
+    load_trace_spans,
+    span_aggregate,
+    summarize_run,
+    tail_lines,
+)
+from .exporters import (
+    export_chrome_trace,
+    render_prometheus,
+    to_chrome_trace,
+    validate_chrome_trace,
+)
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    diff_snapshots,
+    get_registry,
+    set_registry,
+)
+from .profiler import merge_profiles, profile_unit
+from .sampler import ResourceSampler, ResourceUsage, sample_rusage
+from .tracer import NULL_SPAN, Span, Tracer, get_tracer, set_tracer
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "get_tracer",
+    "set_tracer",
+    "NULL_SPAN",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+    "set_registry",
+    "diff_snapshots",
+    "ResourceSampler",
+    "ResourceUsage",
+    "sample_rusage",
+    "profile_unit",
+    "merge_profiles",
+    "to_chrome_trace",
+    "export_chrome_trace",
+    "validate_chrome_trace",
+    "render_prometheus",
+    "group_runs",
+    "summarize_run",
+    "journal_summary_tables",
+    "tail_lines",
+    "span_aggregate",
+    "load_trace_spans",
+]

@@ -1,0 +1,193 @@
+"""Trace and metrics exporters.
+
+Two wire formats, both deliberately boring:
+
+* **Chrome trace-event JSON** — ``{"traceEvents": [...]}`` with complete
+  (``"ph": "X"``) events, loadable in ``about://tracing`` or Perfetto.
+  Timestamps are microseconds relative to the earliest span, durations are
+  microseconds, and each span's ids/attributes land in ``args`` so the
+  parent/child tree survives the round trip.
+* **Prometheus text exposition** — counters, gauges, and histogram
+  count/sum lines with dotted names rewritten to underscores, suitable for
+  a textfile collector or a quick ``grep``.
+
+:func:`validate_chrome_trace` is the library half of the CI smoke check:
+it re-parses an exported file and asserts both the schema and that every
+child span nests inside its parent's time window.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Sequence, Union
+
+from .metrics import MetricsRegistry
+
+__all__ = [
+    "to_chrome_trace",
+    "export_chrome_trace",
+    "validate_chrome_trace",
+    "render_prometheus",
+]
+
+#: Slack (seconds) allowed when checking child-inside-parent time bounds:
+#: wall-clock starts come from ``time.time()`` while durations come from
+#: ``perf_counter``, so microsecond-scale disagreement is expected.
+_NESTING_TOLERANCE = 0.005
+
+
+def _span_dicts(spans: Sequence[Any]) -> List[Dict[str, Any]]:
+    out = []
+    for span in spans:
+        out.append(span if isinstance(span, Mapping) else span.as_dict())
+    return out
+
+
+def to_chrome_trace(spans: Sequence[Any]) -> Dict[str, Any]:
+    """Render spans (Span objects or their dicts) as a trace-event object."""
+    dicts = _span_dicts(spans)
+    origin = min((d["start"] for d in dicts), default=0.0)
+    events: List[Dict[str, Any]] = []
+    named_processes = set()
+    for d in dicts:
+        pid = d.get("pid", 0)
+        if pid not in named_processes:
+            named_processes.add(pid)
+            events.append(
+                {
+                    "name": "process_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": 0,
+                    "args": {"name": f"repro pid {pid}"},
+                }
+            )
+        args = dict(d.get("attrs", {}))
+        args["span_id"] = d["span_id"]
+        if d.get("parent_id"):
+            args["parent_id"] = d["parent_id"]
+        events.append(
+            {
+                "name": d["name"],
+                "ph": "X",
+                "ts": round((d["start"] - origin) * 1e6, 3),
+                "dur": round(d["duration"] * 1e6, 3),
+                "pid": pid,
+                "tid": d.get("tid", 0),
+                "args": args,
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def export_chrome_trace(spans: Sequence[Any], path: Union[str, Path]) -> Path:
+    """Write spans to *path* as Chrome trace-event JSON; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(to_chrome_trace(spans), handle, default=repr)
+    return path
+
+
+def validate_chrome_trace(source: Union[str, Path, Mapping]) -> Dict[str, int]:
+    """Assert *source* (a file path or parsed dict) is a well-formed trace.
+
+    Checks the schema (``traceEvents`` list, required keys, non-negative
+    times) and, for every span carrying a ``parent_id``, that the child's
+    time window sits inside its parent's (within a small tolerance).
+    Parent edges may cross processes.  Returns summary counts; raises
+    ``ValueError`` on the first violation.
+    """
+    if isinstance(source, (str, Path)):
+        with open(source, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    else:
+        data = source
+    if not isinstance(data, Mapping) or not isinstance(
+        data.get("traceEvents"), list
+    ):
+        raise ValueError("not a Chrome trace: missing traceEvents list")
+    spans: Dict[str, Dict[str, Any]] = {}
+    complete = 0
+    for event in data["traceEvents"]:
+        ph = event.get("ph")
+        if ph == "M":
+            continue
+        if ph != "X":
+            raise ValueError(f"unexpected event phase {ph!r}")
+        for key in ("name", "ts", "dur", "pid", "tid", "args"):
+            if key not in event:
+                raise ValueError(f"trace event missing {key!r}: {event}")
+        if event["ts"] < 0 or event["dur"] < 0:
+            raise ValueError(f"negative time in event {event['name']!r}")
+        complete += 1
+        span_id = event["args"].get("span_id")
+        if span_id:
+            spans[span_id] = event
+    nested = 0
+    tolerance = _NESTING_TOLERANCE * 1e6
+    for event in spans.values():
+        parent_id = event["args"].get("parent_id")
+        if not parent_id:
+            continue
+        parent = spans.get(parent_id)
+        if parent is None:
+            raise ValueError(
+                f"span {event['name']!r} references missing parent {parent_id}"
+            )
+        # Parent links may cross processes (worker unit spans are adopted
+        # under the coordinator's battery span); wall clocks agree on one
+        # host, so the time-window check still applies.
+        if event["ts"] < parent["ts"] - tolerance or (
+            event["ts"] + event["dur"]
+            > parent["ts"] + parent["dur"] + tolerance
+        ):
+            raise ValueError(
+                f"span {event['name']!r} escapes its parent "
+                f"{parent['name']!r} time window"
+            )
+        nested += 1
+    return {"events": complete, "spans": len(spans), "nested": nested}
+
+
+def _metric_name(name: str) -> str:
+    """Dotted instrument name → Prometheus-legal metric name."""
+    out = []
+    for ch in name:
+        out.append(ch if (ch.isalnum() or ch == "_") else "_")
+    text = "".join(out)
+    if text and text[0].isdigit():
+        text = "_" + text
+    return text
+
+
+def _format_number(value: float) -> str:
+    if isinstance(value, float) and math.isnan(value):
+        return "NaN"
+    if isinstance(value, float) and value == int(value):
+        return str(int(value))
+    return repr(value)
+
+
+def render_prometheus(
+    source: Union[MetricsRegistry, Mapping[str, Mapping[str, Any]]]
+) -> str:
+    """Registry (or snapshot) as Prometheus text exposition format."""
+    snapshot = source.snapshot() if isinstance(source, MetricsRegistry) else source
+    lines: List[str] = []
+    for name, value in sorted(snapshot.get("counters", {}).items()):
+        metric = _metric_name(name)
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {_format_number(value)}")
+    for name, value in sorted(snapshot.get("gauges", {}).items()):
+        metric = _metric_name(name)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_format_number(value)}")
+    for name, summary in sorted(snapshot.get("histograms", {}).items()):
+        metric = _metric_name(name)
+        lines.append(f"# TYPE {metric} summary")
+        lines.append(f"{metric}_count {_format_number(summary.get('count', 0))}")
+        lines.append(f"{metric}_sum {_format_number(summary.get('sum', 0.0))}")
+    return "\n".join(lines) + ("\n" if lines else "")

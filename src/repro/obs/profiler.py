@@ -1,0 +1,76 @@
+"""Opt-in per-unit ``cProfile`` hook and profile merging.
+
+Profiling a parallel battery cannot use one global profiler — units run in
+separate worker processes — so each unit profiles itself into its own
+``.pstats`` file under ``--profile-dir`` and the parent merges them
+afterwards into one top-N hotspot table.  The hook is strictly opt-in:
+with no profile dir configured, :func:`profile_unit` returns a shared
+no-op context manager and costs nothing.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import pstats
+from contextlib import nullcontext
+from pathlib import Path
+from typing import Any, List, Optional, Tuple, Union
+
+__all__ = ["profile_unit", "merge_profiles"]
+
+
+class _UnitProfile:
+    """Context manager profiling its block into ``<dir>/<label>.pstats``."""
+
+    def __init__(self, directory: Path, label: str):
+        self._path = directory / f"{label}.pstats"
+        self._profile = cProfile.Profile()
+
+    def __enter__(self) -> "_UnitProfile":
+        self._profile.enable()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._profile.disable()
+        self._path.parent.mkdir(parents=True, exist_ok=True)
+        self._profile.dump_stats(str(self._path))
+
+
+def profile_unit(profile_dir: Union[None, str, Path], label: str):
+    """A profiling context for one work unit (no-op when *profile_dir* is
+    None).  *label* becomes the dump's filename stem; callers make it
+    unique per unit (model, replicate)."""
+    if profile_dir is None:
+        return nullcontext()
+    safe = "".join(ch if (ch.isalnum() or ch in "-_.") else "_" for ch in label)
+    return _UnitProfile(Path(profile_dir), safe)
+
+
+def merge_profiles(
+    profile_dir: Union[str, Path], top: int = 15
+) -> Tuple[List[str], List[List[Any]]]:
+    """Merge every ``.pstats`` dump under *profile_dir* into one hotspot
+    table: (headers, rows) sorted by cumulative seconds, *top* rows.
+
+    Returns empty rows when the directory holds no dumps (e.g. every unit
+    was served from the cache).
+    """
+    paths = sorted(Path(profile_dir).glob("*.pstats"))
+    headers = ["function", "calls", "tottime", "cumtime"]
+    if not paths:
+        return headers, []
+    stats = pstats.Stats(str(paths[0]))
+    for path in paths[1:]:
+        stats.add(str(path))
+    entries = []
+    for func, (cc, nc, tt, ct, _callers) in stats.stats.items():
+        filename, line, name = func
+        where = Path(filename).name
+        label = f"{where}:{line}({name})" if line else name
+        entries.append((label, nc, tt, ct))
+    entries.sort(key=lambda row: row[3], reverse=True)
+    rows = [
+        [label, calls, round(tottime, 6), round(cumtime, 6)]
+        for label, calls, tottime, cumtime in entries[:top]
+    ]
+    return headers, rows

@@ -1,0 +1,111 @@
+"""Per-unit resource sampling via ``resource.getrusage``.
+
+Battery workers wrap each work unit in a :class:`ResourceSampler`:
+:meth:`start` snapshots the process's CPU counters, :meth:`stop` returns a
+:class:`ResourceUsage` with the CPU seconds *this unit* consumed and the
+worker's peak RSS observed so far.  Peak RSS is a process-lifetime
+high-water mark (the kernel never lowers ``ru_maxrss``), so per-unit
+values are upper bounds that become exact for the unit that set the peak —
+which is precisely the unit a memory investigation cares about.
+
+``resource`` is POSIX-only; on platforms without it every sample degrades
+to zeros rather than failing, so instrumented code needs no platform
+guards.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from dataclasses import dataclass
+from typing import Any, Dict
+
+try:  # pragma: no cover - resource is present on every POSIX CI target
+    import resource as _resource
+except ImportError:  # pragma: no cover - e.g. Windows
+    _resource = None
+
+__all__ = ["ResourceUsage", "ResourceSampler", "sample_rusage"]
+
+
+def _maxrss_kb(ru) -> float:
+    """Normalize ``ru_maxrss`` to kilobytes (Linux reports KB, macOS bytes)."""
+    raw = float(ru.ru_maxrss)
+    if sys.platform == "darwin":  # pragma: no cover - linux CI
+        return raw / 1024.0
+    return raw
+
+
+def sample_rusage() -> Dict[str, float]:
+    """One self-rusage sample: peak RSS (KB) and cumulative CPU seconds."""
+    if _resource is None:  # pragma: no cover - non-POSIX
+        return {"max_rss_kb": 0.0, "cpu_user": 0.0, "cpu_system": 0.0}
+    ru = _resource.getrusage(_resource.RUSAGE_SELF)
+    return {
+        "max_rss_kb": _maxrss_kb(ru),
+        "cpu_user": ru.ru_utime,
+        "cpu_system": ru.ru_stime,
+    }
+
+
+@dataclass(frozen=True)
+class ResourceUsage:
+    """What one sampled region consumed.
+
+    ``cpu_seconds`` is the user+system CPU delta across the region;
+    ``max_rss_kb`` is the process's peak RSS at region end (high-water
+    mark, see module docstring); ``wall_seconds`` the elapsed wall clock.
+    """
+
+    max_rss_kb: float
+    cpu_user: float
+    cpu_system: float
+    wall_seconds: float
+
+    @property
+    def cpu_seconds(self) -> float:
+        """User + system CPU seconds consumed in the region."""
+        return self.cpu_user + self.cpu_system
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Plain-dict form (what workers ship back, journals record)."""
+        return {
+            "max_rss_kb": round(self.max_rss_kb, 1),
+            "cpu_seconds": round(self.cpu_seconds, 6),
+            "cpu_user": round(self.cpu_user, 6),
+            "cpu_system": round(self.cpu_system, 6),
+            "wall_seconds": round(self.wall_seconds, 6),
+        }
+
+
+class ResourceSampler:
+    """start()/stop() bracket producing a :class:`ResourceUsage`."""
+
+    def __init__(self):
+        self._before: Dict[str, float] = {}
+        self._t0 = 0.0
+
+    def start(self) -> "ResourceSampler":
+        """Snapshot CPU counters and the wall clock."""
+        self._before = sample_rusage()
+        self._t0 = time.perf_counter()
+        return self
+
+    def stop(self) -> ResourceUsage:
+        """Sample again and return the region's usage."""
+        wall = time.perf_counter() - self._t0
+        after = sample_rusage()
+        return ResourceUsage(
+            max_rss_kb=after["max_rss_kb"],
+            cpu_user=max(0.0, after["cpu_user"] - self._before.get("cpu_user", 0.0)),
+            cpu_system=max(
+                0.0, after["cpu_system"] - self._before.get("cpu_system", 0.0)
+            ),
+            wall_seconds=wall,
+        )
+
+    def __enter__(self) -> "ResourceSampler":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass

@@ -1,0 +1,249 @@
+"""Hierarchical span tracer.
+
+A *span* is one timed region of work — generating a topology, computing a
+metric group, probing the cache — with a name, a parent, wall-clock
+start/duration, the process/thread it ran on, and free-form attributes.
+Spans nest: entering ``tracer.span("generate", model="glp")`` inside an
+open ``"unit"`` span records the parent/child edge, so a whole battery run
+reconstructs as a tree (and renders as a flame chart via
+:func:`repro.obs.exporters.export_chrome_trace`).
+
+Design constraints, in priority order:
+
+* **near-zero overhead when disabled** — the common case.  A disabled
+  tracer's :meth:`Tracer.span` returns one shared no-op context manager
+  without allocating anything, so instrumentation points cost a method
+  call and an attribute check;
+* **thread-safe** — the open-span stack is thread-local (concurrent
+  threads each get a correct parent chain) and the finished-span list is
+  lock-guarded;
+* **process-safe** — span ids embed the originating pid, and
+  :meth:`Tracer.adopt` re-parents spans recorded in a worker process under
+  a parent span in the coordinating process, so cross-process traces stay
+  a single tree.
+
+The module keeps one *ambient* tracer (:func:`get_tracer` /
+:func:`set_tracer`), disabled by default.  Instrumented library code emits
+into the ambient tracer; harnesses that want a trace enable it (or install
+their own) and export the collected spans.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import threading
+import time
+from typing import Any, Dict, List, Optional
+
+__all__ = ["Span", "Tracer", "get_tracer", "set_tracer", "NULL_SPAN"]
+
+_ids = itertools.count(1)  # next() is atomic in CPython
+
+
+def _new_span_id() -> str:
+    """Unique span id: pid-qualified so worker spans never collide."""
+    return f"{os.getpid():x}-{next(_ids)}"
+
+
+class Span:
+    """One timed region.  Also the context manager that records itself.
+
+    ``start`` is wall-clock epoch seconds (comparable across processes);
+    ``duration`` comes from ``perf_counter`` deltas (monotonic, precise).
+    Mutable on purpose: :meth:`Tracer.adopt` rewrites ``parent_id`` when
+    grafting worker spans into the parent process's tree.
+    """
+
+    __slots__ = (
+        "name", "span_id", "parent_id", "start", "duration",
+        "pid", "tid", "attrs", "_tracer", "_t0",
+    )
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: Dict[str, Any]):
+        self.name = name
+        self.span_id = _new_span_id()
+        self.parent_id: Optional[str] = None
+        self.start = 0.0
+        self.duration = 0.0
+        self.pid = os.getpid()
+        self.tid = threading.get_ident()
+        self.attrs = attrs
+        self._tracer = tracer
+        self._t0 = 0.0
+
+    @property
+    def end(self) -> float:
+        """Wall-clock end time (start + duration)."""
+        return self.start + self.duration
+
+    def set(self, **attrs: Any) -> "Span":
+        """Attach/overwrite attributes mid-span; returns self."""
+        self.attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "Span":
+        stack = self._tracer._stack()
+        self.parent_id = stack[-1].span_id if stack else None
+        stack.append(self)
+        self.start = time.time()
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.duration = time.perf_counter() - self._t0
+        if exc_type is not None:
+            self.attrs.setdefault("error", exc_type.__name__)
+        stack = self._tracer._stack()
+        if stack and stack[-1] is self:
+            stack.pop()
+        else:  # pragma: no cover - misnested exit; drop rather than corrupt
+            try:
+                stack.remove(self)
+            except ValueError:
+                pass
+        self._tracer._record(self)
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Plain-dict form (what workers pickle back to the parent)."""
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start": self.start,
+            "duration": self.duration,
+            "pid": self.pid,
+            "tid": self.tid,
+            "attrs": dict(self.attrs),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Span":
+        """Rebuild a span from :meth:`as_dict` output."""
+        span = cls.__new__(cls)
+        span.name = data["name"]
+        span.span_id = data["span_id"]
+        span.parent_id = data.get("parent_id")
+        span.start = data["start"]
+        span.duration = data["duration"]
+        span.pid = data.get("pid", 0)
+        span.tid = data.get("tid", 0)
+        span.attrs = dict(data.get("attrs", {}))
+        span._tracer = None
+        span._t0 = 0.0
+        return span
+
+    def __repr__(self) -> str:
+        return (
+            f"<Span {self.name} id={self.span_id} parent={self.parent_id} "
+            f"dur={self.duration:.6f}s>"
+        )
+
+
+class _NullSpan:
+    """Shared no-op span: what a disabled tracer hands out."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+    def set(self, **attrs: Any) -> "_NullSpan":
+        return self
+
+
+#: The singleton no-op span (never records anything).
+NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Collects finished :class:`Span` objects when enabled.
+
+    One tracer serves one process; worker processes build their own (see
+    :func:`repro.core.battery._battery_task`) and ship span dicts back for
+    :meth:`adopt`.
+    """
+
+    def __init__(self, enabled: bool = False):
+        self.enabled = enabled
+        self._spans: List[Span] = []
+        self._lock = threading.Lock()
+        self._local = threading.local()
+
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _record(self, span: Span) -> None:
+        with self._lock:
+            self._spans.append(span)
+
+    def span(self, name: str, **attrs: Any):
+        """Open a span context (or the shared no-op when disabled)."""
+        if not self.enabled:
+            return NULL_SPAN
+        return Span(self, name, attrs)
+
+    def current(self) -> Optional[Span]:
+        """The innermost open span on this thread (None outside any)."""
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    @property
+    def spans(self) -> List[Span]:
+        """Finished spans recorded so far (shared list — don't mutate)."""
+        with self._lock:
+            return list(self._spans)
+
+    def drain(self) -> List[Span]:
+        """Remove and return every finished span."""
+        with self._lock:
+            spans, self._spans = self._spans, []
+        return spans
+
+    def clear(self) -> None:
+        """Discard every finished span."""
+        with self._lock:
+            self._spans.clear()
+
+    def adopt(self, span_dicts, parent: Optional[Span] = None) -> List[Span]:
+        """Graft spans recorded elsewhere (as dicts) into this tracer.
+
+        Spans whose parent is absent from the incoming batch — the worker's
+        roots — are re-parented under *parent* (when given), so a battery's
+        unit spans hang off its ``battery`` span even though they were
+        timed in another process.
+        """
+        spans = [Span.from_dict(d) for d in span_dicts]
+        ids = {span.span_id for span in spans}
+        for span in spans:
+            if parent is not None and span.parent_id not in ids:
+                span.parent_id = parent.span_id
+        with self._lock:
+            self._spans.extend(spans)
+        return spans
+
+    def __repr__(self) -> str:
+        state = "enabled" if self.enabled else "disabled"
+        return f"<Tracer {state} spans={len(self._spans)}>"
+
+
+_AMBIENT = Tracer(enabled=False)
+
+
+def get_tracer() -> Tracer:
+    """The process-wide ambient tracer (disabled until someone enables it)."""
+    return _AMBIENT
+
+
+def set_tracer(tracer: Tracer) -> Tracer:
+    """Install *tracer* as the ambient one; returns the previous tracer."""
+    global _AMBIENT
+    previous = _AMBIENT
+    _AMBIENT = tracer
+    return previous

@@ -3,6 +3,7 @@
 import json
 
 from repro.core import NullJournal, RunJournal, resolve_journal
+from repro.core.journal import derive_run_id
 
 
 class TestRunJournal:
@@ -47,6 +48,80 @@ class TestRunJournal:
 
     def test_events_on_missing_file_is_empty(self, tmp_path):
         assert RunJournal(tmp_path / "never-written.jsonl").events() == []
+
+    def test_emit_holds_one_line_buffered_handle(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        journal = RunJournal(path)
+        assert journal._handle is None  # opened lazily, not in __init__
+        journal.emit("battery_start")
+        handle = journal._handle
+        assert handle is not None
+        journal.emit("battery_end")
+        assert journal._handle is handle  # same handle, no reopen per event
+        # Line buffering flushes each event without an explicit close.
+        assert len(path.read_text().splitlines()) == 2
+
+    def test_close_releases_and_emit_reopens(self, tmp_path):
+        journal = RunJournal(tmp_path / "run.jsonl")
+        journal.emit("battery_start")
+        journal.close()
+        assert journal._handle is None
+        journal.close()  # idempotent
+        journal.emit("battery_end")  # reopens transparently
+        assert [e["event"] for e in journal.events()] == [
+            "battery_start", "battery_end",
+        ]
+
+    def test_context_manager_closes(self, tmp_path):
+        with RunJournal(tmp_path / "run.jsonl") as journal:
+            journal.emit("battery_start")
+            handle = journal._handle
+        assert handle.closed
+
+
+class TestRunIds:
+    def test_derive_run_id_is_short_hex(self):
+        run_id = derive_run_id({"models": ["glp"], "n": 100})
+        assert len(run_id) == 12
+        int(run_id, 16)  # hex digits only
+
+    def test_identical_configs_still_get_distinct_ids(self):
+        config = {"models": ["glp"], "n": 100}
+        assert derive_run_id(config) != derive_run_id(config)
+
+    def test_events_before_begin_run_are_unstamped(self, tmp_path):
+        journal = RunJournal(tmp_path / "run.jsonl")
+        journal.emit("preamble")
+        (event,) = journal.events()
+        assert "run_id" not in event
+
+    def test_begin_run_stamps_every_subsequent_event(self, tmp_path):
+        journal = RunJournal(tmp_path / "run.jsonl")
+        run_id = journal.begin_run({"n": 100})
+        journal.emit("battery_start")
+        journal.emit("battery_end")
+        assert {e["run_id"] for e in journal.events()} == {run_id}
+
+    def test_read_runs_groups_interleaved_runs(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        journal = RunJournal(path)
+        first = journal.begin_run({"n": 100})
+        journal.emit("battery_start")
+        journal.emit("battery_end")
+        second = journal.begin_run({"n": 100})
+        journal.emit("battery_start")
+        runs = RunJournal.read_runs(path)
+        assert list(runs) == [first, second]
+        assert len(runs[first]) == 2
+        assert len(runs[second]) == 1
+
+    def test_null_journal_derives_an_id_but_records_nothing(self):
+        journal = NullJournal()
+        run_id = journal.begin_run({"n": 100})
+        assert run_id and journal.run_id == run_id
+        journal.emit("battery_start")
+        journal.close()
+        assert journal.events() == []
 
 
 class TestResolveJournal:

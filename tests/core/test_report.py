@@ -3,6 +3,8 @@
 import math
 
 from repro.core import format_series, format_table, format_value
+from repro.core.battery import BatteryResult, UnitRecord
+from repro.core.cache import CacheStats
 
 
 class TestFormatValue:
@@ -49,6 +51,75 @@ class TestFormatTable:
     def test_empty_rows(self):
         text = format_table(["a", "b"], [])
         assert len(text.splitlines()) == 2
+
+
+def _battery_result(records):
+    return BatteryResult(
+        entries=[], records=records, stats=CacheStats(), jobs=1, elapsed=1.0
+    )
+
+
+class TestRenderTiming:
+    """The battery telemetry block: per-group timing rows and, when any
+    unit died, the failed-units table."""
+
+    OK_RECORDS = [
+        UnitRecord("glp", 0, "generate", seed=1, cached=False, seconds=0.5),
+        UnitRecord("glp", 0, "tail", seed=1, cached=False, seconds=1.25),
+        UnitRecord("glp", 1, "tail", seed=2, cached=True, seconds=0.0),
+    ]
+
+    def test_per_group_rows_aggregate_computed_and_cached(self):
+        result = _battery_result(list(self.OK_RECORDS))
+        headers, rows = result.timing_table()
+        assert headers == ["model", "group", "computed", "cached", "seconds"]
+        assert rows == [
+            ["glp", "generate", 1, 0, 0.5],
+            ["glp", "tail", 1, 1, 1.25],  # cached cell adds no seconds
+        ]
+
+    def test_render_timing_clean_run_has_no_failure_table(self):
+        text = _battery_result(list(self.OK_RECORDS)).render_timing()
+        assert "battery telemetry" in text
+        assert "glp" in text and "tail" in text
+        assert "jobs=1" in text
+        assert "failed units" not in text
+
+    def test_failed_units_excluded_from_timing_rows(self):
+        records = list(self.OK_RECORDS) + [
+            UnitRecord("pfp", 0, "unit", seed=3, cached=False, seconds=2.0,
+                       status="failed", error="ValueError: boom"),
+        ]
+        _, rows = _battery_result(records).timing_table()
+        assert all(row[0] != "pfp" for row in rows)
+
+    def test_failure_table_rows_carry_identity_and_last_error_line(self):
+        records = list(self.OK_RECORDS) + [
+            UnitRecord(
+                "pfp", 2, "unit", seed=7, cached=False, seconds=2.0,
+                status="timeout",
+                error="Traceback (most recent call last):\n"
+                      "  ...\nTimeoutError: unit exceeded 30s",
+            ),
+        ]
+        result = _battery_result(records)
+        headers, rows = result.failure_table()
+        assert headers == ["model", "replicate", "seed", "status", "error"]
+        ((model, replicate, seed, status, message),) = rows
+        assert (model, replicate, seed, status) == ("pfp", 2, 7, "timeout")
+        assert "TimeoutError" in message
+        assert "Traceback" not in message  # only the last line survives
+
+    def test_render_timing_appends_failure_table_when_units_failed(self):
+        records = list(self.OK_RECORDS) + [
+            UnitRecord("pfp", 0, "unit", seed=3, cached=False, seconds=2.0,
+                       status="failed", error="ValueError: boom"),
+        ]
+        text = _battery_result(records).render_timing()
+        assert "failed units" in text
+        assert "boom" in text
+        # The telemetry table still renders above the failure table.
+        assert text.index("battery telemetry") < text.index("failed units")
 
 
 class TestFormatSeries:

@@ -1,0 +1,35 @@
+"""Shared fixtures for observability tests."""
+
+import pytest
+
+from repro.obs import MetricsRegistry, Tracer, set_registry, set_tracer
+
+
+@pytest.fixture(autouse=True)
+def _restore_ambient_obs():
+    """Every test here gets pristine ambient obs state and restores the
+    previous tracer/registry afterwards, so tests never leak spans or
+    counters into each other (or into the rest of the suite)."""
+    previous_tracer = set_tracer(Tracer(enabled=False))
+    previous_registry = set_registry(MetricsRegistry())
+    try:
+        yield
+    finally:
+        set_tracer(previous_tracer)
+        set_registry(previous_registry)
+
+
+@pytest.fixture
+def tracer():
+    """An enabled tracer installed as the ambient one."""
+    trc = Tracer(enabled=True)
+    set_tracer(trc)
+    return trc
+
+
+@pytest.fixture
+def registry():
+    """A fresh registry installed as the ambient one."""
+    reg = MetricsRegistry()
+    set_registry(reg)
+    return reg

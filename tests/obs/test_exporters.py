@@ -1,0 +1,138 @@
+"""Tests for the Chrome-trace and Prometheus exporters."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    Tracer,
+    export_chrome_trace,
+    render_prometheus,
+    to_chrome_trace,
+    validate_chrome_trace,
+)
+
+
+def _recorded_tree():
+    """A small real span tree: battery > unit > generate."""
+    tracer = Tracer(enabled=True)
+    with tracer.span("battery", jobs=1) as battery:
+        with tracer.span("unit", model="glp"):
+            with tracer.span("generate"):
+                pass
+    return tracer.spans, battery
+
+
+class TestToChromeTrace:
+    def test_complete_events_with_microsecond_times(self):
+        spans, _ = _recorded_tree()
+        data = to_chrome_trace(spans)
+        events = [e for e in data["traceEvents"] if e["ph"] == "X"]
+        assert len(events) == 3
+        for event in events:
+            assert event["ts"] >= 0  # origin-normalized
+            assert event["dur"] >= 0
+            assert "span_id" in event["args"]
+        assert data["displayTimeUnit"] == "ms"
+
+    def test_parent_ids_survive_in_args(self):
+        spans, battery = _recorded_tree()
+        data = to_chrome_trace(spans)
+        by_name = {
+            e["name"]: e for e in data["traceEvents"] if e["ph"] == "X"
+        }
+        assert "parent_id" not in by_name["battery"]["args"]
+        assert by_name["unit"]["args"]["parent_id"] == battery.span_id
+
+    def test_process_name_metadata_once_per_pid(self):
+        spans, _ = _recorded_tree()
+        data = to_chrome_trace(spans)
+        meta = [e for e in data["traceEvents"] if e["ph"] == "M"]
+        assert len(meta) == 1
+        assert meta[0]["name"] == "process_name"
+
+    def test_accepts_dicts_and_span_objects(self):
+        spans, _ = _recorded_tree()
+        from_objects = to_chrome_trace(spans)
+        from_dicts = to_chrome_trace([s.as_dict() for s in spans])
+        assert from_objects == from_dicts
+
+
+class TestValidateChromeTrace:
+    def test_round_trip_file_validates(self, tmp_path):
+        spans, _ = _recorded_tree()
+        path = export_chrome_trace(spans, tmp_path / "trace.json")
+        counts = validate_chrome_trace(path)
+        assert counts == {"events": 3, "spans": 3, "nested": 2}
+
+    def test_missing_parent_rejected(self):
+        spans, _ = _recorded_tree()
+        dicts = [s.as_dict() for s in spans]
+        dicts[1]["parent_id"] = "dead-beef"
+        with pytest.raises(ValueError, match="missing parent"):
+            validate_chrome_trace(to_chrome_trace(dicts))
+
+    def test_child_escaping_parent_window_rejected(self):
+        spans, _ = _recorded_tree()
+        dicts = [s.as_dict() for s in spans]
+        by_name = {d["name"]: d for d in dicts}
+        by_name["unit"]["start"] = by_name["battery"]["start"] + 100.0
+        with pytest.raises(ValueError, match="escapes"):
+            validate_chrome_trace(to_chrome_trace(dicts))
+
+    def test_cross_process_parent_edges_allowed(self):
+        # Tracer.adopt grafts worker spans (worker pid) under the
+        # coordinator's battery span (parent pid); the validator must
+        # accept those edges — only the time window is an invariant.
+        parent = Tracer(enabled=True)
+        worker = Tracer(enabled=True)
+        with parent.span("battery") as battery:
+            with worker.span("unit") as unit:
+                pass
+            adopted = [unit.as_dict()]
+            adopted[0]["pid"] = battery.pid + 1  # simulate another process
+            parent.adopt(adopted, parent=battery)
+        counts = validate_chrome_trace(to_chrome_trace(parent.spans))
+        assert counts["nested"] == 1
+
+    def test_not_a_trace_rejected(self):
+        with pytest.raises(ValueError, match="traceEvents"):
+            validate_chrome_trace({"wrong": []})
+
+    def test_malformed_event_rejected(self):
+        with pytest.raises(ValueError, match="missing"):
+            validate_chrome_trace(
+                {"traceEvents": [{"ph": "X", "name": "half-baked"}]}
+            )
+
+
+class TestRenderPrometheus:
+    def test_counters_gauges_histograms_rendered(self):
+        registry = MetricsRegistry()
+        registry.counter("battery.units.completed").inc(4)
+        registry.gauge("battery.jobs").set(2)
+        registry.histogram("battery.unit.seconds").observe(0.25)
+        text = render_prometheus(registry)
+        assert "# TYPE battery_units_completed counter" in text
+        assert "battery_units_completed 4" in text
+        assert "battery_jobs 2" in text
+        assert "# TYPE battery_unit_seconds summary" in text
+        assert "battery_unit_seconds_count 1" in text
+        assert "battery_unit_seconds_sum 0.25" in text
+
+    def test_dots_and_oddities_sanitized(self):
+        registry = MetricsRegistry()
+        registry.counter("cache.hit-rate:v2").inc()
+        text = render_prometheus(registry)
+        assert "cache_hit_rate_v2 1" in text
+
+    def test_accepts_plain_snapshot(self):
+        registry = MetricsRegistry()
+        registry.counter("a.b").inc(7)
+        assert render_prometheus(registry.snapshot()) == render_prometheus(
+            registry
+        )
+
+    def test_empty_registry_renders_empty(self):
+        assert render_prometheus(MetricsRegistry()) == ""

@@ -1,0 +1,167 @@
+"""Tests for the hierarchical span tracer."""
+
+import threading
+
+import pytest
+
+from repro.obs import NULL_SPAN, Span, Tracer, get_tracer, set_tracer
+
+
+class TestSpanNesting:
+    def test_nested_spans_record_parent_child_edges(self, tracer):
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                pass
+        assert outer.parent_id is None
+        assert inner.parent_id == outer.span_id
+        # Children finish (and record) before their parents.
+        assert [s.name for s in tracer.spans] == ["inner", "outer"]
+
+    def test_siblings_share_a_parent(self, tracer):
+        with tracer.span("outer") as outer:
+            with tracer.span("a") as a:
+                pass
+            with tracer.span("b") as b:
+                pass
+        assert a.parent_id == outer.span_id
+        assert b.parent_id == outer.span_id
+        assert a.span_id != b.span_id
+
+    def test_timing_fields_populated(self, tracer):
+        with tracer.span("work") as span:
+            pass
+        assert span.start > 0
+        assert span.duration >= 0
+        assert span.end == span.start + span.duration
+
+    def test_attrs_and_set(self, tracer):
+        with tracer.span("work", model="glp") as span:
+            span.set(n=100)
+        assert span.attrs == {"model": "glp", "n": 100}
+
+    def test_exception_marks_error_and_still_records(self, tracer):
+        with pytest.raises(RuntimeError):
+            with tracer.span("work"):
+                raise RuntimeError("boom")
+        (span,) = tracer.spans
+        assert span.attrs["error"] == "RuntimeError"
+
+    def test_current_tracks_innermost_open_span(self, tracer):
+        assert tracer.current() is None
+        with tracer.span("outer") as outer:
+            assert tracer.current() is outer
+            with tracer.span("inner") as inner:
+                assert tracer.current() is inner
+            assert tracer.current() is outer
+        assert tracer.current() is None
+
+
+class TestDisabledTracer:
+    def test_disabled_span_is_the_shared_null_singleton(self):
+        tracer = Tracer(enabled=False)
+        assert tracer.span("anything", model="glp") is NULL_SPAN
+        assert tracer.span("other") is NULL_SPAN  # no per-call allocation
+
+    def test_disabled_tracer_records_nothing(self):
+        tracer = Tracer(enabled=False)
+        with tracer.span("work") as span:
+            span.set(ignored=True)
+        assert tracer.spans == []
+
+    def test_ambient_default_is_disabled(self):
+        # The conftest installs a disabled tracer; library code pays the
+        # no-op path unless a harness opts in.
+        assert get_tracer().enabled is False
+
+
+class TestSpanRoundTrip:
+    def test_as_dict_from_dict_round_trip(self, tracer):
+        with tracer.span("unit", model="pfp") as span:
+            pass
+        clone = Span.from_dict(span.as_dict())
+        assert clone.name == span.name
+        assert clone.span_id == span.span_id
+        assert clone.parent_id == span.parent_id
+        assert clone.start == span.start
+        assert clone.duration == span.duration
+        assert clone.pid == span.pid
+        assert clone.attrs == {"model": "pfp"}
+
+    def test_span_ids_embed_pid(self, tracer):
+        import os
+
+        with tracer.span("work") as span:
+            pass
+        assert span.span_id.startswith(f"{os.getpid():x}-")
+
+
+class TestDrainAdoptClear:
+    def test_drain_empties_the_tracer(self, tracer):
+        with tracer.span("a"):
+            pass
+        drained = tracer.drain()
+        assert [s.name for s in drained] == ["a"]
+        assert tracer.spans == []
+
+    def test_clear_discards(self, tracer):
+        with tracer.span("a"):
+            pass
+        tracer.clear()
+        assert tracer.spans == []
+
+    def test_adopt_reparents_foreign_roots_under_parent(self, tracer):
+        # A worker records its own little tree...
+        worker = Tracer(enabled=True)
+        with worker.span("unit") as unit:
+            with worker.span("generate"):
+                pass
+        # ...and the parent grafts it under its battery span.
+        with tracer.span("battery") as battery:
+            adopted = tracer.adopt(
+                [s.as_dict() for s in worker.spans], parent=battery
+            )
+        by_name = {s.name: s for s in adopted}
+        assert by_name["unit"].parent_id == battery.span_id  # root re-parented
+        assert by_name["generate"].parent_id == unit.span_id  # edge kept
+        assert {s.name for s in tracer.spans} == {"battery", "unit", "generate"}
+
+    def test_adopt_without_parent_keeps_roots_as_roots(self, tracer):
+        worker = Tracer(enabled=True)
+        with worker.span("unit"):
+            pass
+        (adopted,) = tracer.adopt([s.as_dict() for s in worker.spans])
+        assert adopted.parent_id is None
+
+
+class TestThreadSafety:
+    def test_concurrent_threads_get_independent_parent_chains(self, tracer):
+        errors = []
+
+        def work(label):
+            try:
+                with tracer.span(f"outer-{label}") as outer:
+                    with tracer.span(f"inner-{label}") as inner:
+                        assert inner.parent_id == outer.span_id
+                    assert outer.parent_id is None
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=work, args=(i,)) for i in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        assert len(tracer.spans) == 16
+
+
+class TestAmbient:
+    def test_set_tracer_returns_previous(self):
+        mine = Tracer(enabled=True)
+        previous = set_tracer(mine)
+        try:
+            assert get_tracer() is mine
+        finally:
+            assert set_tracer(previous) is mine

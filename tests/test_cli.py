@@ -126,3 +126,75 @@ class TestBatteryCommand:
         with pytest.raises(ValueError):
             main(["battery", "barabasi-albert", "-n", "300",
                   "--seeds", "1", "--retries", "-2"])
+
+
+class TestObservabilityFlags:
+    def test_battery_trace_and_metrics_out(self, tmp_path, capsys):
+        trace = tmp_path / "trace.json"
+        metrics = tmp_path / "metrics.prom"
+        code = main(["battery", "barabasi-albert", "-n", "300", "--seeds", "1",
+                     "--trace", str(trace), "--metrics-out", str(metrics)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "trace:" in out and "spans" in out
+        # The exported file is a valid Chrome trace with a nesting tree.
+        from repro.obs import validate_chrome_trace
+
+        counts = validate_chrome_trace(trace)
+        assert counts["spans"] > 0
+        assert counts["nested"] == counts["spans"] - 1
+        text = metrics.read_text()
+        assert "battery_units_completed 1" in text
+
+    def test_battery_profile_dir_prints_hotspots(self, tmp_path, capsys):
+        profile_dir = tmp_path / "profiles"
+        code = main(["battery", "barabasi-albert", "-n", "300", "--seeds", "1",
+                     "--profile-dir", str(profile_dir)])
+        assert code == 0
+        assert "profile hotspots" in capsys.readouterr().out
+        assert list(profile_dir.glob("*.pstats"))
+
+
+class TestJournalCommand:
+    @pytest.fixture
+    def artifacts(self, tmp_path, capsys):
+        journal = tmp_path / "run.jsonl"
+        trace = tmp_path / "trace.json"
+        main(["battery", "barabasi-albert", "-n", "300", "--seeds", "1",
+              "--journal", str(journal), "--trace", str(trace)])
+        capsys.readouterr()
+        return journal, trace
+
+    def test_summarize_reports_the_run(self, artifacts, capsys):
+        journal, _ = artifacts
+        assert main(["journal", "summarize", str(journal)]) == 0
+        out = capsys.readouterr().out
+        assert "overview" in out
+        assert "per-model wall time" in out
+        assert "barabasi-albert" in out
+        assert "per-group seconds" in out
+
+    def test_summarize_unknown_run_exits_naming_known_ids(self, artifacts):
+        journal, _ = artifacts
+        with pytest.raises(SystemExit, match="runs present"):
+            main(["journal", "summarize", str(journal), "--run", "nope"])
+
+    def test_tail_prints_last_events(self, artifacts, capsys):
+        journal, _ = artifacts
+        assert main(["journal", "tail", str(journal), "-n", "2"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 2
+        assert "battery_end" in lines[-1]
+
+    def test_spans_aggregates_a_trace(self, artifacts, capsys):
+        _, trace = artifacts
+        assert main(["journal", "spans", str(trace), "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "span aggregate" in out
+        assert "battery" in out
+
+    def test_spans_rejects_non_trace_file(self, tmp_path):
+        bogus = tmp_path / "x.json"
+        bogus.write_text('{"nope": []}')
+        with pytest.raises(SystemExit, match="traceEvents"):
+            main(["journal", "spans", str(bogus)])
