@@ -5,17 +5,23 @@ raw algorithm throughput with repeated rounds — the numbers to watch when
 optimizing the engine.  Graphs are built once per session.
 """
 
+import time
+
 import pytest
 
+from repro.core.report import format_table
 from repro.generators import BarabasiAlbertGenerator, SerranoGenerator
 from repro.graph import (
     approximate_betweenness,
+    betweenness_centrality,
     core_numbers,
     cycle_counts_3_4_5,
     path_length_distribution,
     rich_club_coefficient,
     triangles_per_node,
 )
+from repro.graph.correlations import degree_assortativity, knn_by_degree
+from repro.graph.shortest_paths import average_path_length, eccentricities
 from repro.stats import FenwickSampler
 
 
@@ -70,6 +76,69 @@ def test_micro_sampled_paths(benchmark, ba_10k):
 def test_micro_rich_club_2k(benchmark, ba_2k):
     result = benchmark(rich_club_coefficient, ba_2k)
     assert result
+
+
+#: (label, callable(graph, backend), required speedup) for the CSR shoot-out.
+#: The ≥5x floors are the PR's acceptance bars on the two heaviest kernels;
+#: the remaining rows are recorded without a floor (tiny absolute times make
+#: their ratios noisy).
+_CSR_KERNELS = (
+    ("average_path_length", lambda g, b: average_path_length(g, backend=b), 5.0),
+    ("betweenness (exact)", lambda g, b: betweenness_centrality(g, backend=b), 5.0),
+    (
+        "betweenness (50 pivots)",
+        lambda g, b: approximate_betweenness(g, num_pivots=50, seed=2, backend=b),
+        None,
+    ),
+    ("eccentricities", lambda g, b: eccentricities(g, backend=b), None),
+    ("triangles_per_node", lambda g, b: triangles_per_node(g, backend=b), None),
+    ("core_numbers", lambda g, b: core_numbers(g, backend=b), None),
+    ("rich_club_coefficient", lambda g, b: rich_club_coefficient(g, backend=b), None),
+    ("knn_by_degree", lambda g, b: knn_by_degree(g, backend=b), None),
+    ("degree_assortativity", lambda g, b: degree_assortativity(g, backend=b), None),
+)
+
+
+def test_micro_csr_kernel_speedups(output_dir):
+    """Python vs CSR backend, per kernel, on one BA graph (n=3000).
+
+    Oracle first — both backends must return the same values — then the
+    wall-clock table is written to ``output/csr_kernels.txt`` and the two
+    headline kernels are held to the ≥5x acceptance floor.
+    """
+    graph = BarabasiAlbertGenerator(m=2).generate(3000, seed=1)
+    rows = []
+    floors = {}
+    for label, kernel, floor in _CSR_KERNELS:
+        start = time.perf_counter()
+        python_value = kernel(graph, "python")
+        python_s = time.perf_counter() - start
+        start = time.perf_counter()
+        csr_value = kernel(graph, "csr")
+        csr_s = time.perf_counter() - start
+        if isinstance(python_value, dict) and python_value and isinstance(
+            next(iter(python_value.values())), float
+        ):
+            for key, expected in python_value.items():
+                assert abs(csr_value[key] - expected) <= 1e-9 * max(
+                    1.0, abs(expected)
+                ), (label, key)
+        else:
+            assert python_value == csr_value, label
+        speedup = python_s / csr_s
+        rows.append([label, python_s, csr_s, speedup])
+        if floor is not None:
+            floors[label] = (speedup, floor)
+    table = format_table(
+        ["kernel", "python s", "csr s", "speedup"],
+        rows,
+        title="CSR kernel shoot-out (barabasi-albert m=2 n=3000 seed=1)",
+    )
+    print()
+    print(table)
+    (output_dir / "csr_kernels.txt").write_text(table + "\n", encoding="utf-8")
+    for label, (speedup, floor) in floors.items():
+        assert speedup >= floor, (label, speedup)
 
 
 def test_micro_serrano_generation(benchmark):

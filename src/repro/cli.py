@@ -100,6 +100,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     summ = sub.add_parser("summarize", help="metric battery on an edge-list file")
     summ.add_argument("path", help="edge-list file")
+    summ.add_argument(
+        "--backend", default="auto", choices=("auto", "python", "csr"),
+        help="metric kernel backend (values are identical; csr is the "
+        "numpy fast path, auto picks by graph size)",
+    )
 
     cmp_cmd = sub.add_parser("compare", help="model vs reference AS map")
     cmp_cmd.add_argument("model", help="registry name")
@@ -191,6 +196,11 @@ def _add_battery_flags(parser: argparse.ArgumentParser) -> None:
         "--profile-dir", default=None, metavar="DIR",
         help="cProfile every work unit into DIR and print merged hotspots",
     )
+    parser.add_argument(
+        "--backend", default="auto", choices=("auto", "python", "csr"),
+        help="metric kernel backend (values are identical; csr is the "
+        "numpy fast path, auto picks by graph size)",
+    )
 
 
 def _obs_setup(args):
@@ -269,7 +279,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
     if args.command == "summarize":
         graph = read_edge_list(args.path)
-        summary = summarize(graph)
+        summary = summarize(graph, backend=args.backend)
         rows = sorted(summary.as_dict().items())
         print(format_table(["metric", "value"], rows, title=summary.name))
         return 0
@@ -303,6 +313,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             retries=args.retries,
             journal=args.journal,
             profile_dir=args.profile_dir,
+            backend=args.backend,
         )
         rows = [[model, mean] for model, mean in result.ranking()]
         spreads = {score.model: score.spread for score in result.scores}
@@ -346,6 +357,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             params.setdefault("journal", args.journal)
         if "profile_dir" in accepted and args.profile_dir is not None:
             params.setdefault("profile_dir", args.profile_dir)
+        if "backend" in accepted and args.backend != "auto":
+            params.setdefault("backend", args.backend)
         obs_state = _obs_setup(args)
         result = runner(**params)
         print(result.render())

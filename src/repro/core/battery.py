@@ -655,6 +655,7 @@ def run_battery(
     path_sample_threshold: int = 1500,
     path_samples: int = 400,
     min_tail: int = 50,
+    backend: str = "auto",
 ) -> BatteryResult:
     """Run the metric battery over *models* × *seeds* replicates.
 
@@ -684,6 +685,12 @@ def run_battery(
     *profile_dir* turns on per-unit ``cProfile`` dumps there.  The run's
     counter deltas land in :attr:`BatteryResult.metrics` and reconcile
     with the returned records at any *jobs* value.
+
+    *backend* picks the metric-kernel implementation
+    (``auto``/``python``/``csr``, see :mod:`repro.graph.csr`).  Both
+    backends produce identical values, so the choice is deliberately
+    excluded from cache keys: cells computed on one backend satisfy runs
+    on the other.
     """
     if jobs < 1:
         raise ValueError("jobs must be >= 1")
@@ -726,6 +733,7 @@ def run_battery(
         "path_sample_threshold": path_sample_threshold,
         "path_samples": path_samples,
         "min_tail": min_tail,
+        "backend": backend,
     }
     obs_base = {"trace": trc.enabled, "profile_dir": profile_dir}
 
@@ -960,6 +968,7 @@ def compare_models(
     path_sample_threshold: int = 1500,
     path_samples: int = 400,
     min_tail: int = 50,
+    backend: str = "auto",
 ) -> ComparisonBattery:
     """Score *models* against *target* over the full battery.
 
@@ -985,6 +994,7 @@ def compare_models(
         "path_sample_threshold": path_sample_threshold,
         "path_samples": path_samples,
         "min_tail": min_tail,
+        "backend": backend,
     }
     with _ambient_obs(trc), trc.span(
         "compare", models=len(_normalize_models(models)), n=n, seeds=seeds

@@ -37,6 +37,7 @@ def run_t1(
     retries: int = 0,
     journal: Optional[str] = None,
     profile_dir: Optional[str] = None,
+    backend: str = "auto",
 ) -> ExperimentResult:
     """Score every roster model against the reference map.
 
@@ -44,6 +45,8 @@ def run_t1(
     a unit that still fails is recorded (failure table + notes) and its
     model is scored over the surviving replicates rather than aborting
     the whole comparison.  *journal* appends a JSONL event log of the run.
+    *backend* selects the metric kernels (``auto``/``python``/``csr``);
+    every reported number is identical across backends.
     """
     result = ExperimentResult(
         experiment_id="T1",
@@ -63,6 +66,7 @@ def run_t1(
             retries=retries,
             journal=journal,
             profile_dir=profile_dir,
+            backend=backend,
         )
     reference_summary = comparison.target
 

@@ -12,11 +12,41 @@ from __future__ import annotations
 
 from typing import List
 
+import numpy as np
+
 from ..graph.graph import Graph
 from ..stats.rng import SeedLike, make_rng
 from .base import GenerationError, TopologyGenerator, _validate_size
 
 __all__ = ["BarabasiAlbertGenerator", "preferential_targets"]
+
+
+def _batch_targets(
+    repeated_nodes: List[int], count: int, rng: np.random.Generator, exclude: int
+) -> List[int]:
+    """Vectorized rejection sampling for numpy Generators.
+
+    Draws index batches with one ``rng.integers`` call each, drops the
+    excluded node, and keeps first occurrences (``np.unique`` with
+    ``return_index`` re-sorted by draw position), so the accepted sequence
+    is exactly what scalar rejection sampling would have accepted.
+    """
+    pool = np.asarray(repeated_nodes, dtype=np.int64)
+    targets: List[int] = []
+    seen: set = set()
+    batch_size = max(4 * count, 16)
+    while len(targets) < count:
+        draws = pool[rng.integers(0, pool.size, size=batch_size)]
+        draws = draws[draws != exclude]
+        _, first = np.unique(draws, return_index=True)
+        for position in np.sort(first):
+            candidate = int(draws[position])
+            if candidate not in seen:
+                seen.add(candidate)
+                targets.append(candidate)
+                if len(targets) == count:
+                    break
+    return targets
 
 
 def preferential_targets(
@@ -27,19 +57,39 @@ def preferential_targets(
     ``repeated_nodes`` holds each node once per incident edge endpoint, so a
     uniform draw from it is exactly a degree-proportional draw — the classic
     O(1) trick.  *exclude* (the arriving node) is never returned.
+
+    Rejection sampling degenerates when *count* equals the number of
+    distinct candidates (the last missing node may be drawn with vanishing
+    probability), so after a generous retry budget the remaining targets
+    are filled by a shuffle of the not-yet-picked candidates.  The budget
+    is far beyond anything non-degenerate draws hit, keeping the draw
+    sequence — and therefore every seeded topology — unchanged.
+
+    A ``numpy.random.Generator`` *rng* takes a vectorized batch path;
+    ``random.Random`` keeps the scalar loop (its draw sequence is part of
+    the seed contract).
     """
-    targets: set = set()
     if not repeated_nodes:
         raise GenerationError("no existing endpoints to attach to")
-    distinct_available = len({x for x in repeated_nodes if x != exclude})
-    if count > distinct_available:
+    distinct = {x for x in repeated_nodes if x != exclude}
+    if count > len(distinct):
         raise GenerationError(
-            f"cannot pick {count} distinct targets from {distinct_available} candidates"
+            f"cannot pick {count} distinct targets from {len(distinct)} candidates"
         )
-    while len(targets) < count:
+    if isinstance(rng, np.random.Generator):
+        return _batch_targets(repeated_nodes, count, rng, exclude)
+    targets: set = set()
+    tries = 0
+    max_tries = 64 * count + 1024
+    while len(targets) < count and tries < max_tries:
+        tries += 1
         candidate = repeated_nodes[rng.randrange(len(repeated_nodes))]
         if candidate != exclude:
             targets.add(candidate)
+    if len(targets) < count:
+        remaining = sorted(distinct - targets)
+        rng.shuffle(remaining)
+        targets.update(remaining[: count - len(targets)])
     return list(targets)
 
 

@@ -29,6 +29,7 @@ from .correlations import (
     knn_spectrum,
     normalized_knn_spectrum,
 )
+from .csr import BACKENDS, CSRView, resolve_backend
 from .cycles import adjacency_matrix, count_cycles, cycle_counts_3_4_5
 from .graph import Graph
 from .io import (
@@ -78,6 +79,9 @@ from .traversal import (
 
 __all__ = [
     "Graph",
+    "CSRView",
+    "BACKENDS",
+    "resolve_backend",
     "bfs_distances",
     "bfs_tree",
     "connected_components",

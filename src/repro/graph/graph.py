@@ -40,6 +40,11 @@ class Graph:
         self._adj: Dict[Node, Dict[Node, float]] = {}
         self._num_edges = 0
         self._total_weight = 0.0
+        # Monotonic mutation counter: every node/edge/weight change bumps
+        # it, invalidating the cached CSR view and fingerprint below.
+        self._version = 0
+        self._csr_cache: Optional[Tuple[int, object]] = None
+        self._fingerprint_cache: Optional[Tuple[int, int]] = None
 
     # ------------------------------------------------------------------ nodes
 
@@ -47,6 +52,7 @@ class Graph:
         """Insert an isolated node (no-op if already present)."""
         if node not in self._adj:
             self._adj[node] = {}
+            self._version += 1
 
     def add_nodes(self, nodes: Iterable[Node]) -> None:
         """Insert many nodes."""
@@ -64,6 +70,7 @@ class Graph:
         for neighbor in list(self._adj[node]):
             self.remove_edge(node, neighbor)
         del self._adj[node]
+        self._version += 1
 
     def nodes(self) -> Iterator[Node]:
         """Iterate over node ids."""
@@ -106,6 +113,7 @@ class Graph:
             self._adj[v][u] = weight
             self._num_edges += 1
         self._total_weight += weight
+        self._version += 1
 
     def set_edge_weight(self, u: Node, v: Node, weight: float) -> None:
         """Overwrite the weight of an existing edge."""
@@ -116,6 +124,7 @@ class Graph:
         self._total_weight += weight - self._adj[u][v]
         self._adj[u][v] = weight
         self._adj[v][u] = weight
+        self._version += 1
 
     def remove_edge(self, u: Node, v: Node) -> None:
         """Delete the edge (u, v) entirely, whatever its weight."""
@@ -125,6 +134,7 @@ class Graph:
         del self._adj[u][v]
         del self._adj[v][u]
         self._num_edges -= 1
+        self._version += 1
 
     def has_edge(self, u: Node, v: Node) -> bool:
         """Whether the edge (u, v) exists."""
@@ -214,6 +224,28 @@ class Graph:
             return 0
         return max(len(nbrs) for nbrs in self._adj.values())
 
+    # ------------------------------------------------------------- CSR view
+
+    def csr(self):
+        """Cached :class:`~repro.graph.csr.CSRView` of this graph.
+
+        Built in one adjacency pass on first call, then reused until the
+        graph mutates: every :meth:`add_node` / :meth:`add_edge` /
+        :meth:`set_edge_weight` / :meth:`remove_edge` / :meth:`remove_node`
+        bumps an internal version counter that invalidates the cache, so a
+        stale view can never be observed through this method.  The view
+        itself is immutable — mutating the graph after ``csr()`` leaves
+        previously returned views untouched.
+        """
+        cached = self._csr_cache
+        if cached is not None and cached[0] == self._version:
+            return cached[1]
+        from .csr import CSRView
+
+        view = CSRView.from_graph(self)
+        self._csr_cache = (self._version, view)
+        return view
+
     # ------------------------------------------------------------- derived
 
     def copy(self) -> "Graph":
@@ -225,15 +257,19 @@ class Graph:
         return out
 
     def subgraph(self, nodes: Iterable[Node]) -> "Graph":
-        """Graph induced on *nodes* (edges with both endpoints inside)."""
+        """Graph induced on *nodes* (edges with both endpoints inside).
+
+        Nodes are inserted in this graph's iteration order — not the order
+        (or set-iteration order) of *nodes* — so the result is identical no
+        matter how the kept set was assembled.  Seeded algorithms that
+        sample from a subgraph's node list depend on this.
+        """
         keep = set(nodes)
+        ordered = [u for u in self._adj if u in keep]
         out = Graph(name=self.name)
-        for u in keep:
-            if u in self._adj:
-                out.add_node(u)
-        for u in keep:
-            if u not in self._adj:
-                continue
+        for u in ordered:
+            out.add_node(u)
+        for u in ordered:
             for v, w in self._adj[u].items():
                 if v in keep and not out.has_edge(u, v):
                     out.add_edge(u, v, weight=w)
@@ -259,18 +295,41 @@ class Graph:
         order, process, and Python's randomized string hashing — so it can
         identify a topology in cache keys and derived seeds (e.g. the
         template of a null-model generator).  The name is excluded: two
-        graphs with identical structure fingerprint identically.
+        graphs with identical structure fingerprint identically.  Weights
+        are canonicalized through ``float``, so an integer weight 1 and a
+        float weight 1.0 describe the same structure.
+
+        The value is memoized against the mutation counter, and when a
+        :meth:`csr` view is already cached the edge walk reads the view's
+        contiguous arrays instead of re-traversing the adjacency dicts —
+        repeated cache probes on an unchanged topology cost a dict lookup.
         """
+        cached = self._fingerprint_cache
+        if cached is not None and cached[0] == self._version:
+            return cached[1]
+        if self._csr_cache is not None and self._csr_cache[0] == self._version:
+            view = self._csr_cache[1]
+            ids = view.nodes
+            us, vs, ws = view.edge_arrays()
+            triples = zip(
+                (ids[i] for i in us.tolist()),
+                (ids[i] for i in vs.tolist()),
+                ws.tolist(),
+            )
+        else:
+            triples = self.weighted_edges()
         nodes = sorted(repr(node) for node in self._adj)
         edges = sorted(
-            "|".join((min(ru, rv), max(ru, rv), repr(w)))
+            "|".join((min(ru, rv), max(ru, rv), repr(float(w))))
             for ru, rv, w in (
-                (repr(u), repr(v), w) for u, v, w in self.weighted_edges()
+                (repr(u), repr(v), w) for u, v, w in triples
             )
         )
         canon = ";".join(nodes) + "#" + ";".join(edges)
         digest = hashlib.sha256(canon.encode("utf-8")).digest()
-        return int.from_bytes(digest[:8], "big") & ((1 << 62) - 1)
+        value = int.from_bytes(digest[:8], "big") & ((1 << 62) - 1)
+        self._fingerprint_cache = (self._version, value)
+        return value
 
     def __repr__(self) -> str:
         label = f" {self.name!r}" if self.name else ""

@@ -13,7 +13,10 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, Hashable, List, Optional, Tuple
 
+import numpy as np
+
 from ..stats.rng import SeedLike, make_rng
+from .csr import resolve_backend
 from .graph import Graph
 from .traversal import bfs_distances
 
@@ -71,6 +74,7 @@ def path_length_distribution(
     graph: Graph,
     max_sources: Optional[int] = None,
     seed: SeedLike = None,
+    backend: str = "auto",
 ) -> PathLengthStats:
     """Distribution of shortest-path lengths within *graph*.
 
@@ -78,6 +82,11 @@ def path_length_distribution(
     uniformly without replacement; otherwise every node is a root and the
     counts are exact (each unordered pair contributes twice, which cancels
     in all normalized statistics).
+
+    *backend* selects the implementation (see
+    :func:`repro.graph.csr.resolve_backend`); sampling happens in node-id
+    space before the backend split, so both backends observe identical
+    counts for the same seed.
     """
     nodes = list(graph.nodes())
     if not nodes:
@@ -88,27 +97,78 @@ def path_length_distribution(
     else:
         rng = make_rng(seed)
         sources = rng.sample(nodes, max_sources)
-    counts: Dict[int, int] = {}
-    for source in sources:
-        for distance in bfs_distances(graph, source).values():
-            if distance > 0:
-                counts[distance] = counts.get(distance, 0) + 1
+    if resolve_backend(backend, len(nodes)) == "csr":
+        counts = _distance_counts_csr(graph, sources)
+    else:
+        counts = {}
+        for source in sources:
+            for distance in bfs_distances(graph, source).values():
+                if distance > 0:
+                    counts[distance] = counts.get(distance, 0) + 1
     return PathLengthStats(counts=counts, sources=len(sources), exact=exact)
 
 
+#: Sources per batched-BFS chunk: large enough to amortize per-level array
+#: overhead, small enough to keep the dense (n, batch) workspaces in cache.
+_BFS_BATCH = 512
+
+
+def _source_positions(view, sources) -> np.ndarray:
+    index = view.index
+    return np.fromiter(
+        (index[s] for s in sources), dtype=np.int64, count=len(sources)
+    )
+
+
+def _distance_counts_csr(graph: Graph, sources) -> Dict[int, int]:
+    """Aggregate positive BFS distance counts over *sources* (CSR path)."""
+    view = graph.csr()
+    positions = _source_positions(view, sources)
+    totals = np.zeros(1, dtype=np.int64)
+    for start in range(0, positions.size, _BFS_BATCH):
+        distances = view.distance_batch(positions[start : start + _BFS_BATCH])
+        reached = distances[distances > 0]
+        if reached.size == 0:
+            continue
+        per_chunk = np.bincount(reached)
+        if per_chunk.size > totals.size:
+            grown = np.zeros(per_chunk.size, dtype=np.int64)
+            grown[: totals.size] = totals
+            totals = grown
+        totals[: per_chunk.size] += per_chunk
+    return {d: int(c) for d, c in enumerate(totals.tolist()) if c}
+
+
 def average_path_length(
-    graph: Graph, max_sources: Optional[int] = None, seed: SeedLike = None
+    graph: Graph,
+    max_sources: Optional[int] = None,
+    seed: SeedLike = None,
+    backend: str = "auto",
 ) -> float:
     """Characteristic path length ⟨ℓ⟩ (sampled when *max_sources* is set)."""
-    return path_length_distribution(graph, max_sources=max_sources, seed=seed).mean
+    return path_length_distribution(
+        graph, max_sources=max_sources, seed=seed, backend=backend
+    ).mean
 
 
-def eccentricities(graph: Graph) -> Dict[Node, int]:
+def eccentricities(graph: Graph, backend: str = "auto") -> Dict[Node, int]:
     """Eccentricity of every node (max distance to any reachable node).
 
     Requires a connected graph to be meaningful; on a disconnected graph the
     eccentricity is computed within each node's component.
     """
+    if resolve_backend(backend, graph.num_nodes) == "csr":
+        view = graph.csr()
+        n = view.num_nodes
+        out_csr: Dict[Node, int] = {}
+        for start in range(0, n, _BFS_BATCH):
+            positions = np.arange(start, min(start + _BFS_BATCH, n))
+            # Unreachable entries are -1 < 0, so the column max is the
+            # farthest reachable node (0 for an isolated source).
+            maxima = view.distance_batch(positions).max(axis=0)
+            for i, ecc in zip(positions.tolist(), maxima.tolist()):
+                out_csr[view.nodes[i]] = int(ecc)
+        return out_csr
     out: Dict[Node, int] = {}
     for node in graph.nodes():
         distances = bfs_distances(graph, node)
@@ -116,7 +176,7 @@ def eccentricities(graph: Graph) -> Dict[Node, int]:
     return out
 
 
-def diameter(graph: Graph) -> int:
+def diameter(graph: Graph, backend: str = "auto") -> int:
     """Exact diameter (longest shortest path) of the graph.
 
     Raises :class:`ValueError` on a disconnected graph, where the diameter
@@ -127,6 +187,15 @@ def diameter(graph: Graph) -> int:
         return 0
     best = 0
     n = len(nodes)
+    if resolve_backend(backend, n) == "csr":
+        view = graph.csr()
+        for start in range(0, n, _BFS_BATCH):
+            positions = np.arange(start, min(start + _BFS_BATCH, n))
+            distances = view.distance_batch(positions)
+            if int((distances >= 0).sum()) != n * positions.size:
+                raise ValueError("diameter is undefined on a disconnected graph")
+            best = max(best, int(distances.max()))
+        return best
     for node in nodes:
         distances = bfs_distances(graph, node)
         if len(distances) != n:

@@ -10,6 +10,9 @@ from __future__ import annotations
 from collections import deque
 from typing import Dict, Hashable, Iterable, List, Optional, Set
 
+import numpy as np
+
+from .csr import resolve_backend
 from .graph import Graph
 
 __all__ = [
@@ -65,8 +68,42 @@ def bfs_tree(graph: Graph, source: Node) -> Dict[Node, Node]:
     return parent
 
 
-def connected_components(graph: Graph) -> List[Set[Node]]:
+def _components_csr(graph: Graph) -> List[Set[Node]]:
+    """Component sets via frontier-array BFS sweeps over the CSR view.
+
+    Seeds are visited in node-iteration order (like the dict BFS), so the
+    discovery order — and therefore the stable largest-first sort — matches
+    the python backend.
+    """
+    view = graph.csr()
+    n = view.num_nodes
+    labels = np.full(n, -1, dtype=np.int64)
+    components: List[Set[Node]] = []
+    nodes = view.nodes
+    for start in range(n):
+        if labels[start] >= 0:
+            continue
+        label = len(components)
+        labels[start] = label
+        frontier = np.array([start], dtype=np.int64)
+        member_ids: Set[Node] = {nodes[start]}
+        while frontier.size:
+            block = view.neighbor_block(frontier)
+            block = block[labels[block] < 0]
+            if block.size == 0:
+                break
+            labels[block] = label
+            frontier = np.unique(block)
+            member_ids.update(nodes[i] for i in frontier.tolist())
+        components.append(member_ids)
+    components.sort(key=len, reverse=True)
+    return components
+
+
+def connected_components(graph: Graph, backend: str = "auto") -> List[Set[Node]]:
     """Connected components, largest first."""
+    if resolve_backend(backend, graph.num_nodes) == "csr":
+        return _components_csr(graph)
     seen: Set[Node] = set()
     components: List[Set[Node]] = []
     for start in graph.nodes():
@@ -86,17 +123,20 @@ def connected_components(graph: Graph) -> List[Set[Node]]:
     return components
 
 
-def is_connected(graph: Graph) -> bool:
+def is_connected(graph: Graph, backend: str = "auto") -> bool:
     """Whether the graph is connected (empty graphs count as connected)."""
     if graph.num_nodes == 0:
         return True
+    if resolve_backend(backend, graph.num_nodes) == "csr":
+        view = graph.csr()
+        return int((view.bfs_distances(0) >= 0).sum()) == view.num_nodes
     first = next(iter(graph.nodes()))
     return len(bfs_distances(graph, first)) == graph.num_nodes
 
 
-def giant_component(graph: Graph) -> Graph:
+def giant_component(graph: Graph, backend: str = "auto") -> Graph:
     """Subgraph induced on the largest connected component."""
-    components = connected_components(graph)
+    components = connected_components(graph, backend=backend)
     if not components:
         return Graph(name=graph.name)
     return graph.subgraph(components[0])

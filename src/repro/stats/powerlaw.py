@@ -32,18 +32,38 @@ __all__ = [
 # this contribute less than float epsilon for gamma > 1.5.
 _ZETA_TERMS = 100_000
 
+# k-value arrays for the zeta head sum, keyed by (x_min, terms).  The MLE's
+# golden-section search evaluates the zeta at one x_min for ~60 gammas per
+# fit, and building the 100k-element arange dominated each call; float64
+# holds these integers exactly, so reuse is bit-identical.
+_ZETA_KS_CACHE: dict = {}
+
+
+def _zeta_ks(x_min: int, terms: int) -> np.ndarray:
+    key = (x_min, terms)
+    ks = _ZETA_KS_CACHE.get(key)
+    if ks is None:
+        if len(_ZETA_KS_CACHE) >= 8:
+            _ZETA_KS_CACHE.clear()
+        ks = np.arange(x_min, x_min + terms, dtype=float)
+        ks.setflags(write=False)
+        _ZETA_KS_CACHE[key] = ks
+    return ks
+
+
+def _zeta_tail(gamma: float, upper: int) -> float:
+    """Integral tail ∫_upper^∞ x^-gamma dx plus half the boundary term
+    (Euler–Maclaurin leading correction)."""
+    return upper ** (1.0 - gamma) / (gamma - 1.0) + 0.5 * upper ** -gamma
+
 
 def _generalized_zeta(gamma: float, x_min: int, terms: int = _ZETA_TERMS) -> float:
     """Hurwitz zeta ``sum_{k=x_min}^inf k^-gamma`` by direct summation plus
-    an integral tail correction (Euler–Maclaurin leading term)."""
+    an integral tail correction."""
     if gamma <= 1.0:
         raise ValueError("zeta normalization diverges for gamma <= 1")
-    upper = x_min + terms
-    ks = np.arange(x_min, upper, dtype=float)
-    head = float(np.sum(ks ** -gamma))
-    # Integral tail: ∫_upper^∞ x^-gamma dx plus half the boundary term.
-    tail = upper ** (1.0 - gamma) / (gamma - 1.0) + 0.5 * upper ** -gamma
-    return head + tail
+    head = float(np.sum(_zeta_ks(x_min, terms) ** -gamma))
+    return head + _zeta_tail(gamma, x_min + terms)
 
 
 @dataclass(frozen=True)
@@ -110,11 +130,25 @@ def _mle_gamma(tail: np.ndarray, x_min: int) -> float:
 
 
 def _model_ccdf(gamma: float, x_min: int, values: np.ndarray) -> np.ndarray:
-    """Model tail probability P(X >= x) for each x in *values*."""
+    """Model tail probability P(X >= x) for each x in *values*.
+
+    One shared power table covers every value's zeta head: the head for
+    value ``x`` is the sum of a contiguous ``_ZETA_TERMS``-long slice, and
+    numpy's pairwise summation over identical elementwise powers in the
+    same order makes each slice sum bit-identical to a standalone
+    ``_generalized_zeta(gamma, x)`` call — while computing the expensive
+    ``k ** -gamma`` once instead of once per value.
+    """
     norm = _generalized_zeta(gamma, x_min)
     out = np.empty(values.size, dtype=float)
+    if not values.size:
+        return out
+    lo = int(values[0])
+    powers = np.arange(lo, int(values[-1]) + _ZETA_TERMS, dtype=float) ** -gamma
     for i, x in enumerate(values):
-        out[i] = _generalized_zeta(gamma, int(x)) / norm
+        start = int(x) - lo
+        head = float(np.sum(powers[start : start + _ZETA_TERMS]))
+        out[i] = (head + _zeta_tail(gamma, int(x) + _ZETA_TERMS)) / norm
     return out
 
 
@@ -122,7 +156,8 @@ def _ks_statistic(tail: np.ndarray, gamma: float, x_min: int) -> float:
     values = np.unique(tail)
     model = _model_ccdf(gamma, x_min, values)
     n = tail.size
-    empirical = np.array([np.sum(tail >= v) / n for v in values])
+    ordered = np.sort(tail)
+    empirical = (n - np.searchsorted(ordered, values, side="left")) / n
     return float(np.max(np.abs(empirical - model)))
 
 
@@ -159,8 +194,13 @@ def fit_powerlaw_auto_xmin(
         raise ValueError(f"need at least {min_tail} positive samples")
     if x_min_candidates is None:
         distinct = sorted(set(data))
-        # Cap candidates so the tail keeps >= min_tail points.
-        x_min_candidates = [x for x in distinct if sum(1 for d in data if d >= x) >= min_tail]
+        # Cap candidates so the tail keeps >= min_tail points; *data* is
+        # sorted, so tail sizes come from one binary-search sweep.
+        ordered = np.asarray(data)
+        tail_sizes = len(data) - np.searchsorted(ordered, np.asarray(distinct), side="left")
+        x_min_candidates = [
+            x for x, size in zip(distinct, tail_sizes.tolist()) if size >= min_tail
+        ]
         if not x_min_candidates:
             x_min_candidates = [distinct[0]]
     best: Optional[PowerLawFit] = None

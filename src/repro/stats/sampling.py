@@ -37,6 +37,11 @@ class FenwickSampler:
         self._rng = make_rng(seed)
         self._tree: List[float] = [0.0]  # 1-indexed Fenwick array
         self._weights: List[float] = []
+        # Memoized total: generators read ``total`` before/after every draw,
+        # and recomputing the root prefix sum dominated their hot loops.
+        # Always the exact ``_prefix_sum(n)`` value (cached, not tracked
+        # incrementally), so no float drift versus recomputation.
+        self._total_cache: Optional[float] = None
         for w in weights:
             self.append(w)
 
@@ -46,7 +51,9 @@ class FenwickSampler:
     @property
     def total(self) -> float:
         """Sum of all weights currently in the sampler."""
-        return self._prefix_sum(len(self._weights))
+        if self._total_cache is None:
+            self._total_cache = self._prefix_sum(len(self._weights))
+        return self._total_cache
 
     def weight(self, index: int) -> float:
         """Current weight of item *index*."""
@@ -59,6 +66,7 @@ class FenwickSampler:
         index = len(self._weights)
         self._weights.append(0.0)
         self._tree.append(0.0)
+        self._total_cache = None
         # Fold the lower Fenwick ranges this new slot covers into its cell.
         pos = index + 1
         low = pos - (pos & -pos) + 1
@@ -82,17 +90,21 @@ class FenwickSampler:
                 f"weight of item {index} would become negative ({new_weight})"
             )
         self._weights[index] = max(new_weight, 0.0)
+        self._total_cache = None
+        tree = self._tree
+        size = len(tree)
         pos = index + 1
-        while pos < len(self._tree):
-            self._tree[pos] += delta
+        while pos < size:
+            tree[pos] += delta
             pos += pos & -pos
 
     def _prefix_sum(self, count: int) -> float:
         """Sum of the first *count* weights."""
+        tree = self._tree
         acc = 0.0
         pos = count
         while pos > 0:
-            acc += self._tree[pos]
+            acc += tree[pos]
             pos -= pos & -pos
         return acc
 
@@ -104,22 +116,25 @@ class FenwickSampler:
         target = self._rng.random() * total
         # Descend the implicit Fenwick tree to find the smallest prefix
         # exceeding target.
+        tree = self._tree
+        weights = self._weights
+        n = len(weights)
         index = 0
-        bitmask = 1
-        while bitmask * 2 <= len(self._weights):
-            bitmask *= 2
+        bitmask = 1 << (n.bit_length() - 1) if n else 0
         while bitmask > 0:
             nxt = index + bitmask
-            if nxt <= len(self._weights) and self._tree[nxt] <= target:
-                target -= self._tree[nxt]
-                index = nxt
-            bitmask //= 2
+            if nxt <= n:
+                cell = tree[nxt]
+                if cell <= target:
+                    target -= cell
+                    index = nxt
+            bitmask >>= 1
         # ``index`` is now the count of items whose cumulative weight is
         # <= target, i.e. the 0-based index of the selected item.
-        if index >= len(self._weights):  # numerical edge at target == total
-            index = len(self._weights) - 1
+        if index >= n:  # numerical edge at target == total
+            index = n - 1
         # Skip over any zero-weight items the float descent may have landed on.
-        while self._weights[index] == 0.0 and index + 1 < len(self._weights):
+        while weights[index] == 0.0 and index + 1 < n:
             index += 1
         return index
 

@@ -1,0 +1,248 @@
+"""Property tests: the CSR and python backends agree on every metric.
+
+The CSR fast path is a speed choice, never a semantics choice — every
+scalar in :data:`repro.core.metrics.METRIC_GROUPS` must come out
+bit-for-bit identical from both backends on arbitrary graphs, including
+ones with isolated nodes, reinforced (multi-weight) edges, and
+non-integer node ids.  Betweenness (not a battery scalar) accumulates
+floats in a different order on the two backends, so it gets a 1e-9
+relative tolerance instead of exact equality.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.metrics import METRIC_GROUPS, compute_metric_groups
+from repro.graph import Graph
+from repro.graph.betweenness import approximate_betweenness, betweenness_centrality
+from repro.graph.clustering import (
+    average_clustering,
+    clustering_by_degree,
+    clustering_spectrum,
+    local_clustering,
+    total_triangles,
+    transitivity,
+    triangles_per_node,
+)
+from repro.graph.cores import core_numbers, core_profile, degeneracy
+from repro.graph.correlations import (
+    average_neighbor_degree,
+    degree_assortativity,
+    knn_by_degree,
+    knn_spectrum,
+)
+from repro.graph.richclub import rich_club_coefficient
+from repro.graph.shortest_paths import (
+    diameter,
+    eccentricities,
+    path_length_distribution,
+)
+from repro.graph.traversal import connected_components, is_connected
+
+# Node-id pools exercising non-integer ids; each graph draws from one pool
+# so ids stay mutually comparable.
+NODE_POOLS = (
+    list(range(24)),
+    [f"as{i}" for i in range(24)],
+    [float(i) / 2 for i in range(24)],
+    [(i // 5, i % 5) for i in range(25)],
+)
+
+
+@st.composite
+def graphs(draw):
+    """Random small graphs: isolated nodes, repeated (reinforced) edges,
+    assorted node-id types, weights that are not all 1."""
+    pool = draw(st.sampled_from(NODE_POOLS))
+    size = draw(st.integers(min_value=2, max_value=len(pool)))
+    nodes = pool[:size]
+    g = Graph()
+    for node in nodes:
+        g.add_node(node)
+    edge_count = draw(st.integers(min_value=0, max_value=3 * size))
+    pairs = st.tuples(
+        st.integers(min_value=0, max_value=size - 1),
+        st.integers(min_value=0, max_value=size - 1),
+    )
+    weights = st.sampled_from([1, 1.0, 2.5, 3, 0.75])
+    for _ in range(edge_count):
+        i, j = draw(pairs)
+        if i == j:
+            continue
+        g.add_edge(nodes[i], nodes[j], weight=draw(weights))
+    return g
+
+
+def assert_same(a, b, rel=0.0, label=""):
+    """Recursive equality, exact by default, NaN-aware for floats."""
+    assert type(a) is type(b) or (
+        isinstance(a, (int, float)) and isinstance(b, (int, float))
+    ), (label, a, b)
+    if isinstance(a, dict):
+        assert set(a) == set(b), (label, set(a) ^ set(b))
+        for key in a:
+            assert_same(a[key], b[key], rel=rel, label=f"{label}[{key!r}]")
+    elif isinstance(a, (list, tuple)):
+        assert len(a) == len(b), (label, a, b)
+        for i, (x, y) in enumerate(zip(a, b)):
+            assert_same(x, y, rel=rel, label=f"{label}[{i}]")
+    elif isinstance(a, float) and math.isnan(a):
+        assert isinstance(b, float) and math.isnan(b), (label, a, b)
+    elif rel and isinstance(a, float):
+        assert abs(a - b) <= rel * max(1.0, abs(a), abs(b)), (label, a, b)
+    else:
+        assert a == b, (label, a, b)
+
+
+class TestBatteryScalars:
+    @given(graphs())
+    @settings(max_examples=60, deadline=None)
+    def test_all_metric_groups_bit_for_bit(self, g):
+        groups = tuple(METRIC_GROUPS)
+        py = compute_metric_groups(g, groups, backend="python")
+        cs = compute_metric_groups(g, groups, backend="csr")
+        assert_same(py, cs, label="groups")
+
+    @given(graphs(), st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=25, deadline=None)
+    def test_sampled_paths_share_sources(self, g, seed):
+        py = compute_metric_groups(
+            g, ("paths",), path_sample_threshold=3, path_samples=4,
+            seed=seed, backend="python",
+        )
+        cs = compute_metric_groups(
+            g, ("paths",), path_sample_threshold=3, path_samples=4,
+            seed=seed, backend="csr",
+        )
+        assert_same(py, cs, label="sampled-paths")
+
+
+class TestKernelEquivalence:
+    @given(graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_clustering_kernels(self, g):
+        assert_same(
+            triangles_per_node(g, backend="python"),
+            triangles_per_node(g, backend="csr"),
+            label="triangles_per_node",
+        )
+        assert total_triangles(g, backend="python") == total_triangles(
+            g, backend="csr"
+        )
+        assert_same(
+            local_clustering(g, backend="python"),
+            local_clustering(g, backend="csr"),
+            label="local_clustering",
+        )
+        assert average_clustering(g, backend="python") == average_clustering(
+            g, backend="csr"
+        )
+        assert transitivity(g, backend="python") == transitivity(g, backend="csr")
+        assert_same(
+            clustering_by_degree(g, backend="python"),
+            clustering_by_degree(g, backend="csr"),
+            label="clustering_by_degree",
+        )
+        assert_same(
+            clustering_spectrum(g, backend="python"),
+            clustering_spectrum(g, backend="csr"),
+            label="clustering_spectrum",
+        )
+
+    @given(graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_core_kernels(self, g):
+        assert_same(
+            core_numbers(g, backend="python"),
+            core_numbers(g, backend="csr"),
+            label="core_numbers",
+        )
+        assert degeneracy(g, backend="python") == degeneracy(g, backend="csr")
+        assert core_profile(g, backend="python") == core_profile(g, backend="csr")
+
+    @given(graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_correlation_kernels(self, g):
+        assert_same(
+            average_neighbor_degree(g, backend="python"),
+            average_neighbor_degree(g, backend="csr"),
+            label="average_neighbor_degree",
+        )
+        assert_same(
+            knn_by_degree(g, backend="python"),
+            knn_by_degree(g, backend="csr"),
+            label="knn_by_degree",
+        )
+        assert_same(
+            knn_spectrum(g, backend="python"),
+            knn_spectrum(g, backend="csr"),
+            label="knn_spectrum",
+        )
+        assert degree_assortativity(g, backend="python") == degree_assortativity(
+            g, backend="csr"
+        )
+
+    @given(graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_richclub_kernel(self, g):
+        assert_same(
+            rich_club_coefficient(g, backend="python"),
+            rich_club_coefficient(g, backend="csr"),
+            label="rich_club",
+        )
+
+    @given(graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_path_kernels(self, g):
+        assert_same(
+            path_length_distribution(g, backend="python").counts,
+            path_length_distribution(g, backend="csr").counts,
+            label="path_counts",
+        )
+        assert_same(
+            eccentricities(g, backend="python"),
+            eccentricities(g, backend="csr"),
+            label="eccentricities",
+        )
+        if is_connected(g, backend="python"):
+            assert diameter(g, backend="python") == diameter(g, backend="csr")
+        else:
+            with pytest.raises(ValueError):
+                diameter(g, backend="csr")
+
+    @given(graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_traversal_kernels(self, g):
+        py = connected_components(g, backend="python")
+        cs = connected_components(g, backend="csr")
+        assert [len(c) for c in py] == [len(c) for c in cs]
+        assert sorted(map(sorted_key, py)) == sorted(map(sorted_key, cs))
+        assert is_connected(g, backend="python") == is_connected(g, backend="csr")
+
+    @given(graphs())
+    @settings(max_examples=25, deadline=None)
+    def test_betweenness_within_tolerance(self, g):
+        assert_same(
+            betweenness_centrality(g, backend="python"),
+            betweenness_centrality(g, backend="csr"),
+            rel=1e-9,
+            label="betweenness",
+        )
+
+    @given(graphs(), st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=25, deadline=None)
+    def test_pivot_betweenness_shares_pivots(self, g, seed):
+        pivots = max(1, g.num_nodes // 2)
+        assert_same(
+            approximate_betweenness(g, pivots, seed=seed, backend="python"),
+            approximate_betweenness(g, pivots, seed=seed, backend="csr"),
+            rel=1e-9,
+            label="approx-betweenness",
+        )
+
+
+def sorted_key(component):
+    return tuple(sorted(repr(node) for node in component))

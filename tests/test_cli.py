@@ -188,7 +188,10 @@ class TestJournalCommand:
 
     def test_spans_aggregates_a_trace(self, artifacts, capsys):
         _, trace = artifacts
-        assert main(["journal", "spans", str(trace), "--top", "3"]) == 0
+        # --top wide enough that the battery span always makes the cut:
+        # with the CSR backend the metric spans are small, so `battery`
+        # no longer ranks in the top 3 by share.
+        assert main(["journal", "spans", str(trace), "--top", "8"]) == 0
         out = capsys.readouterr().out
         assert "span aggregate" in out
         assert "battery" in out
