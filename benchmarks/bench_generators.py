@@ -1,0 +1,116 @@
+"""Generation-engine shoot-out: python vs vector growth kernels.
+
+One run per (model, size, engine) cell over every generator family that
+implements the engine contract, reported as wall-clock and nodes/sec.
+The table is written to ``output/generators.txt``; the acceptance floor —
+median speedup >= 2x across the registry at the full paper scale
+(n = 11000) — is asserted at the end.
+
+Draw-order-preserving families additionally get an oracle check here
+(identical fingerprints from both engines), so a timing run can never
+silently report a speedup for a divergent kernel.
+"""
+
+import statistics
+import time
+
+import pytest
+
+from repro.core.report import format_table
+from repro.generators import (
+    AlbertBarabasiGenerator,
+    BarabasiAlbertGenerator,
+    BianconiBarabasiGenerator,
+    BriteGenerator,
+    GlpGenerator,
+    InetGenerator,
+    PfpGenerator,
+    PlrgGenerator,
+    SerranoGenerator,
+    TransitStubGenerator,
+    WaxmanGenerator,
+)
+
+SIZES = (1000, 5000, 11000)
+FULL_SCALE = 11000
+MEDIAN_SPEEDUP_FLOOR = 2.0
+
+FAMILIES = (
+    ("albert-barabasi", lambda e: AlbertBarabasiGenerator(engine=e)),
+    ("barabasi-albert", lambda e: BarabasiAlbertGenerator(m=2, engine=e)),
+    ("bianconi-barabasi", lambda e: BianconiBarabasiGenerator(m=2, engine=e)),
+    ("brite", lambda e: BriteGenerator(engine=e)),
+    ("glp", lambda e: GlpGenerator(engine=e)),
+    ("inet", lambda e: InetGenerator(engine=e)),
+    ("pfp", lambda e: PfpGenerator(engine=e)),
+    ("plrg", lambda e: PlrgGenerator(engine=e)),
+    ("serrano", lambda e: SerranoGenerator(engine=e)),
+    ("transit-stub", lambda e: TransitStubGenerator(engine=e)),
+    ("waxman", lambda e: WaxmanGenerator(engine=e)),
+)
+
+
+def _timed_generate(make, engine, n, seed):
+    generator = make(engine)
+    start = time.perf_counter()
+    graph = generator.generate(n, seed=seed)
+    elapsed = time.perf_counter() - start
+    return graph, elapsed, generator
+
+
+def test_generator_engine_speedups(output_dir):
+    rows = []
+    full_scale_speedups = {}
+    for name, make in FAMILIES:
+        for n in SIZES:
+            python_graph, python_s, _ = _timed_generate(make, "python", n, seed=1)
+            vector_graph, vector_s, generator = _timed_generate(
+                make, "vector", n, seed=1
+            )
+            # transit-stub rounds n down to a whole hierarchy; all other
+            # families hit n exactly — and the engines must always agree.
+            assert python_graph.num_nodes == vector_graph.num_nodes
+            assert python_graph.num_nodes >= 0.9 * n
+            if not generator.engine_sensitive:
+                assert (
+                    python_graph.fingerprint() == vector_graph.fingerprint()
+                ), name
+            speedup = python_s / vector_s
+            rows.append(
+                [
+                    name,
+                    n,
+                    python_s,
+                    vector_s,
+                    n / python_s,
+                    n / vector_s,
+                    speedup,
+                ]
+            )
+            if n == FULL_SCALE:
+                full_scale_speedups[name] = speedup
+    table = format_table(
+        [
+            "model",
+            "n",
+            "python s",
+            "vector s",
+            "py nodes/s",
+            "vec nodes/s",
+            "speedup",
+        ],
+        rows,
+        title="generation engines: python vs vector (seed=1, one run per cell)",
+    )
+    median = statistics.median(full_scale_speedups.values())
+    summary = (
+        f"median speedup across {len(full_scale_speedups)} families"
+        f" at n={FULL_SCALE}: {median:.2f}x"
+    )
+    print()
+    print(table)
+    print(summary)
+    (output_dir / "generators.txt").write_text(
+        table + "\n" + summary + "\n", encoding="utf-8"
+    )
+    assert median >= MEDIAN_SPEEDUP_FLOOR, full_scale_speedups

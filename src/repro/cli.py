@@ -97,6 +97,11 @@ def build_parser() -> argparse.ArgumentParser:
     gen.add_argument("-s", "--seed", type=int, default=None)
     gen.add_argument("-o", "--output", required=True, help="edge-list path")
     gen.add_argument("--param", action="append", metavar="KEY=VALUE")
+    gen.add_argument(
+        "--engine", default="auto", choices=("auto", "python", "vector"),
+        help="growth-kernel engine (vector is the batch fast path; auto "
+        "picks by target size)",
+    )
 
     summ = sub.add_parser("summarize", help="metric battery on an edge-list file")
     summ.add_argument("path", help="edge-list file")
@@ -111,6 +116,11 @@ def build_parser() -> argparse.ArgumentParser:
     cmp_cmd.add_argument("-n", "--nodes", type=int, default=3000)
     cmp_cmd.add_argument("-s", "--seed", type=int, default=1)
     cmp_cmd.add_argument("--param", action="append", metavar="KEY=VALUE")
+    cmp_cmd.add_argument(
+        "--engine", default="auto", choices=("auto", "python", "vector"),
+        help="growth-kernel engine (vector is the batch fast path; auto "
+        "picks by target size)",
+    )
 
     battery = sub.add_parser(
         "battery",
@@ -201,6 +211,11 @@ def _add_battery_flags(parser: argparse.ArgumentParser) -> None:
         help="metric kernel backend (values are identical; csr is the "
         "numpy fast path, auto picks by graph size)",
     )
+    parser.add_argument(
+        "--engine", default="auto", choices=("auto", "python", "vector"),
+        help="growth-kernel engine for the roster's generators (vector is "
+        "the batch fast path; auto picks by target size)",
+    )
 
 
 def _obs_setup(args):
@@ -273,6 +288,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
     if args.command == "generate":
         generator = _make_generator_or_exit(args.model, **_parse_params(args.param))
+        generator.engine = args.engine
         graph = generator.generate(args.nodes, seed=args.seed)
         write_edge_list(graph, args.output)
         print(f"wrote {graph.num_nodes} nodes / {graph.num_edges} edges to {args.output}")
@@ -285,6 +301,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
     if args.command == "compare":
         generator = _make_generator_or_exit(args.model, **_parse_params(args.param))
+        generator.engine = args.engine
         graph = generator.generate(args.nodes, seed=args.seed)
         result = compare_graphs(graph, reference_as_map(args.nodes), seed=args.seed)
         print(result)
@@ -301,6 +318,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             mapping[name] = (
                 roster[name] if name in roster else _make_generator_or_exit(name)
             )
+        for generator in mapping.values():
+            generator.engine = args.engine
         obs_state = _obs_setup(args)
         result = compare_models(
             mapping,
@@ -359,6 +378,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             params.setdefault("profile_dir", args.profile_dir)
         if "backend" in accepted and args.backend != "auto":
             params.setdefault("backend", args.backend)
+        if "engine" in accepted and args.engine != "auto":
+            params.setdefault("engine", args.engine)
         obs_state = _obs_setup(args)
         result = runner(**params)
         print(result.render())

@@ -747,6 +747,12 @@ def run_battery(
         units: List[Dict[str, Any]] = []
         for label, generator in spec:
             identity, params = _identity(generator)
+            # Engine-sensitive generators produce engine-dependent graphs, so
+            # the resolved engine joins their cache cell (and only theirs —
+            # draw-order-preserving generators stay engine-transparent).  The
+            # seed derivation stays on the plain params either way: the same
+            # roster must map to the same seeds under every engine.
+            cache_params = generator.cache_params(n)
             for rep in range(seeds):
                 unit_seed = derive_seed(
                     "battery-unit", identity, params, n, base_seed, rep
@@ -761,7 +767,9 @@ def run_battery(
                     "task": None,
                 }
                 for group in group_names:
-                    payload = _cell_payload(identity, params, n, unit_seed, group, sum_params)
+                    payload = _cell_payload(
+                        identity, cache_params, n, unit_seed, group, sum_params
+                    )
                     key = canonical_key(payload)
                     hit = store.get(key, payload)
                     if hit is not None:

@@ -101,8 +101,7 @@ _KARATE_EDGES: List[Tuple[int, int]] = [
 
 def _build(name: str, edges) -> Graph:
     graph = Graph(name=name)
-    for u, v in edges:
-        graph.add_edge(u, v)
+    graph.add_edges(edges)
     return graph
 
 

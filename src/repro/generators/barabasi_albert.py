@@ -15,7 +15,8 @@ from typing import List
 import numpy as np
 
 from ..graph.graph import Graph
-from ..stats.rng import SeedLike, make_rng
+from ..stats.rng import SeedLike, make_numpy_rng, make_rng
+from ..stats.sampling import distinct_in_order
 from .base import GenerationError, TopologyGenerator, _validate_size
 
 __all__ = ["BarabasiAlbertGenerator", "preferential_targets"]
@@ -98,32 +99,92 @@ class BarabasiAlbertGenerator(TopologyGenerator):
 
     Starts from a ring of ``max(m, 3)`` seed nodes so the first arrival has
     enough distinct targets.
+
+    *engine* selects the growth kernel (see :mod:`repro.generators.engine`);
+    the vector path batch-draws each arrival's targets from a preallocated
+    numpy endpoint pool and commits edges through one bulk insert.  The two
+    engines sample the same attachment kernel from different seeded streams
+    (distributionally equivalent, not bit-identical), so this generator is
+    ``engine_sensitive``.
     """
 
     name = "barabasi-albert"
+    engine_sensitive = True
 
-    def __init__(self, m: int = 2):
+    def __init__(self, m: int = 2, engine: str = "auto"):
         if m < 1:
             raise ValueError("m must be >= 1")
         self.m = m
+        self.engine = engine
 
     def generate(self, n: int, seed: SeedLike = None) -> Graph:
         """Grow a BA network to exactly *n* nodes."""
         seed_size = max(self.m, 3)
         _validate_size(n, minimum=seed_size + 1)
+        engine = self.resolve_engine(n)
+        if engine == "vector":
+            return self._generate_vector(n, seed, seed_size)
         rng = make_rng(seed)
         graph = Graph(name=self.name)
         repeated: List[int] = []
-        with self.trace_phase("seed", size=seed_size):
+        with self.trace_phase("seed", size=seed_size, engine=engine):
             for i in range(seed_size):
                 j = (i + 1) % seed_size
                 graph.add_edge(i, j)
                 repeated.extend((i, j))
-        with self.trace_phase("growth", n=n):
+        with self.trace_phase("growth", n=n, engine=engine):
             for new in range(seed_size, n):
                 targets = preferential_targets(repeated, self.m, rng, exclude=new)
                 for target in targets:
                     graph.add_edge(new, target)
                     repeated.extend((new, target))
             self.count_steps(n - seed_size)
+        return graph
+
+    def _generate_vector(self, n: int, seed: SeedLike, seed_size: int) -> Graph:
+        """Batch growth: numpy endpoint pool + bulk edge insert.
+
+        The endpoint pool is the same degree-proportional structure the
+        python engine uses, preallocated as an int64 array; each arrival
+        draws one oversized ``integers`` batch and keeps the first ``m``
+        distinct values (the arriving node is never in the pool, so no
+        exclusion is needed).
+        """
+        rng = make_rng(seed)
+        np_rng = make_numpy_rng(rng.getrandbits(63))
+        m = self.m
+        graph = Graph(name=self.name)
+        pool = np.empty(2 * (seed_size + m * (n - seed_size)), dtype=np.int64)
+        fill = 0
+        edges: List[tuple] = []
+        with self.trace_phase("seed", size=seed_size, engine="vector"):
+            for i in range(seed_size):
+                j = (i + 1) % seed_size
+                edges.append((i, j))
+                pool[fill] = i
+                pool[fill + 1] = j
+                fill += 2
+        with self.trace_phase("growth", n=n, engine="vector"):
+            batch = max(4 * m, 16)
+            for new in range(seed_size, n):
+                targets = distinct_in_order(
+                    pool[np_rng.integers(0, fill, size=batch)], m
+                )
+                while len(targets) < m:  # rare shortfall: top up
+                    targets = distinct_in_order(
+                        np.concatenate(
+                            (
+                                np.asarray(targets, dtype=np.int64),
+                                pool[np_rng.integers(0, fill, size=batch)],
+                            )
+                        ),
+                        m,
+                    )
+                for target in targets:
+                    edges.append((new, target))
+                    pool[fill] = new
+                    pool[fill + 1] = target
+                    fill += 2
+            self.count_steps(n - seed_size)
+        graph.add_edges(edges)
         return graph

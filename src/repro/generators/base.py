@@ -19,8 +19,21 @@ from ..graph.graph import Graph
 from ..obs.metrics import get_registry
 from ..obs.tracer import get_tracer
 from ..stats.rng import SeedLike
+from .engine import (
+    AUTO_VECTOR_THRESHOLD,
+    ENGINES,
+    REPRO_ENGINE_ENV,
+    resolve_engine,
+)
 
-__all__ = ["TopologyGenerator", "GenerationError"]
+__all__ = [
+    "TopologyGenerator",
+    "GenerationError",
+    "ENGINES",
+    "AUTO_VECTOR_THRESHOLD",
+    "REPRO_ENGINE_ENV",
+    "resolve_engine",
+]
 
 
 class GenerationError(RuntimeError):
@@ -39,6 +52,47 @@ class TopologyGenerator(abc.ABC):
 
     #: Unique registry name, e.g. ``"barabasi-albert"``.
     name: str = ""
+
+    #: True when the vector engine cannot replay the python engine's draw
+    #: order (it aggregates draws), so the two engines produce different —
+    #: distributionally equivalent — graphs for the same seed.  The
+    #: resolved engine then joins the generator's battery cache identity
+    #: (see :meth:`cache_params`); draw-order-preserving generators keep
+    #: engine out of the key because both engines build the same graph.
+    engine_sensitive: bool = False
+
+    @property
+    def engine(self) -> str:
+        """Growth-kernel engine: ``auto`` | ``python`` | ``vector``.
+
+        Stored outside :meth:`params` (an underscore attribute behind this
+        property), so selecting an engine never perturbs provenance or the
+        cache/seed identity of draw-order-preserving generators.
+        """
+        return getattr(self, "_engine", "auto")
+
+    @engine.setter
+    def engine(self, value: str) -> None:
+        if value not in ENGINES:
+            choices = ", ".join(ENGINES)
+            raise ValueError(f"unknown engine {value!r}; choose one of: {choices}")
+        self._engine = value
+
+    def resolve_engine(self, n: int) -> str:
+        """The engine a generate(*n*) call will run on (``python``/``vector``)."""
+        return resolve_engine(self.engine, n)
+
+    def cache_params(self, n: int) -> Dict[str, Any]:
+        """Parameters that identify a generate(*n*) output for caching.
+
+        Equal to :meth:`params` for draw-order-preserving generators; for
+        ``engine_sensitive`` ones the resolved engine is added, so battery
+        cells computed by different engines occupy different cache cells.
+        """
+        params = self.params()
+        if self.engine_sensitive:
+            params["engine"] = self.resolve_engine(n)
+        return params
 
     @abc.abstractmethod
     def generate(self, n: int, seed: SeedLike = None) -> Graph:

@@ -17,6 +17,8 @@ from __future__ import annotations
 
 import math
 
+import numpy as np
+
 from ..geometry.fractal import FractalBoxSet
 from ..geometry.plane import Point
 from ..graph.graph import Graph
@@ -34,6 +36,12 @@ class BriteGenerator(TopologyGenerator):
     to the plane diagonal); *fractal_dimension* < 2 places nodes on a
     clustered fractal support (routers cluster geographically), 2.0 means
     uniform placement.
+
+    *engine* selects the growth kernel (see :mod:`repro.generators.engine`);
+    the vector path evaluates each arrival's degree x distance-kernel
+    weights as one array expression and replays :func:`weighted_choice` as
+    a ``searchsorted`` over the cumulative weights, consuming the same
+    seeded uniforms — same seed, same graph.
     """
 
     name = "brite"
@@ -44,6 +52,7 @@ class BriteGenerator(TopologyGenerator):
         alpha: float = 0.25,
         geometry: bool = True,
         fractal_dimension: float = 2.0,
+        engine: str = "auto",
     ):
         if m < 1:
             raise ValueError("m must be >= 1")
@@ -55,11 +64,13 @@ class BriteGenerator(TopologyGenerator):
         self.alpha = alpha
         self.geometry = geometry
         self.fractal_dimension = fractal_dimension
+        self.engine = engine
 
     def generate(self, n: int, seed: SeedLike = None) -> Graph:
         """Grow a BRITE-style network to exactly *n* nodes."""
         seed_size = max(self.m, 3)
         _validate_size(n, minimum=seed_size + 1)
+        engine = self.resolve_engine(n)
         rng = make_rng(seed)
         support = FractalBoxSet(
             dimension=self.fractal_dimension, levels=8, seed=rng
@@ -75,6 +86,18 @@ class BriteGenerator(TopologyGenerator):
         for i in range(seed_size):
             degrees[i] = graph.degree(i)
 
+        with self.trace_phase("growth", n=n, engine=engine):
+            if engine == "vector":
+                self._grow_vector(graph, degrees, positions, scale, seed_size, n, rng)
+            else:
+                self._grow_python(graph, degrees, positions, scale, seed_size, n, rng)
+            self.count_steps(n - seed_size)
+        return graph
+
+    def _grow_python(
+        self, graph, degrees, positions, scale, seed_size, n, rng
+    ) -> None:
+        """Reference loop: per-candidate weights, linear-scan draws."""
         for new in range(seed_size, n):
             weights = []
             for candidate in range(new):
@@ -93,7 +116,47 @@ class BriteGenerator(TopologyGenerator):
                 graph.add_edge(new, target)
                 degrees[target] += 1
             degrees[new] = graph.degree(new)
-        return graph
+
+    def _grow_vector(
+        self, graph, degrees, positions, scale, seed_size, n, rng
+    ) -> None:
+        """Array path: one weight vector + cumsum per arrival.
+
+        Each draw spends one ``rng.random()`` exactly like the linear scan
+        (``np.cumsum`` accumulates left-to-right like the running sum, and
+        ``searchsorted(..., side="right")`` finds the same first crossing),
+        so the draw sequence — and the resulting graph — is identical.
+        """
+        deg = np.zeros(n, dtype=np.float64)
+        deg[:seed_size] = degrees[:seed_size]
+        xs = np.fromiter((p.x for p in positions), dtype=np.float64, count=n)
+        ys = np.fromiter((p.y for p in positions), dtype=np.float64, count=n)
+        edges = []
+        for new in range(seed_size, n):
+            weights = deg[:new]
+            if self.geometry:
+                d = np.hypot(xs[:new] - xs[new], ys[:new] - ys[new])
+                weights = weights * np.exp(-d / scale)
+            cum = np.cumsum(weights)
+            total = float(cum[-1])
+            if total <= 0:
+                raise ValueError("total weight must be positive")
+            last_positive = int(np.nonzero(weights > 0)[0][-1])
+            count = min(self.m, new)
+            chosen: set = set()
+            guard = 0
+            while len(chosen) < count and guard < 50 * count:
+                guard += 1
+                target = rng.random() * total
+                index = int(np.searchsorted(cum, target, side="right"))
+                chosen.add(last_positive if index >= new else index)
+            for target in chosen:
+                edges.append((new, target))
+                deg[target] += 1
+            deg[new] = len(chosen)
+        graph.add_edges(edges)
+        for node, value in enumerate(deg[:n].astype(np.int64).tolist()):
+            degrees[node] = value
 
     @staticmethod
     def _distance(a: Point, b: Point) -> float:

@@ -15,8 +15,10 @@ links-per-step matches the fitted value.
 
 from __future__ import annotations
 
+from typing import List
+
 from ..graph.graph import Graph
-from ..stats.rng import SeedLike, make_rng
+from ..stats.rng import BufferedUniforms, SeedLike, make_numpy_rng, make_rng
 from ..stats.sampling import FenwickSampler
 from .base import GenerationError, TopologyGenerator, _validate_size
 
@@ -24,11 +26,26 @@ __all__ = ["GlpGenerator"]
 
 
 class GlpGenerator(TopologyGenerator):
-    """GLP growth with shifted-linear preference and internal edge moves."""
+    """GLP growth with shifted-linear preference and internal edge moves.
+
+    *engine* selects the growth kernel (see :mod:`repro.generators.engine`);
+    the vector path decomposes the shifted preference ``k − β`` into the
+    mixture ``(k−1)·1 + (1−β)·1`` — an O(1) draw from an endpoint pool (one
+    slot per degree above 1) or a uniform node — fed by block-buffered
+    numpy uniforms.  Different seeded stream than the Fenwick walk, so this
+    generator is ``engine_sensitive``.
+    """
 
     name = "glp"
+    engine_sensitive = True
 
-    def __init__(self, m: float = 1.13, p: float = 0.4695, beta: float = 0.6447):
+    def __init__(
+        self,
+        m: float = 1.13,
+        p: float = 0.4695,
+        beta: float = 0.6447,
+        engine: str = "auto",
+    ):
         if m < 1:
             raise ValueError("m must be >= 1")
         if not 0 <= p < 1:
@@ -38,6 +55,7 @@ class GlpGenerator(TopologyGenerator):
         self.m = m
         self.p = p
         self.beta = beta
+        self.engine = engine
 
     def _links_this_step(self, rng) -> int:
         """Realize the possibly fractional m as an integer for one step."""
@@ -49,10 +67,13 @@ class GlpGenerator(TopologyGenerator):
         """Grow a GLP network to exactly *n* nodes."""
         seed_size = 3
         _validate_size(n, minimum=seed_size + 1)
+        engine = self.resolve_engine(n)
+        if engine == "vector":
+            return self._generate_vector(n, seed, seed_size)
         rng = make_rng(seed)
         graph = Graph(name=self.name)
         sampler = FenwickSampler(seed=rng)
-        with self.trace_phase("seed", size=seed_size):
+        with self.trace_phase("seed", size=seed_size, engine=engine):
             # Seed: a triangle, so internal-edge moves have somewhere to land.
             for i in range(seed_size):
                 graph.add_node(i)
@@ -62,7 +83,7 @@ class GlpGenerator(TopologyGenerator):
             for i in range(seed_size):
                 sampler.update(i, graph.degree(i) - self.beta)
 
-        with self.trace_phase("growth", n=n):
+        with self.trace_phase("growth", n=n, engine=engine):
             next_node = seed_size
             steps = 0
             stall_budget = 100 * n
@@ -116,3 +137,79 @@ class GlpGenerator(TopologyGenerator):
             graph.add_edge(node, target)
             self._bump(sampler, target)
         sampler.update(node, graph.degree(node) - self.beta)
+
+    # ------------------------------------------------------------ vector path
+
+    def _generate_vector(self, n: int, seed: SeedLike, seed_size: int) -> Graph:
+        """Pool-mixture growth: O(1) shifted-preference draws.
+
+        ``Π(i) ∝ k_i − β`` splits into ``(k_i − 1)`` endpoint-pool slots plus
+        a ``(1 − β)`` uniform-node share; one buffered uniform decides the
+        branch and (re-used, still uniform) indexes it, replacing the
+        O(log n) Fenwick descent.  The pool gains one slot per degree a
+        node acquires beyond its first.
+        """
+        rng = make_rng(seed)
+        np_rng = make_numpy_rng(rng.getrandbits(63))
+        uniform_share = 1.0 - self.beta
+        whole = int(self.m)
+        frac = self.m - whole
+
+        next_uniform = BufferedUniforms(np_rng).next
+
+        graph = Graph(name=self.name)
+        pool: List[int] = []  # node id once per degree above 1
+        num_nodes = seed_size
+
+        def draw_node() -> int:
+            pool_len = len(pool)
+            u = next_uniform() * (pool_len + num_nodes * uniform_share)
+            if u < pool_len:
+                return pool[int(u)]
+            return min(int((u - pool_len) / uniform_share), num_nodes - 1)
+
+        with self.trace_phase("seed", size=seed_size, engine="vector"):
+            graph.add_nodes(range(seed_size))
+            for i, j in ((0, 1), (1, 2), (2, 0)):
+                graph.add_edge(i, j)
+            pool.extend(range(seed_size))  # triangle: degree 2 → one slot each
+
+        with self.trace_phase("growth", n=n, engine="vector"):
+            next_node = seed_size
+            steps = 0
+            stall_budget = 100 * n
+            while next_node < n:
+                if stall_budget <= 0:
+                    raise GenerationError(
+                        "GLP growth stalled before reaching target size"
+                    )
+                stall_budget -= 1
+                steps += 1
+                m_step = whole + (1 if next_uniform() < frac else 0)
+                if next_uniform() < self.p:
+                    for _ in range(m_step):
+                        for _ in range(30):  # bounded retries on duplicates
+                            i = draw_node()
+                            j = draw_node()
+                            if i != j and not graph.has_edge(i, j):
+                                graph.add_edge(i, j)
+                                pool.append(i)
+                                pool.append(j)
+                                break
+                else:
+                    count = min(m_step, num_nodes)
+                    targets: set = set()
+                    tries = 0
+                    while len(targets) < count and tries < 200:
+                        targets.add(draw_node())
+                        tries += 1
+                    node = next_node
+                    graph.add_node(node)
+                    for target in targets:
+                        graph.add_edge(node, target)
+                        pool.append(target)
+                    pool.extend([node] * (len(targets) - 1))
+                    num_nodes += 1
+                    next_node += 1
+            self.count_steps(steps)
+        return graph

@@ -23,6 +23,8 @@ from __future__ import annotations
 
 from typing import List
 
+import numpy as np
+
 from ..graph.graph import Graph
 from ..stats.rng import SeedLike, make_rng
 from .base import GenerationError, TopologyGenerator, _validate_size
@@ -31,7 +33,13 @@ __all__ = ["TransitStubGenerator"]
 
 
 class TransitStubGenerator(TopologyGenerator):
-    """Three-level transit–stub topology."""
+    """Three-level transit–stub topology.
+
+    *engine* selects the cluster-wiring kernel (see
+    :mod:`repro.generators.engine`); the vector path batches each ER
+    cluster's coin flips against one uniform block and bulk-inserts the
+    hits, consuming the seeded stream identically — same seed, same graph.
+    """
 
     name = "transit-stub"
 
@@ -44,6 +52,7 @@ class TransitStubGenerator(TopologyGenerator):
         stub_edge_prob: float = 0.4,
         extra_transit_links: int = 3,
         extra_stub_links_fraction: float = 0.02,
+        engine: str = "auto",
     ):
         if transit_domains < 1 or transit_size < 1 or stubs_per_transit < 0:
             raise ValueError("domain counts must be positive")
@@ -56,6 +65,7 @@ class TransitStubGenerator(TopologyGenerator):
         self.stub_edge_prob = stub_edge_prob
         self.extra_transit_links = extra_transit_links
         self.extra_stub_links_fraction = extra_stub_links_fraction
+        self.engine = engine
 
     def _stub_size_for(self, n: int) -> int:
         """Stub size that brings the node total closest to *n*."""
@@ -75,13 +85,35 @@ class TransitStubGenerator(TopologyGenerator):
         return max(1, round(remaining / stub_domains))
 
     @staticmethod
-    def _er_cluster(graph: Graph, members: List[int], prob: float, rng) -> None:
+    def _er_cluster(
+        graph: Graph, members: List[int], prob: float, rng, vector: bool = False
+    ) -> None:
         """Wire *members* as an ER graph, then stitch to guarantee
-        connectivity via a random spanning chain."""
-        for i, u in enumerate(members):
-            for v in members[i + 1 :]:
-                if rng.random() < prob:
-                    graph.add_edge(u, v)
+        connectivity via a random spanning chain.
+
+        The vector path draws the whole cluster's coin flips first (same
+        calls on the same *rng*, so the stream — and therefore the graph —
+        is unchanged), masks them in one numpy comparison, and commits the
+        hits through :meth:`Graph.add_edges`.
+        """
+        if vector and len(members) > 2:
+            count = len(members)
+            iu, iv = np.triu_indices(count, k=1)
+            uniforms = np.fromiter(
+                (rng.random() for _ in range(iu.shape[0])),
+                dtype=np.float64,
+                count=iu.shape[0],
+            )
+            arr = np.asarray(members)
+            hits = uniforms < prob
+            graph.add_edges(
+                zip(arr[iu[hits]].tolist(), arr[iv[hits]].tolist())
+            )
+        else:
+            for i, u in enumerate(members):
+                for v in members[i + 1 :]:
+                    if rng.random() < prob:
+                        graph.add_edge(u, v)
         shuffled = list(members)
         rng.shuffle(shuffled)
         for a, b in zip(shuffled, shuffled[1:]):
@@ -92,6 +124,8 @@ class TransitStubGenerator(TopologyGenerator):
         """Build a transit–stub topology of approximately *n* nodes
         (exact when (n - transit nodes) divides evenly across stubs)."""
         _validate_size(n, minimum=self.transit_domains * self.transit_size)
+        engine = self.resolve_engine(n)
+        vector = engine == "vector"
         rng = make_rng(seed)
         stub_size = self._stub_size_for(n)
         graph = Graph(name=self.name)
@@ -102,7 +136,7 @@ class TransitStubGenerator(TopologyGenerator):
             members = list(range(next_id, next_id + self.transit_size))
             next_id += self.transit_size
             graph.add_nodes(members)
-            self._er_cluster(graph, members, self.intra_edge_prob, rng)
+            self._er_cluster(graph, members, self.intra_edge_prob, rng, vector)
             transit_nodes.append(members)
 
         # Inter-domain backbone: random tree over domains + shortcuts.
@@ -126,7 +160,9 @@ class TransitStubGenerator(TopologyGenerator):
                     next_id += stub_size
                     graph.add_nodes(members)
                     if stub_size > 1:
-                        self._er_cluster(graph, members, self.stub_edge_prob, rng)
+                        self._er_cluster(
+                            graph, members, self.stub_edge_prob, rng, vector
+                        )
                     graph.add_edge(rng.choice(members), transit)
                     stub_members_all.extend(members)
 

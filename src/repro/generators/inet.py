@@ -23,6 +23,7 @@ signature in the comparison table.
 from __future__ import annotations
 
 import heapq
+from bisect import insort
 from typing import List
 
 from ..graph.graph import Graph
@@ -35,7 +36,15 @@ __all__ = ["InetGenerator"]
 
 
 class InetGenerator(TopologyGenerator):
-    """Inet-style generator with degree-1 fraction and power-law core."""
+    """Inet-style generator with degree-1 fraction and power-law core.
+
+    *engine* selects the stub-resolution kernel (see
+    :mod:`repro.generators.engine`): the greedy matching of step 4 is
+    deterministic, and the vector path replays its exact selection order
+    (largest remaining capacity first, smallest id on ties) from free-count
+    buckets instead of a lazily-invalidated heap — same seed, same graph,
+    without the heap churn that dominates large runs.
+    """
 
     name = "inet"
 
@@ -44,6 +53,7 @@ class InetGenerator(TopologyGenerator):
         gamma: float = 2.2,
         degree_one_fraction: float = 0.3,
         k_max_fraction: float = 0.3,
+        engine: str = "auto",
     ):
         if gamma <= 1:
             raise ValueError("gamma must exceed 1")
@@ -54,6 +64,7 @@ class InetGenerator(TopologyGenerator):
         self.gamma = gamma
         self.degree_one_fraction = degree_one_fraction
         self.k_max_fraction = k_max_fraction
+        self.engine = engine
 
     def generate(self, n: int, seed: SeedLike = None) -> Graph:
         """Build an Inet-style topology with exactly *n* nodes."""
@@ -116,6 +127,17 @@ class InetGenerator(TopologyGenerator):
             free[leaf] -= 1
 
         # Step 4 — greedy stub resolution, biggest remaining first.
+        engine = self.resolve_engine(n)
+        with self.trace_phase("resolve", n=n, engine=engine):
+            if engine == "vector":
+                self._resolve_stubs_buckets(graph, free, n_core)
+            else:
+                self._resolve_stubs_heap(graph, free, n_core)
+        return graph
+
+    @staticmethod
+    def _resolve_stubs_heap(graph: Graph, free: List[int], n_core: int) -> None:
+        """Reference resolution: lazily-invalidated max-heap."""
         heap = [(-free[v], v) for v in range(n_core) if free[v] > 0]
         heapq.heapify(heap)
         while len(heap) > 1:
@@ -144,4 +166,61 @@ class InetGenerator(TopologyGenerator):
                 heapq.heappush(heap, (-free[u], u))
             if free[partner] > 0:
                 heapq.heappush(heap, (-free[partner], partner))
-        return graph
+
+    @staticmethod
+    def _resolve_stubs_buckets(graph: Graph, free: List[int], n_core: int) -> None:
+        """Exact replay of the heap greedy from free-count buckets.
+
+        ``buckets[f]`` holds (sorted) the nodes whose remaining capacity is
+        exactly *f*, so "largest free first, smallest id on ties" is a
+        descending bucket walk with no stale entries to churn through.
+        Capacities only decrease, hence the max-bucket pointer only
+        descends.  Produces the identical edge set to the heap version.
+        """
+        max_free = 0
+        buckets: dict = {}
+        live = 0
+        for v in range(n_core):
+            if free[v] > 0:
+                buckets.setdefault(free[v], []).append(v)
+                live += 1
+                if free[v] > max_free:
+                    max_free = free[v]
+        for bucket in buckets.values():
+            bucket.sort()
+
+        def take(node: int, f: int) -> None:
+            bucket = buckets[f]
+            bucket.remove(node)
+            new_f = f - 1
+            if new_f > 0:
+                insort(buckets.setdefault(new_f, []), node)
+
+        while live > 1:
+            while max_free > 0 and not buckets.get(max_free):
+                max_free -= 1
+            if max_free <= 0:
+                break
+            u = buckets[max_free][0]
+            adj_u = graph.neighbor_weights(u)
+            partner = None
+            partner_f = 0
+            f = max_free
+            while f > 0:
+                for cand in buckets.get(f, ()):
+                    if cand != u and cand not in adj_u:
+                        partner = cand
+                        partner_f = f
+                        break
+                if partner is not None:
+                    break
+                f -= 1
+            if partner is None:
+                break  # u is linked to every remaining candidate
+            u_f = max_free
+            take(u, u_f)
+            take(partner, partner_f)
+            graph.add_edge(u, partner)
+            free[u] -= 1
+            free[partner] -= 1
+            live -= (free[u] == 0) + (free[partner] == 0)

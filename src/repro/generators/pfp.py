@@ -22,10 +22,10 @@ delta = 0.048``):
 from __future__ import annotations
 
 import math
-from typing import List, Optional
+from typing import List
 
 from ..graph.graph import Graph
-from ..stats.rng import SeedLike, make_rng
+from ..stats.rng import BufferedUniforms, SeedLike, make_numpy_rng, make_rng
 from ..stats.sampling import FenwickSampler
 from .base import TopologyGenerator, _validate_size
 
@@ -33,11 +33,26 @@ __all__ = ["PfpGenerator"]
 
 
 class PfpGenerator(TopologyGenerator):
-    """PFP growth with interactive host-link development."""
+    """PFP growth with interactive host-link development.
+
+    *engine* selects the growth kernel (see :mod:`repro.generators.engine`);
+    the vector path proposes nodes degree-proportionally from a numpy
+    endpoint pool and thins with probability ``k^(δ·log10 k) / M`` (*M*
+    evaluated at the current maximum degree), which accepts exactly the
+    nonlinear PFP kernel — sampled from a different seeded stream than the
+    Fenwick walk, so this generator is ``engine_sensitive``.
+    """
 
     name = "pfp"
+    engine_sensitive = True
 
-    def __init__(self, p: float = 0.3, q: float = 0.1, delta: float = 0.048):
+    def __init__(
+        self,
+        p: float = 0.3,
+        q: float = 0.1,
+        delta: float = 0.048,
+        engine: str = "auto",
+    ):
         if p < 0 or q < 0 or p + q > 1:
             raise ValueError("need p, q >= 0 with p + q <= 1")
         if delta < 0:
@@ -45,6 +60,7 @@ class PfpGenerator(TopologyGenerator):
         self.p = p
         self.q = q
         self.delta = delta
+        self.engine = engine
 
     def _preference(self, degree: int) -> float:
         """The PFP kernel k^(1 + delta·log10 k); 0 for isolated nodes."""
@@ -56,10 +72,13 @@ class PfpGenerator(TopologyGenerator):
         """Grow a PFP network to exactly *n* nodes."""
         seed_size = 3
         _validate_size(n, minimum=seed_size + 1)
+        engine = self.resolve_engine(n)
+        if engine == "vector":
+            return self._generate_vector(n, seed, seed_size)
         rng = make_rng(seed)
         graph = Graph(name=self.name)
         sampler = FenwickSampler(seed=rng)
-        with self.trace_phase("seed", size=seed_size):
+        with self.trace_phase("seed", size=seed_size, engine=engine):
             for i in range(seed_size):
                 graph.add_node(i)
                 sampler.append(0.0)
@@ -68,7 +87,7 @@ class PfpGenerator(TopologyGenerator):
             for i in range(seed_size):
                 sampler.update(i, self._preference(graph.degree(i)))
 
-        with self.trace_phase("growth", n=n):
+        with self.trace_phase("growth", n=n, engine=engine):
             for new in range(seed_size, n):
                 roll = rng.random()
                 if roll < self.p:
@@ -113,3 +132,85 @@ class PfpGenerator(TopologyGenerator):
                     self._refresh(graph, sampler, host)
                     self._refresh(graph, sampler, peer)
                     break
+
+    # ------------------------------------------------------------ vector path
+
+    def _generate_vector(self, n: int, seed: SeedLike, seed_size: int) -> Graph:
+        """Pool growth thinned to the nonlinear kernel by rejection.
+
+        Host/peer candidates are proposed ∝ k from an endpoint pool and
+        accepted with probability ``k^(δ·log10 k) / M`` (*M* evaluated at
+        the current maximum degree) — acceptances follow the full PFP
+        kernel.  Draws are served from block-buffered numpy uniforms; edges
+        land on the live graph (duplicate/self checks need it) and the pool
+        and degree list are updated in place.
+        """
+        rng = make_rng(seed)
+        np_rng = make_numpy_rng(rng.getrandbits(63))
+        uniform = BufferedUniforms(np_rng).next
+        delta = self.delta
+        graph = Graph(name=self.name)
+        degrees = [0] * n
+        pool: List[int] = []
+        state = {"kmax": 1}
+
+        def push_edge(u: int, v: int) -> None:
+            graph.add_edge(u, v)
+            degrees[u] += 1
+            degrees[v] += 1
+            pool.extend((u, v))
+            top = degrees[u] if degrees[u] > degrees[v] else degrees[v]
+            if top > state["kmax"]:
+                state["kmax"] = top
+
+        def draw_targets(count: int, forbid, adjacency) -> List[int]:
+            """First *count* accepted, distinct, admissible targets."""
+            chosen: List[int] = []
+            kmax = state["kmax"]
+            ceiling = kmax ** (delta * math.log10(kmax)) if kmax > 1 else 1.0
+            tries = 0
+            limit = 1200 * count  # bounded like the scalar retry loops
+            while len(chosen) < count and tries < limit:
+                tries += 1
+                cand = pool[int(uniform() * len(pool))]
+                k = degrees[cand]
+                # k == 1 gives ratio 1/ceiling: the kernel exponent is 0.
+                if uniform() * ceiling > k ** (delta * math.log10(k)):
+                    continue
+                if cand in forbid or cand in chosen:
+                    continue
+                if adjacency is not None and cand in adjacency:
+                    continue
+                chosen.append(cand)
+            return chosen  # may fall short, matching scalar give-up semantics
+
+        with self.trace_phase("seed", size=seed_size, engine="vector"):
+            graph.add_nodes(range(seed_size))
+            for i, j in ((0, 1), (1, 2), (2, 0)):
+                push_edge(i, j)
+
+        with self.trace_phase("growth", n=n, engine="vector"):
+            for new in range(seed_size, n):
+                roll = uniform()
+                if roll < self.p:
+                    num_hosts, develop = 1, 2
+                elif roll < self.p + self.q:
+                    num_hosts, develop = 1, 1
+                else:
+                    num_hosts, develop = 2, 1
+                hosts = draw_targets(num_hosts, frozenset(), None)
+                graph.add_node(new)
+                for host in hosts:
+                    push_edge(new, host)
+                if not hosts:
+                    continue  # degenerate; scalar path cannot hit this either
+                if num_hosts == 1:
+                    chosen_host = hosts[0]
+                else:
+                    chosen_host = hosts[int(uniform() * len(hosts))]
+                adjacency = graph.neighbor_weights(chosen_host)
+                peers = draw_targets(develop, frozenset((chosen_host,)), adjacency)
+                for peer in peers:
+                    push_edge(chosen_host, peer)
+            self.count_steps(n - seed_size)
+        return graph

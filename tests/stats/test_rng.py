@@ -5,7 +5,7 @@ import random
 import numpy as np
 import pytest
 
-from repro.stats.rng import make_numpy_rng, make_rng, spawn_seed
+from repro.stats.rng import BufferedUniforms, make_numpy_rng, make_rng, spawn_seed
 
 
 class TestMakeRng:
@@ -78,3 +78,26 @@ class TestSpawnSeed:
         lead1 = random.Random(s1).random()
         lead2 = random.Random(s2).random()
         assert lead1 != lead2
+
+
+class TestBufferedUniforms:
+    def test_values_in_unit_interval(self):
+        uniform = BufferedUniforms(make_numpy_rng(7), block=32).next
+        values = [uniform() for _ in range(200)]
+        assert all(0.0 <= v < 1.0 for v in values)
+
+    def test_stream_matches_block_refills(self):
+        # The buffer must serve exactly the generator's block stream,
+        # refilling one block at a time — no skipped or reordered draws.
+        buffered = BufferedUniforms(make_numpy_rng(42), block=16)
+        served = [buffered.next() for _ in range(40)]
+        reference_rng = make_numpy_rng(42)
+        reference = list(reference_rng.random(16)) + list(
+            reference_rng.random(16)
+        ) + list(reference_rng.random(16))
+        assert served == reference[:40]
+
+    def test_independent_instances_do_not_share_state(self):
+        a = BufferedUniforms(make_numpy_rng(1), block=8)
+        b = BufferedUniforms(make_numpy_rng(1), block=8)
+        assert [a.next() for _ in range(20)] == [b.next() for _ in range(20)]

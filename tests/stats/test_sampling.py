@@ -7,7 +7,15 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.stats.sampling import AliasSampler, FenwickSampler, weighted_choice
+import numpy as np
+
+from repro.stats.sampling import (
+    AliasSampler,
+    CumulativeSampler,
+    FenwickSampler,
+    distinct_in_order,
+    weighted_choice,
+)
 
 
 class TestFenwickBasics:
@@ -197,3 +205,100 @@ class TestWeightedChoice:
 
     def test_single_item(self):
         assert weighted_choice([2.0], random.Random(0)) == 0
+
+
+class TestFenwickBulkBuild:
+    """The O(n) constructor must be indistinguishable from append-building."""
+
+    @given(
+        st.lists(
+            st.integers(min_value=0, max_value=40).map(lambda k: k * 0.25),
+            min_size=1,
+            max_size=60,
+        ).filter(lambda ws: sum(ws) > 0)
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_bulk_matches_appends(self, weights):
+        # Multiples of 0.25 are exactly representable, so the one-pass fold
+        # and the incremental appends produce bit-equal trees.
+        bulk = FenwickSampler(weights, seed=9)
+        grown = FenwickSampler(seed=9)
+        for w in weights:
+            grown.append(w)
+        assert bulk.total == grown.total
+        assert [bulk.weight(i) for i in range(len(bulk))] == [
+            grown.weight(i) for i in range(len(grown))
+        ]
+        assert [bulk.sample() for _ in range(30)] == [
+            grown.sample() for _ in range(30)
+        ]
+
+    def test_bulk_build_tracks_positive_count(self):
+        sampler = FenwickSampler([0.0, 2.0, 0.0, 1.0])
+        assert sampler.sample_distinct(2) == [1, 3]
+        with pytest.raises(ValueError):
+            sampler.sample_distinct(3)
+
+    def test_bulk_build_rejects_negative(self):
+        with pytest.raises(ValueError):
+            FenwickSampler([1.0, -0.5])
+
+
+class TestCumulativeSampler:
+    def test_draw_distribution(self):
+        sampler = CumulativeSampler([1.0, 0.0, 3.0])
+        rng = np.random.default_rng(4)
+        draws = sampler.draw(4000, rng)
+        counts = np.bincount(draws, minlength=3)
+        assert counts[1] == 0
+        assert counts[2] / counts[0] == pytest.approx(3.0, rel=0.2)
+
+    def test_draw_matches_scalar_stream(self):
+        # One batched searchsorted must consume uniforms exactly like
+        # sequential scalar draws (numpy generators are chunk-invariant).
+        weights = [0.5, 2.0, 1.5, 0.0, 4.0]
+        sampler = CumulativeSampler(weights)
+        batched = sampler.draw(64, np.random.default_rng(11)).tolist()
+        rng = np.random.default_rng(11)
+        scalar = [int(sampler.draw(1, rng)[0]) for _ in range(64)]
+        assert batched == scalar
+
+    def test_append_and_add_many(self):
+        sampler = CumulativeSampler()
+        for w in (1.0, 2.0):
+            sampler.append(w)
+        sampler.add_many([0, 0, 1], [1.0, 1.0, 3.0])
+        assert sampler.weight(0) == pytest.approx(3.0)
+        assert sampler.weight(1) == pytest.approx(5.0)
+        assert sampler.total == pytest.approx(8.0)
+
+    def test_draw_distinct_excludes(self):
+        sampler = CumulativeSampler([1.0, 1.0, 1.0, 1.0])
+        rng = np.random.default_rng(0)
+        chosen = sampler.draw_distinct(3, rng, exclude=(2,)).tolist()
+        assert len(set(chosen)) == 3 and 2 not in chosen
+
+    def test_draw_distinct_infeasible(self):
+        sampler = CumulativeSampler([1.0, 0.0, 1.0])
+        with pytest.raises(ValueError):
+            sampler.draw_distinct(3, np.random.default_rng(0))
+
+    def test_zero_total_rejected(self):
+        sampler = CumulativeSampler([0.0, 0.0])
+        with pytest.raises(ValueError):
+            sampler.draw(1, np.random.default_rng(0))
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            CumulativeSampler([1.0, -1.0])
+
+
+class TestDistinctInOrder:
+    def test_preserves_first_appearance_order(self):
+        assert distinct_in_order([3, 1, 3, 2, 1, 5], 3) == [3, 1, 2]
+
+    def test_respects_exclude(self):
+        assert distinct_in_order([3, 1, 2], 2, exclude=(3,)) == [1, 2]
+
+    def test_short_block_returns_partial(self):
+        assert distinct_in_order([4, 4, 4], 2) == [4]
