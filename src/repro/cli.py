@@ -135,7 +135,7 @@ def build_parser() -> argparse.ArgumentParser:
     battery.add_argument("--base-seed", type=int, default=21)
     _add_battery_flags(battery)
 
-    exp = sub.add_parser("experiment", help="run one experiment harness (F1..F9, T1..T4)")
+    exp = sub.add_parser("experiment", help="run one experiment harness (F1..F9, T1..T5)")
     exp.add_argument("experiment_id", help="e.g. f2 or T1")
     exp.add_argument("--param", action="append", metavar="KEY=VALUE",
                      help="keyword overrides for the run_* function, e.g. n=1000")
@@ -362,7 +362,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             )
         params = _parse_params(args.param)
         # Thread the shared battery flags through to harnesses that take
-        # them (currently T1); other experiments just ignore the flags.
+        # them (T1, T5, A3); other experiments just ignore the flags.
         accepted = inspect.signature(runner).parameters
         if "jobs" in accepted and args.jobs != 1:
             params.setdefault("jobs", args.jobs)

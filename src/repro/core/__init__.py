@@ -23,6 +23,8 @@ from .compare import (
 )
 from .experiment import Replicates, replicate, seed_sequence, sweep_sizes
 from .metrics import (
+    ALL_METRIC_GROUPS,
+    EXTRA_METRIC_GROUPS,
     METRIC_GROUPS,
     METRICS_VERSION,
     PartialSummary,
@@ -44,6 +46,8 @@ __all__ = [
     "PartialSummary",
     "summarize",
     "METRIC_GROUPS",
+    "EXTRA_METRIC_GROUPS",
+    "ALL_METRIC_GROUPS",
     "METRICS_VERSION",
     "compute_metric_groups",
     "MetricRow",

@@ -64,6 +64,7 @@ from .cache import CacheStats, NullCache, ResultCache, canonical_key
 from .compare import ComparisonResult, compare_summaries
 from .journal import JournalLike, NullJournal, RunJournal, resolve_journal
 from .metrics import (
+    ALL_METRIC_GROUPS,
     METRIC_GROUPS,
     METRICS_VERSION,
     PartialSummary,
@@ -703,9 +704,9 @@ def run_battery(
     started = time.perf_counter()
     spec = _normalize_models(models)
     group_names = tuple(groups) if groups is not None else tuple(METRIC_GROUPS)
-    unknown_groups = [g for g in group_names if g not in METRIC_GROUPS]
+    unknown_groups = [g for g in group_names if g not in ALL_METRIC_GROUPS]
     if unknown_groups:
-        known = ", ".join(METRIC_GROUPS)
+        known = ", ".join(ALL_METRIC_GROUPS)
         raise KeyError(
             f"unknown metric group(s) {unknown_groups!r}; available: {known}"
         )
@@ -885,9 +886,14 @@ def run_battery(
                 if set(merged) == all_fields:
                     summaries.append(TopologySummary.from_dict(label, merged))
                 else:
-                    # Deliberately-partial batteries and failed units both get
-                    # an explicit partial summary, never None.
-                    present = tuple(g for g in METRIC_GROUPS if g in unit["values"])
+                    # Deliberately-partial batteries (subset groups, or extra
+                    # groups beyond the TopologySummary scalars) and failed
+                    # units both get an explicit partial summary, never None.
+                    # ``missing`` is always relative to the full
+                    # TopologySummary group set, so a partial summary says
+                    # what a full summary would still need — extra groups
+                    # (e.g. robustness) appear in ``groups``, never here.
+                    present = tuple(g for g in group_names if g in unit["values"])
                     missing = tuple(g for g in METRIC_GROUPS if g not in unit["values"])
                     summaries.append(
                         PartialSummary(

@@ -36,6 +36,8 @@ __all__ = [
     "summarize",
     "METRICS_VERSION",
     "METRIC_GROUPS",
+    "EXTRA_METRIC_GROUPS",
+    "ALL_METRIC_GROUPS",
     "compute_metric_groups",
 ]
 
@@ -61,6 +63,33 @@ METRIC_GROUPS: Dict[str, Tuple[str, ...]] = {
     "mixing": ("assortativity",),
     "core": ("degeneracy",),
     "paths": ("average_path_length",),
+}
+
+#: Opt-in groups beyond the :class:`TopologySummary` scalars.  They run
+#: through the same battery machinery (spans, cache cells, rusage) but are
+#: not part of the default ``summarize`` battery — a run requesting only
+#: extra groups assembles a :class:`PartialSummary` carrying their values.
+#: ``robustness`` is the T5 behavioral bundle
+#: (:func:`repro.resilience.sweep.robustness_summary` plus the Molloy–Reed
+#: prediction).
+EXTRA_METRIC_GROUPS: Dict[str, Tuple[str, ...]] = {
+    "robustness": (
+        "random_survival",
+        "attack_survival",
+        "random_critical",
+        "attack_critical",
+        "path_inflation",
+        "link_redundancy",
+        "shortcut_fraction",
+        "molloy_reed_fc",
+    ),
+}
+
+#: Every runnable metric group: the :class:`TopologySummary` partition plus
+#: the opt-in extras.  The battery runner validates ``groups=`` against this.
+ALL_METRIC_GROUPS: Dict[str, Tuple[str, ...]] = {
+    **METRIC_GROUPS,
+    **EXTRA_METRIC_GROUPS,
 }
 
 
@@ -257,6 +286,25 @@ def _group_paths(
     return {"average_path_length": paths.mean}
 
 
+def _group_robustness(
+    gc: Graph, seed: SeedLike = 0, backend: str = "auto", **_
+) -> Dict[str, float]:
+    """The T5 behavioral bundle, measured on the giant component.
+
+    Lazy import: ``repro.resilience`` pulls in the sweep kernels, which the
+    default scalar battery never needs.
+    """
+    from ..analysis.percolation import critical_failure_fraction
+    from ..resilience.sweep import robustness_summary
+
+    values = robustness_summary(gc, seed=seed, backend=backend)
+    try:
+        values["molloy_reed_fc"] = critical_failure_fraction(gc)
+    except ValueError:
+        values["molloy_reed_fc"] = float("nan")
+    return values
+
+
 _GROUP_FUNCTIONS = {
     "size": _group_size,
     "tail": _group_tail,
@@ -264,6 +312,7 @@ _GROUP_FUNCTIONS = {
     "mixing": _group_mixing,
     "core": _group_core,
     "paths": _group_paths,
+    "robustness": _group_robustness,
 }
 
 

@@ -29,6 +29,7 @@ from .t1_comparison import run_t1
 from .t2_loops import run_t2
 from .t3_economics import run_t3, settle_topology
 from .t4_distance_ablation import run_t4
+from .t5_robustness import run_t5
 
 __all__ = [
     "ExperimentResult",
@@ -57,6 +58,7 @@ __all__ = [
     "run_t2",
     "run_t3",
     "run_t4",
+    "run_t5",
     "settle_topology",
     "standard_roster",
     "heavy_tail_roster",

@@ -250,7 +250,9 @@ class CSRView:
             )
         return self._bfs_sparse
 
-    def distance_batch(self, sources: np.ndarray) -> np.ndarray:
+    def distance_batch(
+        self, sources: np.ndarray, active: "np.ndarray | None" = None
+    ) -> np.ndarray:
         """Hop distances from many sources at once: an ``(n, len(sources))``
         int32 matrix, -1 for unreachable.
 
@@ -259,12 +261,21 @@ class CSRView:
         amortizes the per-level array overhead that makes one-source-at-a-
         time frontier BFS slow.  Column ``j`` equals
         ``bfs_distances(sources[j])``.
+
+        *active*, when given, is a length-``n`` boolean mask restricting
+        the BFS to the induced subgraph on the True positions: inactive
+        positions are never visited, never expanded, and stay -1 in every
+        column — what the percolation sweeps need to measure a partially
+        removed graph without rebuilding the view.  All *sources* must be
+        active.
         """
         n = self.num_nodes
         batch = int(sources.size)
         distances = np.full((n, batch), -1, dtype=np.int32)
         if n == 0 or batch == 0:
             return distances
+        if active is not None and not active[sources].all():
+            raise ValueError("all sources must be active positions")
         adjacency = self._frontier_sparse()
         cols = np.arange(batch)
         distances[sources, cols] = 0
@@ -274,6 +285,8 @@ class CSRView:
         while True:
             reached = adjacency @ frontier
             fresh = (reached > 0) & (distances < 0)
+            if active is not None:
+                fresh &= active[:, None]
             if not fresh.any():
                 return distances
             depth += 1

@@ -5,14 +5,30 @@ from .attack import (
     RemovalTrajectory,
     critical_fraction,
     removal_sweep,
+    victim_order,
 )
 from .epidemic import SisResult, endemic_prevalence, prevalence_curve, simulate_sis
+from .sweep import (
+    InflationTrajectory,
+    link_redundancy,
+    path_inflation_sweep,
+    percolation_sweep,
+    robustness_summary,
+    shortcut_fraction,
+)
 
 __all__ = [
     "AttackStrategy",
     "RemovalTrajectory",
     "removal_sweep",
+    "victim_order",
     "critical_fraction",
+    "InflationTrajectory",
+    "percolation_sweep",
+    "path_inflation_sweep",
+    "link_redundancy",
+    "shortcut_fraction",
+    "robustness_summary",
     "SisResult",
     "simulate_sis",
     "endemic_prevalence",

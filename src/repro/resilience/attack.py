@@ -19,7 +19,13 @@ from ..graph.graph import Graph
 from ..graph.traversal import connected_components
 from ..stats.rng import SeedLike, make_rng
 
-__all__ = ["AttackStrategy", "RemovalTrajectory", "removal_sweep", "critical_fraction"]
+__all__ = [
+    "AttackStrategy",
+    "RemovalTrajectory",
+    "removal_sweep",
+    "victim_order",
+    "critical_fraction",
+]
 
 Node = Hashable
 
@@ -67,20 +73,32 @@ def _giant_fraction(graph: Graph, original_n: int) -> float:
     return (len(components[0]) if components else 0) / original_n
 
 
-def _victim_order(
-    graph: Graph, strategy: AttackStrategy, rng, betweenness_pivots: int
+def victim_order(
+    graph: Graph, strategy: AttackStrategy, rng, betweenness_pivots: int = 100
 ) -> List[Node]:
+    """Precomputed removal order for the non-adaptive strategies.
+
+    Equal scores (duplicate degrees, tied betweenness) are broken by the
+    graph's node iteration order — a stable sort over ``graph.nodes()``, so
+    ties fall to the earliest-inserted node id.  That makes the ordering a
+    pure function of the graph, which is what lets the CSR sweep in
+    :mod:`repro.resilience.sweep` (where array positions follow the same
+    iteration order) reproduce the python reference bit-for-bit.
+
+    ``ADAPTIVE`` degree (:attr:`AttackStrategy.DEGREE`) has no precomputed
+    order and raises; it is handled inline by the sweeps.
+    """
     nodes = list(graph.nodes())
     if strategy is AttackStrategy.RANDOM:
         rng.shuffle(nodes)
         return nodes
     if strategy is AttackStrategy.DEGREE_STATIC:
-        return sorted(nodes, key=lambda n: (-graph.degree(n), str(n)))
+        return sorted(nodes, key=lambda n: -graph.degree(n))
     if strategy is AttackStrategy.BETWEENNESS:
         scores = approximate_betweenness(
             graph, num_pivots=min(betweenness_pivots, len(nodes)), seed=rng
         )
-        return sorted(nodes, key=lambda n: (-scores[n], str(n)))
+        return sorted(nodes, key=lambda n: -scores[n])
     raise ValueError(f"strategy {strategy} needs adaptive handling")
 
 
@@ -96,7 +114,11 @@ def removal_sweep(
 
     ``DEGREE`` recomputes the top-degree victim adaptively after every
     removal batch (the strongest attack); the other strategies precompute
-    their ordering.  The input graph is never mutated.
+    their ordering via :func:`victim_order`.  Equal degrees/betweenness are
+    always broken by node iteration order, so the sweep is a pure function
+    of (graph, strategy, seed) — the contract the vectorized sweep in
+    :mod:`repro.resilience.sweep` reproduces bit-for-bit.  The input graph
+    is never mutated.
     """
     if not 0 < max_fraction <= 1:
         raise ValueError("max_fraction must be in (0, 1]")
@@ -113,7 +135,7 @@ def removal_sweep(
     adaptive = strategy is AttackStrategy.DEGREE
     order: List[Node] = []
     if not adaptive:
-        order = _victim_order(work, strategy, rng, betweenness_pivots)
+        order = victim_order(work, strategy, rng, betweenness_pivots)
 
     fractions = [0.0]
     giants = [_giant_fraction(work, original_n)]
@@ -122,9 +144,10 @@ def removal_sweep(
     while removed < total_victims:
         for _ in range(min(batch, total_victims - removed)):
             if adaptive:
-                victim = max(
-                    work.nodes(), key=lambda n: (work.degree(n), str(n))
-                )
+                # max() keeps the first maximal element, so equal degrees
+                # fall to the earliest surviving node in iteration order —
+                # the same deterministic tie-break as victim_order().
+                victim = max(work.nodes(), key=work.degree)
             else:
                 victim = order[cursor]
                 cursor += 1

@@ -1,0 +1,134 @@
+"""A3 end-to-end through the battery runner.
+
+The attack experiment's tolerance scalars are battery units now, so it
+inherits the runner's whole contract: ``jobs=2`` fan-out, journaled unit
+events, a raising sweep unit costing exactly its own row (failure
+containment), and cache-resume recomputing only the failed cells.
+"""
+
+import math
+
+from repro.core import RunJournal
+from repro.experiments import run_a3
+from repro.generators import BarabasiAlbertGenerator, ErdosRenyiGnm
+from repro.stats.rng import derive_seed
+
+from ..core.test_fault_tolerance import CrashingGenerator
+
+N = 150
+SEED = 29
+
+
+def crash_seed(base: int = SEED, n: int = N) -> int:
+    """The derived unit seed run_a3's single replicate gets for crashy."""
+    return derive_seed("battery-unit", "crashy", {"m": 2}, n, base, 0)
+
+
+def tolerance_rows(result):
+    headers, rows = result.tables["tolerance summary"]
+    return {row[0]: row for row in rows}
+
+
+class TestA3Battery:
+    def test_jobs2_journal_and_failure_containment(self, tmp_path):
+        journal = tmp_path / "run.jsonl"
+        models = {
+            "crashy": CrashingGenerator(fail_seeds=(crash_seed(),)),
+            "erdos-renyi": ErdosRenyiGnm(m=2 * N),
+            "barabasi-albert": BarabasiAlbertGenerator(m=2),
+        }
+        result = run_a3(
+            n=N, steps=4, seed=SEED, models=models, jobs=2,
+            journal=str(journal),
+        )
+
+        rows = tolerance_rows(result)
+        assert set(rows) == {"reference", "crashy", "erdos-renyi", "barabasi-albert"}
+        # The dead unit's row survives as NaNs; healthy rows carry values.
+        assert math.isnan(rows["crashy"][1])
+        assert 0.0 <= rows["erdos-renyi"][1] <= 1.0
+        assert 0.0 <= rows["barabasi-albert"][2] <= 1.0
+        assert result.notes["battery_failures"] == 1
+        assert "failed battery units" in result.tables
+
+        # Series: reference + the two healthy models, two sweeps each;
+        # nothing for the model that never produced a graph.
+        assert len(result.series) == 6
+        assert not any(label.startswith("crashy") for label in result.series)
+
+        events = RunJournal.read(journal)
+        kinds = [e["event"] for e in events]
+        assert "battery_start" in kinds and "battery_end" in kinds
+        assert kinds.count("unit_start") == 3
+        fails = [e for e in events if e["event"] == "unit_fail"]
+        assert len(fails) == 1
+        assert fails[0]["model"] == "crashy"
+        assert fails[0]["seed"] == crash_seed()
+        assert "injected crash" in fails[0]["error"]
+        finishes = {e["model"] for e in events if e["event"] == "unit_finish"}
+        assert finishes == {"erdos-renyi", "barabasi-albert"}
+
+    def test_cache_resume_recomputes_only_failed_cells(self, tmp_path):
+        cache = tmp_path / "cells"
+        broken = run_a3(
+            n=N, steps=4, seed=SEED, cache_dir=str(cache),
+            models={
+                "crashy": CrashingGenerator(fail_seeds=(crash_seed(),)),
+                "erdos-renyi": ErdosRenyiGnm(m=2 * N),
+            },
+        )
+        assert broken.notes["battery_failures"] == 1
+        # Both probes miss on the cold run, but only the healthy cell wrote.
+        assert broken.notes["cache_misses"] == 2
+
+        # Same identity/params (injection knobs are private), crash fixed:
+        # the healthy model's cell is a hit, only crashy's recomputes.
+        fixed = run_a3(
+            n=N, steps=4, seed=SEED, cache_dir=str(cache),
+            models={
+                "crashy": CrashingGenerator(),
+                "erdos-renyi": ErdosRenyiGnm(m=2 * N),
+            },
+        )
+        assert fixed.notes["battery_failures"] == 0
+        assert fixed.notes["cache_hits"] == 1
+        assert fixed.notes["cache_misses"] == 1
+        rows = tolerance_rows(fixed)
+        assert not math.isnan(rows["crashy"][1])
+        assert len(fixed.series) == 6
+
+        # Third run: everything cached, values identical to the second.
+        warm = run_a3(
+            n=N, steps=4, seed=SEED, cache_dir=str(cache),
+            models={
+                "crashy": CrashingGenerator(),
+                "erdos-renyi": ErdosRenyiGnm(m=2 * N),
+            },
+        )
+        assert warm.notes["cache_misses"] == 0
+        assert warm.notes["cache_hits"] == 2
+        for name, row in tolerance_rows(warm).items():
+            for a, b in zip(row[1:], rows[name][1:]):
+                if isinstance(a, float) and math.isnan(a):
+                    assert math.isnan(b)
+                else:
+                    assert a == b
+
+    def test_default_roster_shape_unchanged(self):
+        result = run_a3(n=250, steps=5, models=["erdos-renyi"])
+        headers, rows = result.tables["tolerance summary"]
+        assert [row[0] for row in rows] == ["reference", "erdos-renyi"]
+        assert len(result.series) == 4
+        assert result.notes["battery_failures"] == 0
+
+    def test_jobs_parity(self):
+        models = {"barabasi-albert": BarabasiAlbertGenerator(m=2)}
+        serial = run_a3(n=N, steps=4, seed=SEED, models=dict(models))
+        parallel = run_a3(n=N, steps=4, seed=SEED, models=dict(models), jobs=2)
+        a = tolerance_rows(serial)["barabasi-albert"]
+        b = tolerance_rows(parallel)["barabasi-albert"]
+        for x, y in zip(a[1:], b[1:]):
+            if isinstance(x, float) and math.isnan(x):
+                assert math.isnan(y)
+            else:
+                assert x == y

@@ -6,7 +6,13 @@ import pytest
 
 from repro.generators import BarabasiAlbertGenerator, ErdosRenyiGnm
 from repro.graph import Graph, giant_component
-from repro.resilience import AttackStrategy, critical_fraction, removal_sweep
+from repro.resilience import (
+    AttackStrategy,
+    critical_fraction,
+    removal_sweep,
+    victim_order,
+)
+from repro.stats.rng import make_rng
 
 
 @pytest.fixture(scope="module")
@@ -78,6 +84,65 @@ class TestRemovalSweep:
         run = removal_sweep(ba_graph, AttackStrategy.RANDOM, steps=10, seed=10)
         assert run.giant_at(0.0) == 1.0
         assert run.giant_at(1.0) == run.giant_fractions[-1]
+
+
+class TestTieBreaking:
+    """Equal scores must break by node iteration order — deterministically,
+    on every strategy, so the CSR sweep can reproduce the reference."""
+
+    @pytest.fixture()
+    def tied_graph(self):
+        # Insertion order deliberately scrambled relative to id order, and
+        # every node degree-2 (a cycle), so *every* choice is a tie.
+        order = [3, 0, 7, 1, 5, 2, 6, 4]
+        g = Graph()
+        for node in order:
+            g.add_node(node)
+        for i in range(8):
+            g.add_edge(i, (i + 1) % 8)
+        return g
+
+    def test_static_degree_ties_follow_iteration_order(self, tied_graph):
+        order = victim_order(tied_graph, AttackStrategy.DEGREE_STATIC, make_rng(0))
+        assert order == [3, 0, 7, 1, 5, 2, 6, 4]
+
+    def test_betweenness_ties_follow_iteration_order(self, tied_graph):
+        # A cycle is vertex-transitive: all betweenness scores are equal,
+        # so the order is pure tie-breaking.
+        order = victim_order(
+            tied_graph, AttackStrategy.BETWEENNESS, make_rng(0),
+            betweenness_pivots=8,
+        )
+        assert order == [3, 0, 7, 1, 5, 2, 6, 4]
+
+    def test_mixed_degrees_sort_stably(self):
+        # Two degree bands — 0/4/5 at degree 3, leaves 1/2/3 at degree 1 —
+        # and ties within each band keep insertion order (0,1,4,5,2,3).
+        g = Graph()
+        for u, v in [(0, 1), (0, 4), (0, 5), (4, 5), (4, 2), (5, 3)]:
+            g.add_edge(u, v)
+        order = victim_order(g, AttackStrategy.DEGREE_STATIC, make_rng(0))
+        assert order == [0, 4, 5, 1, 2, 3]
+
+    def test_adaptive_sweep_deterministic_on_ties(self, tied_graph):
+        runs = [
+            removal_sweep(
+                tied_graph, AttackStrategy.DEGREE, max_fraction=1.0, steps=4,
+                seed=0,
+            )
+            for _ in range(3)
+        ]
+        assert runs[0] == runs[1] == runs[2]
+
+    def test_random_strategy_unaffected_by_tie_rule(self, tied_graph):
+        a = victim_order(tied_graph, AttackStrategy.RANDOM, make_rng(5))
+        b = victim_order(tied_graph, AttackStrategy.RANDOM, make_rng(5))
+        assert a == b
+        assert sorted(a) == list(range(8))
+
+    def test_adaptive_strategy_has_no_precomputed_order(self, tied_graph):
+        with pytest.raises(ValueError):
+            victim_order(tied_graph, AttackStrategy.DEGREE, make_rng(0))
 
 
 class TestCriticalFraction:
