@@ -1,16 +1,35 @@
-"""Full-scale validation: the weighted-growth model at 2001-map size.
+"""Full-scale validation: the weighted-growth model at 2001-map size,
+plus the out-of-core store at 10^5-10^6 nodes.
 
 The other benches run at reduced sizes for speed; this one generates the
 model at N = 11 000 — the size of the May 2001 AS map the literature
 measured — and checks the battery against the published values directly
 (no synthetic reference involved).
+
+The out-of-core series grows a PLRG topology in checkpointed chunks into
+a :class:`repro.store.GraphStore`, then *in a fresh subprocess* reopens
+the mmap CSR snapshot and runs the size metric group — asserting the
+whole read path fits a peak-RSS budget that a materialized dict-of-dict
+graph could not.  The subprocess matters: ``ru_maxrss`` is a
+process-lifetime high-water mark, so measuring in the grower process
+would only ever see the growth phase's peak.  The 10^6 point runs when
+``REPRO_SCALE_FULL=1`` (a couple of minutes and a few hundred MB of
+disk); 10^5 runs everywhere and is the CI scale-smoke gate.
 """
 
+import json
+import os
+import subprocess
+import sys
 import time
+from pathlib import Path
+
+import pytest
 
 from repro.core import summarize
 from repro.datasets import PUBLISHED_AS_MAP_TARGETS
 from repro.generators import SerranoGenerator
+from repro.store import GraphStore, grow_to_store
 
 
 def test_full_scale_2001_map(benchmark, record_experiment):
@@ -56,3 +75,90 @@ def test_full_scale_engine_speedup():
     print(f"\nserrano n=11000: python {python_s:.2f}s, "
           f"vector {vector_s:.2f}s, speedup {speedup:.2f}x")
     assert speedup >= 3.0, (python_s, vector_s)
+
+
+# One subprocess script: reopen the store's mmap CSR view, measure the
+# size group, report peak RSS.  peak_rss_kb (VmHWM) rather than
+# ru_maxrss: the child is forked from this bloated grower process, and
+# ru_maxrss inherits the parent's resident set across fork+exec.  The
+# script imports scipy (the component kernel), so the budget must cover
+# the interpreter + numpy + scipy baseline; the graph itself must stay
+# out of resident memory.
+_MEASURE_SCRIPT = """
+import json, sys
+from repro.obs.sampler import peak_rss_kb
+from repro.store import GraphStore
+
+store = GraphStore.open(sys.argv[1])
+values = store.measure()
+print(json.dumps({"values": values, "peak_rss_kb": peak_rss_kb()}))
+"""
+
+#: Peak-RSS budgets (KB) for the reopen-and-measure subprocess.  The
+#: interpreter + numpy + scipy baseline is ~120 MB; a materialized
+#: dict-of-dict graph would add ~1 GB at 10^6 nodes, so these budgets
+#: fail loudly if anything on the read path regresses to materializing.
+_RSS_BUDGETS_KB = {100_000: 400_000, 1_000_000: 500_000}
+
+
+def _scale_points():
+    points = [100_000]
+    if os.environ.get("REPRO_SCALE_FULL") == "1":
+        points.append(1_000_000)
+    return points
+
+
+@pytest.mark.parametrize("n", _scale_points())
+def test_out_of_core_scale_series(n, tmp_path):
+    from repro.core.registry import make_generator
+
+    path = tmp_path / f"plrg_{n}.db"
+    start = time.perf_counter()
+    report = grow_to_store(
+        make_generator("plrg", gamma=2.2),
+        n,
+        path,
+        seed=2026,
+        checkpoint_every=50_000,
+    )
+    grow_s = time.perf_counter() - start
+    assert report.num_nodes == n
+    assert report.chunks_written == -(-n // 50_000)
+
+    # Reuse without regeneration: a second call must be pure bookkeeping.
+    start = time.perf_counter()
+    again = grow_to_store(
+        make_generator("plrg", gamma=2.2),
+        n,
+        path,
+        seed=2026,
+        checkpoint_every=50_000,
+    )
+    reopen_s = time.perf_counter() - start
+    assert not again.regenerated
+    assert reopen_s < grow_s
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(Path(__file__).resolve().parents[1] / "src")
+    env.setdefault("REPRO_BACKEND", "csr")
+    proc = subprocess.run(
+        [sys.executable, "-c", _MEASURE_SCRIPT, str(path)],
+        capture_output=True,
+        text=True,
+        env=env,
+        check=True,
+    )
+    result = json.loads(proc.stdout)
+    values = result["values"]
+    peak_kb = result["peak_rss_kb"]
+    print(
+        f"\nplrg n={n}: grew {report.num_edges} edges in {grow_s:.1f}s "
+        f"({report.chunks_written} chunks), reopen {reopen_s * 1e3:.0f}ms, "
+        f"measure peak RSS {peak_kb / 1024:.0f} MB"
+    )
+    assert values["num_nodes"] > 0.5 * n  # PLRG giant component
+    assert 0 < values["giant_fraction"] <= 1.0
+    assert peak_kb < _RSS_BUDGETS_KB[n], (
+        f"measure subprocess peaked at {peak_kb:.0f} KB, "
+        f"budget {_RSS_BUDGETS_KB[n]} KB"
+    )

@@ -141,6 +141,47 @@ def build_parser() -> argparse.ArgumentParser:
                      help="keyword overrides for the run_* function, e.g. n=1000")
     _add_battery_flags(exp)
 
+    store = sub.add_parser(
+        "store", help="disk-backed graph stores (SQLite + mmap CSR snapshot)"
+    )
+    ssub = store.add_subparsers(dest="store_command", required=True)
+    ssave = ssub.add_parser(
+        "save", help="grow a model (or ingest an edge list) into a store"
+    )
+    ssave.add_argument("path", help="store path (SQLite file; snapshot beside it)")
+    ssave.add_argument(
+        "--model", default=None, help="registry name to grow, e.g. plrg"
+    )
+    ssave.add_argument(
+        "--input", default=None, metavar="EDGELIST",
+        help="ingest an existing edge-list file instead of growing a model",
+    )
+    ssave.add_argument("-n", "--nodes", type=int, default=None)
+    ssave.add_argument("-s", "--seed", type=int, default=None)
+    ssave.add_argument("--param", action="append", metavar="KEY=VALUE")
+    ssave.add_argument(
+        "--engine", default="auto", choices=("auto", "python", "vector"),
+        help="growth-kernel engine (vector is the batch fast path; auto "
+        "picks by target size)",
+    )
+    ssave.add_argument(
+        "--checkpoint-every", type=int, default=None, metavar="K",
+        help="flush every K nodes in its own transaction (resumable growth)",
+    )
+    ssave.add_argument(
+        "--no-snapshot", action="store_true",
+        help="skip writing the sidecar mmap CSR snapshot",
+    )
+    sload = ssub.add_parser("load", help="export a store back to an edge list")
+    sload.add_argument("path", help="store path")
+    sload.add_argument("-o", "--output", required=True, help="edge-list path")
+    sinfo = ssub.add_parser("info", help="store summary (counts, snapshot state)")
+    sinfo.add_argument("path", help="store path")
+    smeasure = ssub.add_parser(
+        "measure", help="size metric group from the mmap CSR view alone"
+    )
+    smeasure.add_argument("path", help="store path")
+
     journal = sub.add_parser(
         "journal", help="reports from run journals and trace files"
     )
@@ -385,9 +426,85 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(result.render())
         _obs_teardown(args, obs_state)
         return 0
+    if args.command == "store":
+        return _store_command(args)
     if args.command == "journal":
         return _journal_command(args)
     raise SystemExit(f"unknown command {args.command!r}")
+
+
+def _store_command(args) -> int:
+    """Dispatch ``repro store save|load|info|measure``."""
+    from .store import GraphStore, StoreError
+
+    if args.store_command == "save":
+        if bool(args.model) == bool(args.input):
+            raise SystemExit(
+                "repro store save: give exactly one of --model or --input"
+            )
+        if args.model:
+            if args.nodes is None:
+                raise SystemExit("repro store save: --model requires -n/--nodes")
+            generator = _make_generator_or_exit(
+                args.model, **_parse_params(args.param)
+            )
+            generator.engine = args.engine
+            try:
+                report = generator.generate_to_store(
+                    args.nodes,
+                    args.path,
+                    seed=args.seed,
+                    checkpoint_every=args.checkpoint_every,
+                    snapshot=not args.no_snapshot,
+                )
+            except StoreError as exc:
+                raise SystemExit(f"repro: {exc}") from None
+            action = "grew" if report.regenerated else "reused"
+            print(
+                f"{action} {report.num_nodes} nodes / {report.num_edges} edges "
+                f"-> {report.path} ({report.chunks_written} chunks written, "
+                f"{report.chunks_resumed} resumed, {report.seconds:.2f}s)"
+            )
+            return 0
+        from .graph.io import read_edge_list as _read
+
+        graph = _read(args.input)
+        try:
+            info = GraphStore(args.path).save(
+                graph,
+                checkpoint_every=args.checkpoint_every,
+                snapshot=not args.no_snapshot,
+            )
+        except StoreError as exc:
+            raise SystemExit(f"repro: {exc}") from None
+        print(
+            f"saved {info['num_nodes']} nodes / {info['num_edges']} edges "
+            f"-> {args.path} (snapshot: {info['snapshot']})"
+        )
+        return 0
+    try:
+        store = GraphStore.open(args.path)
+        if args.store_command == "load":
+            graph = store.load()
+            write_edge_list(graph, args.output)
+            print(
+                f"wrote {graph.num_nodes} nodes / {graph.num_edges} edges "
+                f"to {args.output}"
+            )
+            return 0
+        if args.store_command == "info":
+            rows = sorted(store.info().items())
+            print(format_table(["field", "value"], rows, title=str(store.path)))
+            return 0
+        if args.store_command == "measure":
+            rows = sorted(store.measure().items())
+            print(format_table(
+                ["metric", "value"], rows, title=f"{store.path} (size group)"
+            ))
+            return 0
+    except StoreError as exc:
+        raise SystemExit(f"repro: {exc}") from None
+    raise SystemExit(f"unknown store command {args.store_command!r}")
 
 
 def _journal_command(args) -> int:

@@ -24,6 +24,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import shutil
 import tempfile
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -136,10 +137,7 @@ class ResultCache:
                 registry.counter("cache.corrupt").inc()
                 registry.counter("cache.miss").inc()
                 span.set(outcome="corrupt")
-                try:
-                    path.unlink()
-                except OSError:
-                    pass
+                _evict(path)
                 return None
             self.stats.hits += 1
             get_registry().counter("cache.hit").inc()
@@ -185,6 +183,23 @@ class NullCache:
     def put(self, key: str, value: Any, payload: Optional[Mapping[str, Any]] = None) -> None:
         """Discard *value*."""
         pass
+
+
+def _evict(path: Path) -> None:
+    """Best-effort removal of a corrupt cache entry.
+
+    Handles the entry path having been replaced by a *directory* (seen
+    when a foreign tool collides with the cache layout): ``unlink`` alone
+    would fail silently there and the entry would re-count as corrupt on
+    every subsequent get.
+    """
+    try:
+        path.unlink()
+    except IsADirectoryError:
+        shutil.rmtree(path, ignore_errors=True)
+    except OSError:
+        if path.is_dir():
+            shutil.rmtree(path, ignore_errors=True)
 
 
 def _roundtrip(payload: Mapping[str, Any]) -> Any:

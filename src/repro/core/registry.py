@@ -69,6 +69,12 @@ for _cls in (
 ):
     register(_cls)
 
+# Deliberately NOT registered: repro.store.StoredTopologyGenerator.  The
+# registry contract is "synthesizable family" — no-arg constructible,
+# seed-deterministic — and a stored world (wraps an existing file,
+# ignores the seed) satisfies neither.  Stored worlds enter batteries as
+# generator *instances* via resolve_generator.
+
 
 def available_models() -> List[str]:
     """Sorted registry names."""

@@ -103,6 +103,36 @@ class TopologyGenerator(abc.ABC):
         and say so in their docstring.
         """
 
+    def generate_to_store(
+        self,
+        n: int,
+        path,
+        seed: SeedLike = None,
+        checkpoint_every: Optional[int] = None,
+        snapshot: bool = True,
+    ):
+        """Grow into a disk-backed store with checkpointed ingestion.
+
+        Delegates to :func:`repro.store.checkpoint.grow_to_store`: the
+        store at *path* is flushed every ``checkpoint_every`` nodes (the
+        store's default when None), an interrupted run resumes from the
+        last committed chunk, and a complete store is reused without
+        regenerating.  Returns the :class:`~repro.store.checkpoint.
+        GrowthReport`.
+        """
+        from ..store.checkpoint import DEFAULT_CHECKPOINT_EVERY, grow_to_store
+
+        if checkpoint_every is None:
+            checkpoint_every = DEFAULT_CHECKPOINT_EVERY
+        return grow_to_store(
+            self,
+            n,
+            path,
+            seed=seed,
+            checkpoint_every=checkpoint_every,
+            snapshot=snapshot,
+        )
+
     def trace_phase(self, phase: str, **attrs: Any):
         """A span context for one generation phase (seed, growth, rewire …).
 

@@ -31,7 +31,7 @@ tiny graphs).
 from __future__ import annotations
 
 import os
-from typing import Dict, Hashable, Tuple
+from typing import Dict, Hashable, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -90,6 +90,12 @@ class CSRView:
     at position ``i`` and ``index[node]`` the position of a node id;
     positions follow the graph's node iteration order, so isolated nodes
     are present (as empty rows).
+
+    ``nodes`` may be any indexable sequence — a tuple for in-memory
+    builds, a ``range`` for stores whose ids are the positions themselves
+    (so a million-node view does not materialize a million id objects).
+    The ``index`` map is built lazily on first access for the same reason:
+    array-only kernels on a memory-mapped snapshot never pay for it.
     """
 
     __slots__ = (
@@ -97,7 +103,7 @@ class CSRView:
         "indices",
         "weights",
         "nodes",
-        "index",
+        "_index",
         "degrees",
         "_sparse",
         "_bfs_sparse",
@@ -108,20 +114,28 @@ class CSRView:
         indptr: np.ndarray,
         indices: np.ndarray,
         weights: np.ndarray,
-        nodes: Tuple[Node, ...],
+        nodes: Sequence[Node],
     ):
         for array in (indptr, indices, weights):
-            array.setflags(write=False)
+            if array.flags.writeable:
+                array.setflags(write=False)
         self.indptr = indptr
         self.indices = indices
         self.weights = weights
         self.nodes = nodes
-        self.index: Dict[Node, int] = {node: i for i, node in enumerate(nodes)}
+        self._index: Optional[Dict[Node, int]] = None
         degrees = np.diff(indptr)
         degrees.setflags(write=False)
         self.degrees = degrees
         self._sparse = None
         self._bfs_sparse = None
+
+    @property
+    def index(self) -> Dict[Node, int]:
+        """node id → array position (built lazily, then cached)."""
+        if self._index is None:
+            self._index = {node: i for i, node in enumerate(self.nodes)}
+        return self._index
 
     @classmethod
     def from_graph(cls, graph) -> "CSRView":

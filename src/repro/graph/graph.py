@@ -293,6 +293,27 @@ class Graph:
         self._csr_cache = (self._version, view)
         return view
 
+    # ----------------------------------------------------------- persistence
+
+    def to_store(self, path, checkpoint_every=None, snapshot: bool = True):
+        """Persist this graph to a :class:`~repro.store.store.GraphStore`.
+
+        Convenience front for ``GraphStore(path).save(self, ...)``; returns
+        the store's :meth:`~repro.store.store.GraphStore.info` dict.
+        """
+        from ..store import GraphStore
+
+        return GraphStore(path).save(
+            self, checkpoint_every=checkpoint_every, snapshot=snapshot
+        )
+
+    @classmethod
+    def from_store(cls, path, name: str = "") -> "Graph":
+        """Load a graph persisted with :meth:`to_store` (or the CLI)."""
+        from ..store import GraphStore
+
+        return GraphStore.open(path).load(name=name)
+
     # ------------------------------------------------------------- derived
 
     def copy(self) -> "Graph":

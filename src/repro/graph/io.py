@@ -38,7 +38,17 @@ def _parse_node(token: str):
 
 
 def edge_list_lines(graph: Graph, weights: bool = True) -> Iterable[str]:
-    """Yield edge-list lines for *graph* (without trailing newlines)."""
+    """Yield edge-list lines for *graph* (without trailing newlines).
+
+    Degree-zero nodes have no edge line to live on, so each one is carried
+    by a ``# node <id>`` comment line — ignored by foreign edge-list
+    readers, recovered by :func:`parse_edge_list_lines` — which keeps the
+    write/read round trip fingerprint-identical for graphs with isolated
+    nodes (real AS snapshots after filtering, percolation survivors).
+    """
+    for u in graph.nodes():
+        if graph.degree(u) == 0:
+            yield f"# node {u}"
     for u, v, w in graph.weighted_edges():
         if weights and w != 1.0:
             yield f"{u} {v} {w:g}"
@@ -49,13 +59,22 @@ def edge_list_lines(graph: Graph, weights: bool = True) -> Iterable[str]:
 
 
 def parse_edge_list_lines(lines: Iterable[str], name: str = "") -> Graph:
-    """Build a graph from edge-list *lines* (comments/blanks ignored)."""
+    """Build a graph from edge-list *lines* (comments/blanks ignored).
+
+    ``# node <id>`` comment lines (written for isolated nodes) register
+    the node; all other comments are skipped.
+    """
     graph = Graph(name=name)
 
     def triples():
         for lineno, raw in enumerate(lines, start=1):
             line = raw.strip()
-            if not line or line.startswith("#"):
+            if not line:
+                continue
+            if line.startswith("#"):
+                parts = line[1:].split()
+                if len(parts) == 2 and parts[0] == "node":
+                    graph.add_node(_parse_node(parts[1]))
                 continue
             parts = line.split()
             if len(parts) not in (2, 3):
@@ -86,23 +105,40 @@ def read_edge_list(path: PathLike, name: str = "") -> Graph:
         return parse_edge_list_lines(handle, name=name or path.stem)
 
 
+def _json_id(node):
+    """A node id as JSON stores it: ints stay ints, everything else str.
+
+    Applied per endpoint — coercing *both* endpoints of a mixed int/str
+    edge to str (as an earlier version did) desynchronized the edge list
+    from the node list and broke round-trip fingerprints.
+    """
+    return node if isinstance(node, int) and not isinstance(node, bool) else str(node)
+
+
 def write_json(graph: Graph, path: PathLike) -> None:
     """Write *graph* as adjacency JSON (stable key order)."""
     payload = {
         "name": graph.name,
-        "nodes": sorted(graph.nodes(), key=str),
+        "nodes": sorted((_json_id(u) for u in graph.nodes()), key=str),
         "edges": sorted(
-            ([str(u), str(v), w] if not isinstance(u, int) or not isinstance(v, int)
-             else [u, v, w])
-            for u, v, w in graph.weighted_edges()
+            ([_json_id(u), _json_id(v), w] for u, v, w in graph.weighted_edges()),
+            key=lambda edge: (str(edge[0]), str(edge[1]), edge[2]),
         ),
     }
     Path(path).write_text(json.dumps(payload, indent=1), encoding="utf-8")
 
 
 def read_json(path: PathLike) -> Graph:
-    """Read adjacency JSON written by :func:`write_json`."""
-    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    """Read adjacency JSON written by :func:`write_json`.
+
+    An empty (or whitespace-only) file reads as an empty graph named
+    after the file, matching :func:`read_edge_list` on a bare header.
+    """
+    path = Path(path)
+    text = path.read_text(encoding="utf-8")
+    if not text.strip():
+        return Graph(name=path.stem)
+    payload = json.loads(text)
     graph = Graph(name=payload.get("name", ""))
     for node in payload.get("nodes", ()):
         graph.add_node(node)

@@ -45,7 +45,7 @@ from .metrics import (
     set_registry,
 )
 from .profiler import merge_profiles, profile_unit
-from .sampler import ResourceSampler, ResourceUsage, sample_rusage
+from .sampler import ResourceSampler, ResourceUsage, peak_rss_kb, sample_rusage
 from .tracer import NULL_SPAN, Span, Tracer, get_tracer, set_tracer
 
 __all__ = [
@@ -63,6 +63,7 @@ __all__ = [
     "diff_snapshots",
     "ResourceSampler",
     "ResourceUsage",
+    "peak_rss_kb",
     "sample_rusage",
     "profile_unit",
     "merge_profiles",

@@ -25,7 +25,7 @@ try:  # pragma: no cover - resource is present on every POSIX CI target
 except ImportError:  # pragma: no cover - e.g. Windows
     _resource = None
 
-__all__ = ["ResourceUsage", "ResourceSampler", "sample_rusage"]
+__all__ = ["ResourceUsage", "ResourceSampler", "sample_rusage", "peak_rss_kb"]
 
 
 def _maxrss_kb(ru) -> float:
@@ -46,6 +46,28 @@ def sample_rusage() -> Dict[str, float]:
         "cpu_user": ru.ru_utime,
         "cpu_system": ru.ru_stime,
     }
+
+
+def peak_rss_kb() -> float:
+    """Peak RSS (KB) of *this process's own work*, fork-safe on Linux.
+
+    ``ru_maxrss`` has a sharp edge for subprocess measurement: a child
+    forked from a large parent inherits the parent's resident set in its
+    pre-exec address space, and ``execve`` folds that high-water mark into
+    the accounting ``getrusage`` reports — so a 200 MB workload spawned
+    from a 1 GB parent claims a ~1 GB peak.  ``/proc/self/status``'s
+    ``VmHWM`` tracks only the current (post-exec) address space, which is
+    the number an RSS budget actually wants; this helper prefers it and
+    falls back to ``ru_maxrss`` where procfs is unavailable.
+    """
+    try:
+        with open("/proc/self/status", "r", encoding="ascii") as handle:
+            for line in handle:
+                if line.startswith("VmHWM:"):
+                    return float(line.split()[1])
+    except (OSError, ValueError, IndexError):  # pragma: no cover - non-Linux
+        pass
+    return sample_rusage()["max_rss_kb"]
 
 
 @dataclass(frozen=True)

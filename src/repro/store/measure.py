@@ -1,0 +1,83 @@
+"""Array-only metric kernels for memory-mapped views.
+
+The battery's metric groups (:mod:`repro.core.metrics`) take a
+:class:`~repro.graph.graph.Graph` and extract its giant component as
+another ``Graph`` — dict-of-dict adjacency that costs gigabytes at
+million-node scale.  This module computes the ``size`` group straight
+from a :class:`~repro.graph.csr.CSRView` — the form a store snapshot
+reopens as — touching only the view's arrays, so a measurement stays
+inside the out-of-core RSS budget.
+
+Values are defined to equal ``compute_metric_groups(graph, ["size"])`` on
+the materialized graph (asserted by the store equivalence tests): the
+component pass is exact, and every scalar is measured on the giant
+component as the battery conventions require.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from ..graph.csr import CSRView
+
+__all__ = ["view_size_group", "view_component_labels"]
+
+
+def view_component_labels(view: CSRView) -> np.ndarray:
+    """Connected-component label per array position (int32).
+
+    Delegates to ``scipy.sparse.csgraph`` over a 0/1 adjacency whose data
+    array is ``int8`` — the cheapest exact component pass available; the
+    mmapped ``indices``/``indptr`` are shared, not copied.
+    """
+    from scipy.sparse import csr_matrix
+    from scipy.sparse.csgraph import connected_components
+
+    n = view.num_nodes
+    if n == 0:
+        return np.empty(0, dtype=np.int32)
+    adjacency = csr_matrix(
+        (
+            np.ones(len(view.indices), dtype=np.int8),
+            view.indices,
+            view.indptr,
+        ),
+        shape=(n, n),
+    )
+    _, labels = connected_components(adjacency, directed=False)
+    return labels
+
+
+def view_size_group(view: CSRView) -> Dict[str, float]:
+    """The battery's ``size`` metric group, computed on the view alone.
+
+    Matches :func:`repro.core.metrics.compute_metric_groups` with
+    ``groups=["size"]``: all scalars describe the giant component, and
+    ``giant_fraction`` is its share of the whole view.
+    """
+    n = int(view.num_nodes)
+    if n == 0:
+        raise ValueError("cannot measure an empty view")
+    labels = view_component_labels(view)
+    sizes = np.bincount(labels)
+    giant = int(sizes.argmax())
+    mask = labels == giant
+    giant_nodes = int(sizes[giant])
+    degrees = np.asarray(view.degrees)
+    giant_degrees = degrees[mask]
+    # Every edge's endpoints share a component, so the giant's edge count
+    # is half its degree mass — no edge scan needed.
+    giant_edges = int(giant_degrees.sum()) // 2
+    max_degree = int(giant_degrees.max()) if giant_nodes else 0
+    return {
+        "num_nodes": giant_nodes,
+        "num_edges": giant_edges,
+        "average_degree": (
+            2.0 * giant_edges / giant_nodes if giant_nodes else 0.0
+        ),
+        "max_degree": max_degree,
+        "max_degree_fraction": max_degree / giant_nodes if giant_nodes else 0.0,
+        "giant_fraction": giant_nodes / n,
+    }

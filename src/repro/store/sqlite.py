@@ -1,0 +1,384 @@
+"""SQLite edge-table backend: the durable graph representation.
+
+Layout (schema version 1):
+
+* ``meta(key, value)`` — JSON-encoded store metadata: format version,
+  graph name, fingerprint, completion flag, and the checkpointed-growth
+  identity (generator, params, n, seed, chunk size);
+* ``nodes(pos, id)`` — one row per node; ``pos`` is the insertion
+  position (0..N-1, the CSR array position) and ``id`` the JSON-encoded
+  node id, so integer and string ids round-trip with their types;
+* ``edges(u, v, weight)`` — one row per undirected edge, endpoints as
+  node *positions* with ``u < v``.  The table is ``WITHOUT ROWID`` keyed
+  on ``(u, v)`` — itself a covering index for forward adjacency — and a
+  second covering index ``(v, u, weight)`` serves the reverse direction;
+* ``checkpoints(chunk, nodes, edges)`` — one row per committed growth
+  chunk (cumulative counts), written inside the same transaction as the
+  chunk's rows, so the set of committed chunks is exactly the set of
+  fully-present chunks.
+
+The connection runs in WAL mode with ``synchronous=NORMAL``: readers
+never block the ingesting writer, and a crash rolls back to the last
+committed chunk instead of corrupting the database.
+
+Ingestion is bulk-only: :meth:`append_nodes` and :meth:`append_edges`
+take iterables shaped exactly like :meth:`repro.graph.graph.Graph.
+add_edges` batches (``(u, v)`` or ``(u, v, weight)`` node-id tuples) and
+feed ``executemany`` — the same batch-commit idiom the vector growth
+engine uses in memory.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+from pathlib import Path
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple, Union
+
+from ..graph.graph import Graph
+
+__all__ = ["SQLiteGraphStore", "StoreError", "SCHEMA_VERSION"]
+
+PathLike = Union[str, Path]
+
+#: Bump when the table layout changes; stores written by other versions
+#: are refused with a clear error instead of being misread.
+SCHEMA_VERSION = 1
+
+_TABLES = (
+    """CREATE TABLE IF NOT EXISTS meta (
+        key TEXT NOT NULL PRIMARY KEY,
+        value TEXT NOT NULL
+    )""",
+    """CREATE TABLE IF NOT EXISTS nodes (
+        pos INTEGER NOT NULL PRIMARY KEY,
+        id TEXT NOT NULL UNIQUE
+    )""",
+    """CREATE TABLE IF NOT EXISTS edges (
+        u INTEGER NOT NULL,
+        v INTEGER NOT NULL,
+        weight REAL NOT NULL,
+        PRIMARY KEY (u, v)
+    ) WITHOUT ROWID""",
+    """CREATE TABLE IF NOT EXISTS checkpoints (
+        chunk INTEGER NOT NULL PRIMARY KEY,
+        nodes INTEGER NOT NULL,
+        edges INTEGER NOT NULL
+    )""",
+)
+
+_INDICES = (
+    "CREATE INDEX IF NOT EXISTS edges_vu ON edges (v, u, weight)",
+)
+
+
+class StoreError(RuntimeError):
+    """A store file is missing, incompatible, or being misused."""
+
+
+def _encode_id(node) -> str:
+    """JSON-encode a node id (type-preserving for int/str/float/bool)."""
+    if isinstance(node, bool) or not isinstance(node, (int, str, float)):
+        raise StoreError(
+            f"node id {node!r} is not storable; stores accept int, str, "
+            f"and float ids"
+        )
+    return json.dumps(node)
+
+
+def _decode_id(text: str):
+    return json.loads(text)
+
+
+class SQLiteGraphStore:
+    """One SQLite file holding one graph (plus growth checkpoints).
+
+    Open with ``create=True`` (default) to initialize a fresh schema, or
+    ``create=False`` to require an existing store.  Use as a context
+    manager or call :meth:`close` — the underlying connection holds the
+    WAL handle.
+    """
+
+    def __init__(self, path: PathLike, create: bool = True):
+        self.path = Path(path)
+        if not create and not self.path.exists():
+            raise StoreError(f"no graph store at {self.path}")
+        self._conn = sqlite3.connect(str(self.path))
+        try:
+            existing = {
+                row[0]
+                for row in self._conn.execute(
+                    "SELECT name FROM sqlite_master WHERE type = 'table'"
+                )
+            }
+            if existing and "meta" not in existing:
+                raise StoreError(
+                    f"{self.path} is a SQLite database but not a graph "
+                    f"store; refusing to adopt it"
+                )
+            self._conn.execute("PRAGMA journal_mode=WAL")
+            self._conn.execute("PRAGMA synchronous=NORMAL")
+            for statement in _TABLES:
+                self._conn.execute(statement)
+            for statement in _INDICES:
+                self._conn.execute(statement)
+        except sqlite3.DatabaseError as exc:
+            self._conn.close()
+            raise StoreError(f"{self.path} is not a SQLite database: {exc}")
+        except StoreError:
+            self._conn.close()
+            raise
+        stored = self.get_meta("schema_version")
+        if stored is None:
+            self.set_meta("schema_version", SCHEMA_VERSION)
+        elif stored != SCHEMA_VERSION:
+            self._conn.close()
+            raise StoreError(
+                f"{self.path} uses store schema v{stored}, "
+                f"this build reads v{SCHEMA_VERSION}"
+            )
+        self._conn.commit()
+        # pos ← id cache for edge ingestion; loaded lazily (and kept in
+        # sync by append_nodes) so resumed runs translate ids without a
+        # per-edge query.
+        self._positions: Optional[Dict[Any, int]] = None
+
+    # ------------------------------------------------------------- lifecycle
+
+    def close(self) -> None:
+        """Commit and release the connection."""
+        self._conn.commit()
+        self._conn.close()
+
+    def commit(self) -> None:
+        """Commit the open transaction (one checkpoint boundary)."""
+        self._conn.commit()
+
+    def __enter__(self) -> "SQLiteGraphStore":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ meta
+
+    def get_meta(self, key: str, default: Any = None) -> Any:
+        """JSON-decoded metadata value for *key* (or *default*)."""
+        row = self._conn.execute(
+            "SELECT value FROM meta WHERE key = ?", (key,)
+        ).fetchone()
+        return default if row is None else json.loads(row[0])
+
+    def set_meta(self, key: str, value: Any) -> None:
+        """Upsert one JSON-encodable metadata value (not committed)."""
+        self._conn.execute(
+            "INSERT INTO meta (key, value) VALUES (?, ?) "
+            "ON CONFLICT(key) DO UPDATE SET value = excluded.value",
+            (key, json.dumps(value)),
+        )
+
+    # ------------------------------------------------------------- ingestion
+
+    def _position_map(self) -> Dict[Any, int]:
+        if self._positions is None:
+            self._positions = {
+                _decode_id(text): pos
+                for pos, text in self._conn.execute(
+                    "SELECT pos, id FROM nodes"
+                )
+            }
+        return self._positions
+
+    def append_nodes(self, ids: Iterable) -> int:
+        """Bulk-insert node ids in order, assigning the next positions.
+
+        Ids already present are skipped (idempotent chunk replay); returns
+        the number of rows actually inserted.  Part of the caller's open
+        transaction until :meth:`commit`.
+        """
+        positions = self._position_map()
+        rows: List[Tuple[int, str]] = []
+        next_pos = self.num_nodes
+        for node in ids:
+            if node in positions:
+                continue
+            positions[node] = next_pos
+            rows.append((next_pos, _encode_id(node)))
+            next_pos += 1
+        if rows:
+            self._conn.executemany(
+                "INSERT INTO nodes (pos, id) VALUES (?, ?)", rows
+            )
+        return len(rows)
+
+    def append_edges(self, edges: Iterable[Tuple]) -> int:
+        """Bulk-insert ``(u, v)`` / ``(u, v, weight)`` node-id batches.
+
+        Same shape as :meth:`Graph.add_edges` batches, with the same
+        reinforcement semantics: re-inserting an existing pair accumulates
+        its weight, self-loops are rejected.  Endpoints must already be in
+        the store — the chunk writers register a chunk's nodes with
+        :meth:`append_nodes` before its edges, which keeps every node's
+        position equal to its insertion order even for isolated nodes.
+        Returns the number of edge rows submitted.  Part of the caller's
+        open transaction until :meth:`commit`.
+        """
+        positions = self._position_map()
+        rows: List[Tuple[int, int, float]] = []
+        for item in edges:
+            if len(item) == 3:
+                u, v, weight = item
+                weight = float(weight)
+            else:
+                u, v = item
+                weight = 1.0
+            if u == v:
+                raise StoreError(f"self-loops are not allowed (node {u!r})")
+            if weight <= 0:
+                raise StoreError(f"edge weight must be positive, got {weight}")
+            try:
+                pu, pv = positions[u], positions[v]
+            except KeyError as exc:
+                raise StoreError(
+                    f"edge endpoint {exc.args[0]!r} is not in the store; "
+                    f"append_nodes must register a batch's nodes first"
+                ) from None
+            rows.append((min(pu, pv), max(pu, pv), weight))
+        if rows:
+            self._conn.executemany(
+                "INSERT INTO edges (u, v, weight) VALUES (?, ?, ?) "
+                "ON CONFLICT(u, v) DO UPDATE SET "
+                "weight = weight + excluded.weight",
+                rows,
+            )
+        return len(rows)
+
+    # ----------------------------------------------------------- checkpoints
+
+    def committed_chunks(self) -> Dict[int, Tuple[int, int]]:
+        """chunk index → cumulative (nodes, edges) for committed chunks."""
+        return {
+            chunk: (nodes, edges)
+            for chunk, nodes, edges in self._conn.execute(
+                "SELECT chunk, nodes, edges FROM checkpoints ORDER BY chunk"
+            )
+        }
+
+    def record_checkpoint(self, chunk: int, nodes: int, edges: int) -> None:
+        """Record chunk *chunk* as present (same transaction as its rows)."""
+        self._conn.execute(
+            "INSERT INTO checkpoints (chunk, nodes, edges) VALUES (?, ?, ?)",
+            (chunk, nodes, edges),
+        )
+
+    # ----------------------------------------------------------------- reads
+
+    @property
+    def num_nodes(self) -> int:
+        """Node rows currently in the store."""
+        return self._conn.execute("SELECT COUNT(*) FROM nodes").fetchone()[0]
+
+    @property
+    def num_edges(self) -> int:
+        """Edge rows currently in the store."""
+        return self._conn.execute("SELECT COUNT(*) FROM edges").fetchone()[0]
+
+    @property
+    def total_weight(self) -> float:
+        """Sum of stored edge weights."""
+        value = self._conn.execute(
+            "SELECT SUM(weight) FROM edges"
+        ).fetchone()[0]
+        return float(value or 0.0)
+
+    def node_ids(self) -> List:
+        """Node ids in position order (the CSR/Graph iteration order)."""
+        return [
+            _decode_id(text)
+            for (text,) in self._conn.execute(
+                "SELECT id FROM nodes ORDER BY pos"
+            )
+        ]
+
+    def iter_edge_positions(
+        self, batch: int = 65536
+    ) -> Iterator[List[Tuple[int, int, float]]]:
+        """Yield edge rows ``(u_pos, v_pos, weight)`` in key order, batched."""
+        cursor = self._conn.execute(
+            "SELECT u, v, weight FROM edges ORDER BY u, v"
+        )
+        while True:
+            rows = cursor.fetchmany(batch)
+            if not rows:
+                return
+            yield rows
+
+    def load_graph(self, name: str = "") -> Graph:
+        """Materialize the stored graph in memory.
+
+        Nodes are inserted in position order and edges through
+        :meth:`Graph.add_edges`, so the result iterates — and therefore
+        fingerprints, subgraphs, and CSR-builds — identically to the graph
+        that was ingested.
+        """
+        ids = self.node_ids()
+        graph = Graph(name=name or self.get_meta("name", "") or self.path.stem)
+        graph.add_nodes(ids)
+        for rows in self.iter_edge_positions():
+            graph.add_edges(
+                (ids[u], ids[v], weight) for u, v, weight in rows
+            )
+        return graph
+
+    def csr_arrays(self):
+        """(indptr, indices, weights, node ids) CSR build from the tables.
+
+        Row order matches :meth:`repro.graph.csr.CSRView.from_graph` on the
+        loaded graph: positions follow insertion order and each row's
+        neighbor indices are sorted ascending.
+        """
+        import numpy as np
+
+        n = self.num_nodes
+        m = self.num_edges
+        us = np.empty(m, dtype=np.int64)
+        vs = np.empty(m, dtype=np.int64)
+        ws = np.empty(m, dtype=np.float64)
+        at = 0
+        for rows in self.iter_edge_positions():
+            block = np.asarray(rows, dtype=np.float64)
+            if block.size:
+                span = len(rows)
+                us[at : at + span] = block[:, 0].astype(np.int64)
+                vs[at : at + span] = block[:, 1].astype(np.int64)
+                ws[at : at + span] = block[:, 2]
+                at += span
+        ends = np.concatenate([us, vs])
+        other = np.concatenate([vs, us])
+        both_w = np.concatenate([ws, ws])
+        degrees = np.bincount(ends, minlength=n).astype(np.int64)
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(degrees, out=indptr[1:])
+        order = np.lexsort((other, ends))
+        indices = other[order]
+        weights = both_w[order]
+        return indptr, indices, weights, self.node_ids()
+
+    def info(self) -> Dict[str, Any]:
+        """Summary dict: counts, weight, name, fingerprint, checkpoints."""
+        chunks = self.committed_chunks()
+        return {
+            "path": str(self.path),
+            "schema_version": self.get_meta("schema_version"),
+            "name": self.get_meta("name", ""),
+            "num_nodes": self.num_nodes,
+            "num_edges": self.num_edges,
+            "total_weight": self.total_weight,
+            "fingerprint": self.get_meta("fingerprint"),
+            "complete": bool(self.get_meta("complete", False)),
+            "chunks_committed": len(chunks),
+            "growth": self.get_meta("growth"),
+        }
+
+    def __repr__(self) -> str:
+        return f"<SQLiteGraphStore {self.path}>"

@@ -1,0 +1,83 @@
+"""Stored worlds as battery models.
+
+:class:`StoredTopologyGenerator` adapts a :class:`~repro.store.store.
+GraphStore` to the :class:`~repro.generators.base.TopologyGenerator`
+protocol, so a persisted topology drops straight into ``run_battery`` /
+``compare_models`` next to the generative models.  Its cache identity is
+the stored graph's **fingerprint** — deliberately not the file path — so
+
+* battery cells computed for a stored world are keyed on *what the graph
+  is*: moving or renaming the store file keeps every cached cell valid;
+* two stores holding the same topology share cells, and a store whose
+  content changes (a new world saved over it) invalidates exactly its own
+  cells.
+
+This is the vocabulary the service layer's "named worlds" build on: a
+world id resolves to a store path, and the result cache speaks
+fingerprints.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+from ..generators.base import GenerationError, TopologyGenerator
+from ..graph.graph import Graph
+from ..stats.rng import SeedLike
+from .sqlite import StoreError
+from .store import GraphStore
+
+__all__ = ["StoredTopologyGenerator"]
+
+PathLike = Union[str, Path]
+
+
+class StoredTopologyGenerator(TopologyGenerator):
+    """A persisted topology wearing the generator protocol.
+
+    ``generate(n, seed)`` loads the stored graph (the seed only feeds the
+    battery's sampled metrics, never the topology); *n* must equal the
+    stored node count, catching rosters mis-sized against their world.
+    ``params()`` exposes only the fingerprint, which therefore keys both
+    the battery cache cells and the derived per-replicate seeds.
+    """
+
+    name = "stored"
+
+    def __init__(self, path: PathLike):
+        self._store = GraphStore.open(path)
+        info = self._store.info()
+        if not info["complete"] or info["fingerprint"] is None:
+            raise StoreError(
+                f"{self._store.path} is incomplete (interrupted growth?); "
+                f"finish or re-run grow_to_store before measuring it"
+            )
+        self.fingerprint = info["fingerprint"]
+        self._num_nodes = info["num_nodes"]
+
+    @property
+    def path(self) -> Path:
+        """Where the store lives (not part of the cache identity)."""
+        return self._store.path
+
+    @property
+    def num_nodes(self) -> int:
+        """Stored node count — the *n* battery calls must use."""
+        return self._num_nodes
+
+    def generate(self, n: int, seed: SeedLike = None) -> Graph:
+        """Load the stored graph (must be asked for its true size)."""
+        if n != self._num_nodes:
+            raise GenerationError(
+                f"store {self._store.path} holds {self._num_nodes} nodes; "
+                f"generate was asked for n={n}"
+            )
+        with self.trace_phase("load", n=n):
+            return self._store.load()
+
+    def __repr__(self) -> str:
+        return (
+            f"<StoredTopologyGenerator {self._store.path} "
+            f"fingerprint={self.fingerprint}>"
+        )

@@ -150,3 +150,36 @@ class TestNullCache:
         assert cache.get("k") is None
         assert cache.stats.misses == 1
         assert cache.stats.writes == 0
+
+
+class TestCorruptEntryEviction:
+    """Whatever occupies a cache entry's path, get() must degrade to a
+    counted miss and clear the way for the next put()."""
+
+    def test_binary_garbage_entry(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        payload = _payload()
+        key = canonical_key(payload)
+        path = cache._path(key)
+        path.parent.mkdir(parents=True)
+        path.write_bytes(b"\x00\xff\xfe\x00 not json")
+        assert cache.get(key, payload) is None
+        assert cache.stats.corrupt == 1 and cache.stats.misses == 1
+        assert not path.exists()
+
+    def test_directory_shaped_entry_is_evicted(self, tmp_path):
+        # A directory at the entry path used to defeat unlink-based
+        # eviction, re-counting as corrupt on every get forever.
+        cache = ResultCache(tmp_path)
+        key = canonical_key(_payload())
+        path = cache._path(key)
+        path.mkdir(parents=True)
+        (path / "junk").write_text("x", encoding="utf-8")
+        assert cache.get(key) is None
+        assert cache.stats.corrupt == 1
+        assert not path.exists()
+        # Next get is a clean (non-corrupt) miss, and put() works again.
+        assert cache.get(key) is None
+        assert cache.stats.corrupt == 1 and cache.stats.misses == 2
+        cache.put(key, {"ok": 1})
+        assert cache.get(key) == {"ok": 1}

@@ -98,3 +98,82 @@ class TestJson:
         path = tmp_path / "w.json"
         write_json(g, path)
         assert read_json(path).edge_weight(1, 2) == 9.5
+
+
+class TestIsolatedNodes:
+    """Degree-zero nodes must survive every write/read cycle (they used to
+    be dropped by the edge-list writer, shifting fingerprints)."""
+
+    def test_edge_list_roundtrip_keeps_isolated_nodes(self, tmp_path):
+        g = Graph(name="iso")
+        g.add_nodes([0, 1, 2, "lonely", 9])
+        g.add_edges([(0, 1), (1, 2)])
+        path = tmp_path / "iso.txt"
+        write_edge_list(g, path)
+        loaded = read_edge_list(path, name="iso")
+        assert graphs_equal(g, loaded)
+        assert loaded.fingerprint() == g.fingerprint()
+
+    def test_node_comment_lines_written_once_each(self):
+        g = Graph()
+        g.add_nodes(["a", "b"])
+        g.add_edge("a", "b")
+        g.add_node("only")
+        lines = list(edge_list_lines(g))
+        assert lines.count("# node only") == 1
+        assert sum(line.startswith("# node") for line in lines) == 1
+
+    def test_node_lines_survive_weightless_export(self):
+        g = Graph()
+        g.add_nodes([1, 2, 3])
+        g.add_edge(1, 2)
+        restored = parse_edge_list_lines(edge_list_lines(g, weights=False))
+        assert set(restored.nodes()) == {1, 2, 3}
+
+    def test_foreign_comments_still_skipped(self):
+        restored = parse_edge_list_lines(
+            ["# a comment", "# node 7", "# nodes are great", "1 2"]
+        )
+        assert set(restored.nodes()) == {7, 1, 2}
+        assert restored.num_edges == 1
+
+    def test_json_mixed_id_roundtrip_is_fingerprint_identical(self, tmp_path):
+        # Regression: the writer used to coerce *both* endpoints of a mixed
+        # int/str edge to str, desynchronizing edges from the node list.
+        g = Graph(name="mixed")
+        g.add_nodes([1, "a", 2, "iso"])
+        g.add_edges([(1, "a"), (1, 2, 2.0)])
+        path = tmp_path / "mixed.json"
+        write_json(g, path)
+        loaded = read_json(path)
+        assert graphs_equal(g, loaded)
+        assert loaded.fingerprint() == g.fingerprint()
+
+
+class TestEmptyInputs:
+    def test_empty_edge_list_file(self, tmp_path):
+        path = tmp_path / "empty.txt"
+        path.write_text("", encoding="utf-8")
+        g = read_edge_list(path)
+        assert g.num_nodes == 0 and g.num_edges == 0
+        assert g.name == "empty"
+
+    def test_header_only_edge_list_file(self, tmp_path):
+        path = tmp_path / "hdr.txt"
+        path.write_text("# repro edge list: 0 nodes, 0 edges\n", encoding="utf-8")
+        g = read_edge_list(path)
+        assert g.num_nodes == 0 and g.name == "hdr"
+
+    def test_empty_json_file(self, tmp_path):
+        path = tmp_path / "blank.json"
+        path.write_text("  \n", encoding="utf-8")
+        g = read_json(path)
+        assert g.num_nodes == 0 and g.num_edges == 0
+        assert g.name == "blank"
+
+    def test_empty_graph_roundtrips(self, tmp_path):
+        g = Graph(name="void")
+        write_edge_list(g, tmp_path / "void.txt")
+        assert read_edge_list(tmp_path / "void.txt").num_nodes == 0
+        write_json(g, tmp_path / "void.json")
+        assert read_json(tmp_path / "void.json").num_nodes == 0

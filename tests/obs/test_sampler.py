@@ -1,0 +1,59 @@
+"""Resource sampling: rusage brackets and fork-safe peak RSS."""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.obs import ResourceSampler, peak_rss_kb, sample_rusage
+
+
+class TestSampleRusage:
+    def test_sample_shape(self):
+        sample = sample_rusage()
+        assert set(sample) == {"max_rss_kb", "cpu_user", "cpu_system"}
+        assert sample["max_rss_kb"] > 0
+
+    def test_sampler_bracket(self):
+        with ResourceSampler() as sampler:
+            sum(range(100_000))
+        usage = sampler.stop()
+        assert usage.wall_seconds > 0
+        assert usage.max_rss_kb > 0
+        assert usage.cpu_seconds >= 0
+
+
+class TestPeakRss:
+    def test_positive_and_near_rusage_in_same_process(self):
+        # In a process that never forked from a bigger one, the two
+        # high-water marks agree (up to kernel accounting granularity).
+        peak = peak_rss_kb()
+        assert peak > 0
+        assert peak == pytest.approx(sample_rusage()["max_rss_kb"], rel=0.05)
+
+    def test_subprocess_does_not_inherit_parent_peak(self):
+        """A child forked from a deliberately bloated parent must report
+        its own small peak, not the parent's (the ru_maxrss trap)."""
+        ballast = bytearray(200 * 1024 * 1024)
+        ballast[::4096] = b"x" * len(ballast[::4096])  # fault the pages in
+        script = (
+            "import json\n"
+            "from repro.obs import peak_rss_kb\n"
+            "print(json.dumps(peak_rss_kb()))\n"
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(sys.path)
+        proc = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            env=env,
+            check=True,
+        )
+        child_peak = json.loads(proc.stdout)
+        del ballast
+        # Bare interpreter + repro.obs is tens of MB; the 200 MB ballast
+        # must not leak into the child's reading.
+        assert child_peak < 150_000, child_peak

@@ -1,0 +1,129 @@
+"""Checkpointed growth: chunking, crash resume, identity guards."""
+
+import pytest
+
+from repro.core.registry import make_generator
+from repro.store import GraphStore, StoreError, grow_to_store
+from repro.store.sqlite import SQLiteGraphStore
+
+
+def plrg():
+    return make_generator("plrg", gamma=2.2)
+
+
+class TestChunking:
+    def test_checkpointed_equals_one_shot(self, tmp_path):
+        chunked = grow_to_store(
+            plrg(), 400, tmp_path / "chunked.db", seed=5, checkpoint_every=64
+        )
+        oneshot = grow_to_store(
+            plrg(), 400, tmp_path / "oneshot.db", seed=5, checkpoint_every=10**9
+        )
+        assert chunked.fingerprint == oneshot.fingerprint
+        assert chunked.chunks_written == 7
+        assert oneshot.chunks_written == 1
+
+    def test_complete_store_short_circuits(self, tmp_path):
+        first = grow_to_store(
+            plrg(), 300, tmp_path / "w.db", seed=3, checkpoint_every=100
+        )
+        again = grow_to_store(
+            plrg(), 300, tmp_path / "w.db", seed=3, checkpoint_every=100
+        )
+        assert first.regenerated and not again.regenerated
+        assert again.fingerprint == first.fingerprint
+        assert again.chunks_written == 0
+
+    def test_save_checkpointed_equals_bulk(self, tmp_path):
+        graph = plrg().generate(300, seed=11)
+        GraphStore(tmp_path / "bulk.db").save(graph)
+        GraphStore(tmp_path / "chunked.db").save(graph, checkpoint_every=50)
+        assert (
+            GraphStore.open(tmp_path / "bulk.db").load().fingerprint()
+            == GraphStore.open(tmp_path / "chunked.db").load().fingerprint()
+            == graph.fingerprint()
+        )
+
+
+class TestCrashResume:
+    def test_resume_after_mid_growth_crash(self, tmp_path, monkeypatch):
+        """Kill ingestion after a few chunk commits; resume must finish the
+        store and match a one-shot run bit for bit."""
+        path = tmp_path / "crash.db"
+        real_commit = SQLiteGraphStore.commit
+        commits = {"count": 0}
+
+        def flaky_commit(self):
+            # Growth identity commit + 3 chunk commits, then the "crash".
+            if commits["count"] >= 4:
+                raise RuntimeError("simulated crash")
+            commits["count"] += 1
+            real_commit(self)
+
+        monkeypatch.setattr(SQLiteGraphStore, "commit", flaky_commit)
+        with pytest.raises(RuntimeError, match="simulated crash"):
+            grow_to_store(plrg(), 400, path, seed=5, checkpoint_every=64)
+        monkeypatch.setattr(SQLiteGraphStore, "commit", real_commit)
+
+        with SQLiteGraphStore(path, create=False) as db:
+            committed_before = len(db.committed_chunks())
+            assert 0 < committed_before < 7
+            assert not db.get_meta("complete", False)
+
+        resumed = grow_to_store(plrg(), 400, path, seed=5, checkpoint_every=64)
+        assert resumed.regenerated
+        assert resumed.chunks_resumed == committed_before
+        assert resumed.chunks_written == 7 - committed_before
+
+        oneshot = grow_to_store(
+            plrg(), 400, tmp_path / "oneshot.db", seed=5, checkpoint_every=64
+        )
+        assert resumed.fingerprint == oneshot.fingerprint
+        assert (
+            GraphStore.open(path).load().fingerprint() == oneshot.fingerprint
+        )
+
+    def test_incomplete_store_not_reusable_as_world(self, tmp_path, monkeypatch):
+        from repro.store import StoredTopologyGenerator
+
+        path = tmp_path / "partial.db"
+        real_commit = SQLiteGraphStore.commit
+        commits = {"count": 0}
+
+        def flaky_commit(self):
+            if commits["count"] >= 2:
+                raise RuntimeError("boom")
+            commits["count"] += 1
+            real_commit(self)
+
+        monkeypatch.setattr(SQLiteGraphStore, "commit", flaky_commit)
+        with pytest.raises(RuntimeError):
+            grow_to_store(plrg(), 400, path, seed=5, checkpoint_every=64)
+        monkeypatch.setattr(SQLiteGraphStore, "commit", real_commit)
+        with pytest.raises(StoreError):
+            StoredTopologyGenerator(path)
+
+
+class TestIdentityGuards:
+    def test_different_seed_refused(self, tmp_path):
+        grow_to_store(plrg(), 200, tmp_path / "w.db", seed=1, checkpoint_every=50)
+        with pytest.raises(StoreError):
+            grow_to_store(plrg(), 200, tmp_path / "w.db", seed=2, checkpoint_every=50)
+
+    def test_different_params_refused(self, tmp_path):
+        grow_to_store(plrg(), 200, tmp_path / "w.db", seed=1, checkpoint_every=50)
+        other = make_generator("plrg", gamma=2.7)
+        with pytest.raises(StoreError):
+            grow_to_store(other, 200, tmp_path / "w.db", seed=1, checkpoint_every=50)
+
+    def test_foreign_saved_store_refused(self, tmp_path):
+        graph = plrg().generate(100, seed=1)
+        GraphStore(tmp_path / "w.db").save(graph)
+        with pytest.raises(StoreError):
+            grow_to_store(plrg(), 100, tmp_path / "w.db", seed=1, checkpoint_every=50)
+
+    def test_save_over_different_graph_refused(self, tmp_path):
+        store = GraphStore(tmp_path / "w.db")
+        store.save(plrg().generate(100, seed=1))
+        with pytest.raises(StoreError):
+            store.save(plrg().generate(100, seed=2))

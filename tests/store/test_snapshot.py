@@ -1,0 +1,101 @@
+"""mmap CSR snapshots: atomicity, range mode, torn-write detection."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.graph import Graph
+from repro.store import load_csr_snapshot, save_csr_snapshot, snapshot_info
+
+
+def int_graph():
+    g = Graph(name="ints")
+    g.add_nodes(range(6))
+    g.add_edges([(0, 1), (1, 2, 2.0), (2, 0), (3, 4)])  # node 5 isolated
+    return g
+
+
+def string_graph():
+    g = Graph(name="strs")
+    g.add_nodes(["a", "b", 7, "iso"])
+    g.add_edges([("a", "b"), ("b", 7, 0.5)])
+    return g
+
+
+class TestRoundTrip:
+    def test_view_round_trip(self, tmp_path):
+        g = int_graph()
+        view = g.csr()
+        save_csr_snapshot(tmp_path / "snap", view, name="ints", fingerprint=g.fingerprint())
+        loaded = load_csr_snapshot(tmp_path / "snap")
+        assert list(loaded.indptr) == list(view.indptr)
+        assert list(loaded.indices) == list(view.indices)
+        assert list(loaded.weights) == list(view.weights)
+        assert list(loaded.nodes) == list(view.nodes)
+
+    def test_range_mode_for_positional_ids(self, tmp_path):
+        save_csr_snapshot(tmp_path / "snap", int_graph().csr())
+        meta = snapshot_info(tmp_path / "snap")
+        assert meta["nodes"] == "range"
+        assert not (tmp_path / "snap" / "nodes.json").exists()
+        loaded = load_csr_snapshot(tmp_path / "snap")
+        assert isinstance(loaded.nodes, range)
+
+    def test_json_mode_for_arbitrary_ids(self, tmp_path):
+        g = string_graph()
+        save_csr_snapshot(tmp_path / "snap", g.csr())
+        meta = snapshot_info(tmp_path / "snap")
+        assert meta["nodes"] == "json"
+        loaded = load_csr_snapshot(tmp_path / "snap")
+        assert list(loaded.nodes) == list(g.csr().nodes)
+
+    def test_mmap_backed_and_readonly(self, tmp_path):
+        save_csr_snapshot(tmp_path / "snap", int_graph().csr())
+        loaded = load_csr_snapshot(tmp_path / "snap")
+        assert isinstance(loaded.indptr, np.memmap)
+        assert not loaded.indices.flags.writeable
+
+    def test_overwrite_is_atomic_rename(self, tmp_path):
+        g = int_graph()
+        save_csr_snapshot(tmp_path / "snap", g.csr(), fingerprint=1)
+        save_csr_snapshot(tmp_path / "snap", g.csr(), fingerprint=2)
+        assert snapshot_info(tmp_path / "snap")["fingerprint"] == 2
+        assert not (tmp_path / "snap.tmp").exists()
+
+
+class TestTornSnapshots:
+    def test_missing_dir(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            snapshot_info(tmp_path / "nope")
+        with pytest.raises(FileNotFoundError):
+            load_csr_snapshot(tmp_path / "nope")
+
+    def test_truncated_meta(self, tmp_path):
+        save_csr_snapshot(tmp_path / "snap", int_graph().csr())
+        (tmp_path / "snap" / "meta.json").write_text('{"format": 1, "num')
+        with pytest.raises(ValueError):
+            snapshot_info(tmp_path / "snap")
+
+    def test_foreign_format_version(self, tmp_path):
+        save_csr_snapshot(tmp_path / "snap", int_graph().csr())
+        meta = json.loads((tmp_path / "snap" / "meta.json").read_text())
+        meta["format"] = 999
+        (tmp_path / "snap" / "meta.json").write_text(json.dumps(meta))
+        with pytest.raises(ValueError):
+            snapshot_info(tmp_path / "snap")
+
+    def test_truncated_array(self, tmp_path):
+        save_csr_snapshot(tmp_path / "snap", int_graph().csr())
+        indptr = tmp_path / "snap" / "indptr.npy"
+        indptr.write_bytes(indptr.read_bytes()[:16])
+        with pytest.raises(ValueError):
+            load_csr_snapshot(tmp_path / "snap")
+
+    def test_array_meta_disagreement(self, tmp_path):
+        save_csr_snapshot(tmp_path / "snap", int_graph().csr())
+        meta = json.loads((tmp_path / "snap" / "meta.json").read_text())
+        meta["num_nodes"] += 1
+        (tmp_path / "snap" / "meta.json").write_text(json.dumps(meta))
+        with pytest.raises(ValueError):
+            load_csr_snapshot(tmp_path / "snap")

@@ -1,0 +1,131 @@
+"""SQLite backend: schema, ingestion semantics, id fidelity."""
+
+import sqlite3
+
+import pytest
+
+from repro.graph import Graph
+from repro.store import SQLiteGraphStore, StoreError
+
+
+def small_graph():
+    g = Graph(name="small")
+    g.add_nodes([0, 1, 2, "iso", "srv-9"])
+    g.add_edges([(0, 1), (1, 2, 2.5), (2, 0), ("srv-9", 0, 0.5)])
+    return g
+
+
+class TestLifecycle:
+    def test_create_and_reopen(self, tmp_path):
+        path = tmp_path / "g.db"
+        with SQLiteGraphStore(path) as db:
+            db.append_nodes([0, 1])
+            db.append_edges([(0, 1)])
+            db.commit()
+        with SQLiteGraphStore(path, create=False) as db:
+            assert db.num_nodes == 2
+            assert db.num_edges == 1
+
+    def test_missing_without_create_raises(self, tmp_path):
+        with pytest.raises(StoreError):
+            SQLiteGraphStore(tmp_path / "nope.db", create=False)
+
+    def test_foreign_sqlite_file_rejected(self, tmp_path):
+        path = tmp_path / "foreign.db"
+        conn = sqlite3.connect(path)
+        conn.execute("CREATE TABLE t (x)")
+        conn.commit()
+        conn.close()
+        with pytest.raises(StoreError):
+            SQLiteGraphStore(path)
+
+    def test_garbage_file_rejected(self, tmp_path):
+        path = tmp_path / "garbage.db"
+        path.write_bytes(b"\x00\x01 not a database \xff" * 40)
+        with pytest.raises(StoreError):
+            SQLiteGraphStore(path)
+
+    def test_wal_mode(self, tmp_path):
+        path = tmp_path / "g.db"
+        SQLiteGraphStore(path).close()
+        conn = sqlite3.connect(path)
+        assert conn.execute("PRAGMA journal_mode").fetchone()[0] == "wal"
+        conn.close()
+
+
+class TestIngestion:
+    def test_node_order_preserved(self, tmp_path):
+        with SQLiteGraphStore(tmp_path / "g.db") as db:
+            db.append_nodes([5, "b", 3, 0])
+            assert db.node_ids() == [5, "b", 3, 0]
+
+    def test_duplicate_nodes_skipped(self, tmp_path):
+        with SQLiteGraphStore(tmp_path / "g.db") as db:
+            assert db.append_nodes([1, 2]) == 2
+            assert db.append_nodes([2, 3]) == 1
+            assert db.num_nodes == 3
+
+    def test_edge_requires_registered_endpoints(self, tmp_path):
+        with SQLiteGraphStore(tmp_path / "g.db") as db:
+            db.append_nodes([1])
+            with pytest.raises(StoreError):
+                db.append_edges([(1, 99)])
+
+    def test_self_loop_rejected(self, tmp_path):
+        with SQLiteGraphStore(tmp_path / "g.db") as db:
+            db.append_nodes([1])
+            with pytest.raises(StoreError):
+                db.append_edges([(1, 1)])
+
+    def test_duplicate_edge_accumulates_weight(self, tmp_path):
+        # Mirrors Graph.add_edge reinforcement semantics.
+        with SQLiteGraphStore(tmp_path / "g.db") as db:
+            db.append_nodes([1, 2])
+            db.append_edges([(1, 2), (2, 1, 1.5)])
+            assert db.num_edges == 1
+            assert db.total_weight == pytest.approx(2.5)
+
+    def test_load_graph_round_trip(self, tmp_path):
+        g = small_graph()
+        with SQLiteGraphStore(tmp_path / "g.db") as db:
+            db.append_nodes(list(g.nodes()))
+            db.append_edges(list(g.weighted_edges()))
+            db.commit()
+        with SQLiteGraphStore(tmp_path / "g.db", create=False) as db:
+            loaded = db.load_graph(name="small")
+        assert loaded.fingerprint() == g.fingerprint()
+        assert list(loaded.nodes()) == list(g.nodes())
+
+    def test_id_types_survive(self, tmp_path):
+        # int 1 and str "1" are distinct nodes and must stay distinct.
+        with SQLiteGraphStore(tmp_path / "g.db") as db:
+            db.append_nodes([1, "1"])
+            assert db.node_ids() == [1, "1"]
+
+    def test_meta_round_trip(self, tmp_path):
+        with SQLiteGraphStore(tmp_path / "g.db") as db:
+            db.set_meta("growth", {"model": "plrg", "n": 10})
+            db.commit()
+        with SQLiteGraphStore(tmp_path / "g.db", create=False) as db:
+            assert db.get_meta("growth") == {"model": "plrg", "n": 10}
+            assert db.get_meta("absent", "fallback") == "fallback"
+
+
+class TestCsrArrays:
+    def test_matches_graph_csr(self, tmp_path):
+        g = small_graph()
+        with SQLiteGraphStore(tmp_path / "g.db") as db:
+            db.append_nodes(list(g.nodes()))
+            db.append_edges(list(g.weighted_edges()))
+            indptr, indices, weights, ids = db.csr_arrays()
+        view = g.csr()
+        assert list(indptr) == list(view.indptr)
+        assert list(indices) == list(view.indices)
+        assert list(weights) == list(view.weights)
+        assert ids == list(view.nodes)
+
+    def test_empty_store(self, tmp_path):
+        with SQLiteGraphStore(tmp_path / "g.db") as db:
+            indptr, indices, weights, ids = db.csr_arrays()
+        assert list(indptr) == [0]
+        assert len(indices) == 0 and len(weights) == 0 and ids == []

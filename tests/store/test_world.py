@@ -1,0 +1,83 @@
+"""Stored worlds in the battery: fingerprint-keyed cache cells."""
+
+import pytest
+
+from repro.core.battery import run_battery
+from repro.core.cache import ResultCache
+from repro.core.registry import available_models, make_generator, resolve_generator
+from repro.generators.base import GenerationError
+from repro.store import StoredTopologyGenerator, grow_to_store
+
+
+@pytest.fixture
+def world_path(tmp_path):
+    grow_to_store(
+        make_generator("plrg", gamma=2.2),
+        300,
+        tmp_path / "world.db",
+        seed=13,
+        checkpoint_every=100,
+    )
+    return tmp_path / "world.db"
+
+
+class TestGeneratorProtocol:
+    def test_instance_resolves_but_stays_out_of_registry(self, world_path):
+        # Stored worlds are not synthesizable families (no-arg construction,
+        # seed determinism), so they enter batteries as instances, not names.
+        world = StoredTopologyGenerator(world_path)
+        assert world.name == "stored"
+        assert world.num_nodes == 300
+        assert resolve_generator(world) is world
+        assert "stored" not in available_models()
+
+    def test_generate_loads_stored_graph(self, world_path):
+        world = StoredTopologyGenerator(world_path)
+        graph = world.generate(300, seed=999)  # seed must not matter
+        assert graph.fingerprint() == world.fingerprint
+
+    def test_wrong_n_raises(self, world_path):
+        world = StoredTopologyGenerator(world_path)
+        with pytest.raises(GenerationError):
+            world.generate(299)
+
+    def test_params_expose_only_fingerprint(self, world_path):
+        world = StoredTopologyGenerator(world_path)
+        assert world.params() == {"fingerprint": world.fingerprint}
+
+
+class TestCacheKeying:
+    def test_cells_hit_across_path_moves(self, world_path, tmp_path):
+        """Cache identity is the fingerprint, not the file path."""
+        cache = ResultCache(tmp_path / "cache")
+        world = StoredTopologyGenerator(world_path)
+        run_battery({"w": world}, n=300, seeds=2, groups=["size"], cache=cache)
+        first = cache.stats.snapshot()
+        assert first.writes == 2 and first.hits == 0
+
+        moved = world_path.with_name("moved.db")
+        world_path.rename(moved)
+        snapshot = world_path.with_name(world_path.name + ".csr")
+        if snapshot.exists():
+            snapshot.rename(moved.with_name(moved.name + ".csr"))
+        relocated = StoredTopologyGenerator(moved)
+        run_battery({"w": relocated}, n=300, seeds=2, groups=["size"], cache=cache)
+        delta = cache.stats.delta(first)
+        assert delta.hits == 2 and delta.writes == 0
+
+    def test_different_worlds_do_not_collide(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        for seed in (1, 2):
+            grow_to_store(
+                make_generator("plrg", gamma=2.2),
+                200,
+                tmp_path / f"w{seed}.db",
+                seed=seed,
+                checkpoint_every=100,
+            )
+        a = StoredTopologyGenerator(tmp_path / "w1.db")
+        b = StoredTopologyGenerator(tmp_path / "w2.db")
+        assert a.fingerprint != b.fingerprint
+        run_battery({"w": a}, n=200, seeds=1, groups=["size"], cache=cache)
+        run_battery({"w": b}, n=200, seeds=1, groups=["size"], cache=cache)
+        assert cache.stats.hits == 0 and cache.stats.writes == 2

@@ -201,3 +201,61 @@ class TestJournalCommand:
         bogus.write_text('{"nope": []}')
         with pytest.raises(SystemExit, match="traceEvents"):
             main(["journal", "spans", str(bogus)])
+
+
+class TestStoreCommand:
+    def test_save_grow_info_measure_load(self, tmp_path, capsys):
+        store = str(tmp_path / "w.db")
+        assert main([
+            "store", "save", store, "--model", "plrg", "-n", "300",
+            "-s", "5", "--param", "gamma=2.2", "--checkpoint-every", "100",
+        ]) == 0
+        assert "grew 300 nodes" in capsys.readouterr().out
+
+        assert main(["store", "info", store]) == 0
+        out = capsys.readouterr().out
+        assert "fingerprint" in out and "fresh" in out
+
+        assert main(["store", "measure", store]) == 0
+        assert "giant_fraction" in capsys.readouterr().out
+
+        exported = str(tmp_path / "out.txt")
+        assert main(["store", "load", store, "-o", exported]) == 0
+        assert "wrote 300 nodes" in capsys.readouterr().out
+
+    def test_save_reuses_complete_store(self, tmp_path, capsys):
+        store = str(tmp_path / "w.db")
+        argv = ["store", "save", store, "--model", "plrg", "-n", "200", "-s", "1"]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert main(argv) == 0
+        assert "reused 200 nodes" in capsys.readouterr().out
+
+    def test_save_from_edge_list(self, tmp_path, capsys):
+        edges = tmp_path / "g.txt"
+        edges.write_text("# node 9\n1 2\n2 3 2.5\n", encoding="utf-8")
+        assert main(["store", "save", str(tmp_path / "e.db"), "--input", str(edges)]) == 0
+        assert "saved 4 nodes / 2 edges" in capsys.readouterr().out
+
+    def test_info_on_missing_store_exits_cleanly(self, tmp_path):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["store", "info", str(tmp_path / "nope.db")])
+        assert "no graph store" in str(excinfo.value)
+
+    def test_save_needs_model_or_input(self, tmp_path):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["store", "save", str(tmp_path / "w.db")])
+        assert "--model or --input" in str(excinfo.value)
+
+    def test_save_model_needs_nodes(self, tmp_path):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["store", "save", str(tmp_path / "w.db"), "--model", "plrg"])
+        assert "--nodes" in str(excinfo.value)
+
+    def test_conflicting_identity_exits_cleanly(self, tmp_path):
+        store = str(tmp_path / "w.db")
+        base = ["store", "save", store, "--model", "plrg", "-n", "200"]
+        assert main(base + ["-s", "1"]) == 0
+        with pytest.raises(SystemExit) as excinfo:
+            main(base + ["-s", "2"])
+        assert "different identity" in str(excinfo.value)
