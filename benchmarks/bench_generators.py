@@ -4,7 +4,9 @@ One run per (model, size, engine) cell over every generator family that
 implements the engine contract, reported as wall-clock and nodes/sec.
 The table is written to ``output/generators.txt``; the acceptance floor —
 median speedup >= 2x across the registry at the full paper scale
-(n = 11000) — is asserted at the end.
+(n = 11000) — lives in ``perf_floors.json`` (``generators-median-speedup``)
+and is enforced against the published ``median_speedup`` value by the
+perf fixture.
 
 Draw-order-preserving families additionally get an oracle check here
 (identical fingerprints from both engines), so a timing run can never
@@ -33,7 +35,6 @@ from repro.generators import (
 
 SIZES = (1000, 5000, 11000)
 FULL_SCALE = 11000
-MEDIAN_SPEEDUP_FLOOR = 2.0
 
 FAMILIES = (
     ("albert-barabasi", lambda e: AlbertBarabasiGenerator(engine=e)),
@@ -58,7 +59,8 @@ def _timed_generate(make, engine, n, seed):
     return graph, elapsed, generator
 
 
-def test_generator_engine_speedups(output_dir):
+def test_generator_engine_speedups(perf, record_text):
+    perf.bench_id = "generators"
     rows = []
     full_scale_speedups = {}
     for name, make in FAMILIES:
@@ -110,7 +112,6 @@ def test_generator_engine_speedups(output_dir):
     print()
     print(table)
     print(summary)
-    (output_dir / "generators.txt").write_text(
-        table + "\n" + summary + "\n", encoding="utf-8"
-    )
-    assert median >= MEDIAN_SPEEDUP_FLOOR, full_scale_speedups
+    record_text("generators.txt", table + "\n" + summary)
+    perf.params["full_scale"] = FULL_SCALE
+    perf.values["median_speedup"] = median

@@ -99,7 +99,7 @@ _CSR_KERNELS = (
 )
 
 
-def test_micro_csr_kernel_speedups(output_dir):
+def test_micro_csr_kernel_speedups(record_text):
     """Python vs CSR backend, per kernel, on one BA graph (n=3000).
 
     Oracle first — both backends must return the same values — then the
@@ -136,7 +136,7 @@ def test_micro_csr_kernel_speedups(output_dir):
     )
     print()
     print(table)
-    (output_dir / "csr_kernels.txt").write_text(table + "\n", encoding="utf-8")
+    record_text("csr_kernels.txt", table)
     for label, (speedup, floor) in floors.items():
         assert speedup >= floor, (label, speedup)
 

@@ -10,10 +10,11 @@ measures the two halves of that claim directly:
 * the number of instrumentation touch points one real battery unit
   actually executes (counted with an enabled tracer + registry);
 
-and asserts that the implied instrumentation share of a real unit's wall
-time is under 5%.  Measuring the implied share, rather than differencing
-two noisy end-to-end timings, keeps the assertion stable on loaded CI
-boxes while still bounding the number that matters.
+and publishes the implied instrumentation share of a real unit's wall
+time; the under-5% gate lives in ``perf_floors.json`` (``obs-overhead``)
+and is enforced by the perf fixture.  Measuring the implied share,
+rather than differencing two noisy end-to-end timings, keeps the gate
+stable on loaded CI boxes while still bounding the number that matters.
 """
 
 import time
@@ -37,7 +38,8 @@ def _per_call_seconds(fn, calls=CALLS, repeats=5):
     return best / calls
 
 
-def test_disabled_tracer_overhead_under_five_percent(record_experiment):
+def test_disabled_tracer_overhead_under_five_percent(record_experiment, perf):
+    perf.bench_id = "obs_overhead"
     previous_tracer = set_tracer(Tracer(enabled=False))
     previous_registry = set_registry(MetricsRegistry())
     try:
@@ -64,12 +66,7 @@ def test_disabled_tracer_overhead_under_five_percent(record_experiment):
         implied = (
             span_calls * disabled_span + counter_calls * counter_inc
         ) / unit_seconds
-        assert implied < 0.05, (
-            f"disabled instrumentation would cost {implied:.2%} of a unit "
-            f"({span_calls} spans x {disabled_span * 1e9:.0f}ns + "
-            f"{counter_calls} incs x {counter_inc * 1e9:.0f}ns "
-            f"over {unit_seconds:.3f}s)"
-        )
+        perf.values["implied_overhead"] = implied
 
         result = ExperimentResult(
             experiment_id="OBS_OVERHEAD",

@@ -5,7 +5,9 @@ plus the sampled path-inflation sweep. Every timed pair is also an
 oracle: the backends must return bit-identical trajectories, so a
 timing run can never report a speedup for a divergent kernel. The
 table goes to ``output/resilience.txt``; the acceptance floor —
-median sweep speedup >= 3x — is asserted at the end.
+median sweep speedup >= 3x — lives in ``perf_floors.json``
+(``resilience-median-speedup``) and is enforced against the published
+``median_speedup`` value by the perf fixture.
 """
 
 import math
@@ -21,7 +23,6 @@ from repro.resilience import (
 )
 
 N = 3000
-MEDIAN_SPEEDUP_FLOOR = 3.0
 
 SWEEP_STRATEGIES = (
     AttackStrategy.RANDOM,
@@ -52,7 +53,8 @@ def _trajectories_equal(a, b):
     return True
 
 
-def test_resilience_sweep_speedups(output_dir):
+def test_resilience_sweep_speedups(perf, record_text):
+    perf.bench_id = "resilience"
     graph = BarabasiAlbertGenerator(m=2).generate(N, seed=1)
     rows = []
     speedups = {}
@@ -97,7 +99,6 @@ def test_resilience_sweep_speedups(output_dir):
     print()
     print(table)
     print(summary)
-    (output_dir / "resilience.txt").write_text(
-        table + "\n" + summary + "\n", encoding="utf-8"
-    )
-    assert median >= MEDIAN_SPEEDUP_FLOOR, speedups
+    record_text("resilience.txt", table + "\n" + summary)
+    perf.params["n"] = N
+    perf.values["median_speedup"] = median

@@ -35,7 +35,7 @@ def _ranks(result):
     return {k: v for k, v in result.notes.items() if k.startswith("rank_")}
 
 
-def test_t1_battery_cache_and_parallel_speedup(tmp_path, output_dir):
+def test_t1_battery_cache_and_parallel_speedup(tmp_path, record_text):
     """Cold vs warm vs parallel T1: identical numbers, recorded speedups."""
     kwargs = dict(n=500, seeds=2)
     cache_dir = tmp_path / "cache"
@@ -73,7 +73,7 @@ def test_t1_battery_cache_and_parallel_speedup(tmp_path, output_dir):
     )
     print()
     print(table)
-    (output_dir / "t1_scaling.txt").write_text(table + "\n", encoding="utf-8")
+    record_text("t1_scaling.txt", table)
 
     # A warm cache replaces all generation+metric work with JSON reads.
     assert warm_speedup >= 5.0, warm_speedup
@@ -82,7 +82,7 @@ def test_t1_battery_cache_and_parallel_speedup(tmp_path, output_dir):
         assert parallel_speedup >= 2.0, parallel_speedup
 
 
-def test_t1_battery_csr_speedup(tmp_path, output_dir):
+def test_t1_battery_csr_speedup(tmp_path, record_text):
     """Full compare_models battery, python vs CSR: identical scores, ≥2x.
 
     "Full" means no sampling shortcuts: ``path_sample_threshold`` is lifted
@@ -130,5 +130,5 @@ def test_t1_battery_csr_speedup(tmp_path, output_dir):
     )
     print()
     print(table)
-    (output_dir / "csr_battery.txt").write_text(table + "\n", encoding="utf-8")
+    record_text("csr_battery.txt", table)
     assert speedup >= 2.0, speedup

@@ -27,6 +27,14 @@ each work unit and prints a merged hotspot table.  ``repro journal``
 turns the artifacts back into reports: ``summarize`` (per-run wall time,
 skew, cache efficiency), ``tail`` (last events, one line each) and
 ``spans`` (aggregate a trace file by span name).
+
+``repro perf`` closes the loop on the benchmark suite's machine-readable
+records (``benchmarks/output/BENCH_<id>.json``): ``record`` rolls a
+record set into a committed baseline file, ``compare`` checks the
+current records against that baseline (noise-tolerant wall/RSS
+thresholds) and against the declarative acceptance floors in
+``benchmarks/perf_floors.json``, and ``report`` prints the trajectory of
+every bench-published value next to its baseline counterpart.
 """
 
 from __future__ import annotations
@@ -34,6 +42,7 @@ from __future__ import annotations
 import argparse
 import inspect
 import sys
+from pathlib import Path
 from typing import Any, Dict, List, Optional
 
 from .core.battery import compare_models
@@ -204,6 +213,63 @@ def build_parser() -> argparse.ArgumentParser:
     jspans.add_argument(
         "--top", type=int, default=0,
         help="only the N heaviest span names (default: all)",
+    )
+
+    perf = sub.add_parser(
+        "perf",
+        help="benchmark telemetry: records, baselines, regression gates",
+    )
+    psub = perf.add_subparsers(dest="perf_command", required=True)
+
+    def _records_flag(sub_parser):
+        sub_parser.add_argument(
+            "--records", default="benchmarks/output", metavar="DIR",
+            help="directory holding BENCH_<id>.json records "
+            "(default: benchmarks/output)",
+        )
+
+    precord = psub.add_parser(
+        "record", help="roll the current BENCH records into a baseline file"
+    )
+    _records_flag(precord)
+    precord.add_argument(
+        "-o", "--output", default="benchmarks/perf_baseline.json",
+        help="baseline file to write (default: benchmarks/perf_baseline.json)",
+    )
+    precord.add_argument(
+        "--note", default="", help="free-form provenance note for the baseline"
+    )
+    pcompare = psub.add_parser(
+        "compare",
+        help="current records vs committed baseline + declarative floors",
+    )
+    _records_flag(pcompare)
+    pcompare.add_argument(
+        "--baseline", default="benchmarks/perf_baseline.json",
+        help="committed baseline file (default: benchmarks/perf_baseline.json)",
+    )
+    pcompare.add_argument(
+        "--floors", default="benchmarks/perf_floors.json",
+        help="declarative acceptance-floor file; pass an empty string to "
+        "skip floor checks (default: benchmarks/perf_floors.json)",
+    )
+    pcompare.add_argument(
+        "--wall-tolerance", type=float, default=None, metavar="RATIO",
+        help="wall-clock regression ratio (default 2.0; a regression must "
+        "also exceed the absolute slack)",
+    )
+    pcompare.add_argument(
+        "--rss-tolerance", type=float, default=None, metavar="RATIO",
+        help="peak-RSS regression ratio (default 1.5; a regression must "
+        "also exceed the absolute slack)",
+    )
+    preport = psub.add_parser(
+        "report", help="trajectory of published bench values vs baseline"
+    )
+    _records_flag(preport)
+    preport.add_argument(
+        "--baseline", default="benchmarks/perf_baseline.json",
+        help="baseline for the comparison column (skipped when missing)",
     )
 
     return parser
@@ -430,6 +496,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _store_command(args)
     if args.command == "journal":
         return _journal_command(args)
+    if args.command == "perf":
+        return _perf_command(args)
     raise SystemExit(f"unknown command {args.command!r}")
 
 
@@ -508,7 +576,12 @@ def _store_command(args) -> int:
 
 
 def _journal_command(args) -> int:
-    """Dispatch ``repro journal summarize|tail|spans``."""
+    """Dispatch ``repro journal summarize|tail|spans``.
+
+    A missing or empty artifact is an everyday state (the run hasn't
+    happened yet, or logged nothing), so both exit cleanly with a
+    one-line message — never a traceback.
+    """
     from .core.journal import RunJournal
     from .obs.analysis import (
         journal_summary_tables,
@@ -517,8 +590,14 @@ def _journal_command(args) -> int:
         tail_lines,
     )
 
-    if args.journal_command == "summarize":
+    if args.journal_command in ("summarize", "tail"):
+        if not Path(args.path).exists():
+            raise SystemExit(f"repro: journal not found: {args.path}")
         events = RunJournal.read(args.path)
+        if not events:
+            print(f"journal {args.path}: no events")
+            return 0
+    if args.journal_command == "summarize":
         try:
             tables = journal_summary_tables(events, run_id=args.run)
         except KeyError as exc:
@@ -529,7 +608,7 @@ def _journal_command(args) -> int:
             print(format_table(headers, rows, title=title))
         return 0
     if args.journal_command == "tail":
-        for line in tail_lines(RunJournal.read(args.path), count=args.count):
+        for line in tail_lines(events, count=args.count):
             print(line)
         return 0
     if args.journal_command == "spans":
@@ -537,10 +616,94 @@ def _journal_command(args) -> int:
             spans = load_trace_spans(args.path)
         except (OSError, ValueError) as exc:
             raise SystemExit(f"repro: {exc}") from None
+        if not spans:
+            print(f"trace {args.path}: no spans")
+            return 0
         title, headers, rows = span_aggregate(spans, top=args.top)
         print(format_table(headers, rows, title=title))
         return 0
     raise SystemExit(f"unknown journal command {args.journal_command!r}")
+
+
+def _perf_command(args) -> int:
+    """Dispatch ``repro perf record|compare|report``.
+
+    ``compare`` exits 1 when anything regressed past the noise-tolerant
+    thresholds or an acceptance floor was violated — the shape a CI gate
+    needs — and 0 otherwise, including for new benches with no baseline
+    entry yet.
+    """
+    import json
+
+    from .obs.perf import (
+        build_baseline,
+        compare_records,
+        comparison_tables,
+        load_baseline,
+        load_floors,
+        load_records,
+        trajectory_table,
+    )
+
+    try:
+        records = load_records(args.records)
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"repro: {exc}") from None
+    if not records:
+        message = f"no BENCH_*.json records under {args.records}"
+        if args.perf_command == "record":
+            raise SystemExit(f"repro: {message}; run the benchmarks first")
+        print(message)
+        return 0
+
+    if args.perf_command == "record":
+        baseline = build_baseline(records, note=args.note)
+        Path(args.output).write_text(
+            json.dumps(baseline, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        print(f"baseline: {len(records)} benches -> {args.output}")
+        return 0
+    if args.perf_command == "compare":
+        try:
+            baseline = load_baseline(args.baseline)
+            floors = load_floors(args.floors) if args.floors else {}
+        except (OSError, ValueError) as exc:
+            raise SystemExit(f"repro: {exc}") from None
+        overrides = {}
+        if args.wall_tolerance is not None:
+            overrides["wall_tolerance"] = args.wall_tolerance
+        if args.rss_tolerance is not None:
+            overrides["rss_tolerance"] = args.rss_tolerance
+        comparison = compare_records(records, baseline, floors, **overrides)
+        for position, (title, headers, rows) in enumerate(
+            comparison_tables(comparison)
+        ):
+            if position:
+                print()
+            print(format_table(headers, rows, title=title))
+        print()
+        if comparison.ok:
+            skipped = len(comparison.skipped_floors)
+            suffix = f" ({skipped} floors skipped)" if skipped else ""
+            print(f"perf: ok — {len(records)} benches within tolerance{suffix}")
+            return 0
+        for delta in comparison.regressions:
+            print(f"perf: REGRESSION {delta.bench_id}: {delta.detail}")
+        for check in comparison.violations:
+            print(f"perf: FLOOR VIOLATION {check.describe()}")
+        return 1
+    if args.perf_command == "report":
+        baseline = None
+        if args.baseline and Path(args.baseline).exists():
+            try:
+                baseline = load_baseline(args.baseline)
+            except ValueError as exc:
+                raise SystemExit(f"repro: {exc}") from None
+        title, headers, rows = trajectory_table(records, baseline)
+        print(format_table(headers, rows, title=title))
+        return 0
+    raise SystemExit(f"unknown perf command {args.perf_command!r}")
 
 
 if __name__ == "__main__":

@@ -14,7 +14,10 @@ metric battery, the cache, and the experiment harnesses:
 * :mod:`~repro.obs.exporters` — Chrome trace-event JSON (Perfetto /
   ``about://tracing``) and Prometheus text exposition;
 * :mod:`~repro.obs.analysis` — journal/trace reports (the ``repro
-  journal`` CLI surface).
+  journal`` CLI surface);
+* :mod:`~repro.obs.perf` — machine-readable benchmark records
+  (``BENCH_<id>.json``), the declarative acceptance-floor file, and the
+  baseline comparator (the ``repro perf`` CLI surface).
 
 Import discipline: this package depends only on the standard library, so
 any layer of the system — graph code, generators, core, experiments — may
@@ -43,6 +46,15 @@ from .metrics import (
     diff_snapshots,
     get_registry,
     set_registry,
+)
+from .perf import (
+    BenchRecord,
+    check_floors,
+    compare_records,
+    environment_fingerprint,
+    load_floors,
+    load_records,
+    validate_record,
 )
 from .profiler import merge_profiles, profile_unit
 from .sampler import ResourceSampler, ResourceUsage, peak_rss_kb, sample_rusage
@@ -77,4 +89,11 @@ __all__ = [
     "tail_lines",
     "span_aggregate",
     "load_trace_spans",
+    "BenchRecord",
+    "validate_record",
+    "load_records",
+    "load_floors",
+    "check_floors",
+    "compare_records",
+    "environment_fingerprint",
 ]

@@ -48,7 +48,7 @@ def sample_rusage() -> Dict[str, float]:
     }
 
 
-def peak_rss_kb() -> float:
+def peak_rss_kb(status_path: str = "/proc/self/status") -> float:
     """Peak RSS (KB) of *this process's own work*, fork-safe on Linux.
 
     ``ru_maxrss`` has a sharp edge for subprocess measurement: a child
@@ -58,14 +58,16 @@ def peak_rss_kb() -> float:
     from a 1 GB parent claims a ~1 GB peak.  ``/proc/self/status``'s
     ``VmHWM`` tracks only the current (post-exec) address space, which is
     the number an RSS budget actually wants; this helper prefers it and
-    falls back to ``ru_maxrss`` where procfs is unavailable.
+    falls back to ``ru_maxrss`` where procfs is unavailable (or the file
+    holds no ``VmHWM`` line).  *status_path* exists so tests can exercise
+    both branches on any platform.
     """
     try:
-        with open("/proc/self/status", "r", encoding="ascii") as handle:
+        with open(status_path, "r", encoding="ascii") as handle:
             for line in handle:
                 if line.startswith("VmHWM:"):
                     return float(line.split()[1])
-    except (OSError, ValueError, IndexError):  # pragma: no cover - non-Linux
+    except (OSError, ValueError, IndexError):
         pass
     return sample_rusage()["max_rss_kb"]
 

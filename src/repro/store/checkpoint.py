@@ -113,6 +113,10 @@ def write_graph_chunks(
     row.  With *skip_committed*, chunks whose checkpoint row already
     exists are not re-ingested — the resume path.  Returns written/resumed
     chunk counts.
+
+    Each ingested chunk runs under a ``store.chunk`` span and feeds the
+    ``store.chunk.seconds`` histogram; written/resumed totals land on the
+    ``store.chunks.written`` / ``store.chunks.resumed`` counters.
     """
     order = list(graph.nodes())
     positions = {node: i for i, node in enumerate(order)}
@@ -120,6 +124,8 @@ def write_graph_chunks(
     if every is None or every <= 0:
         every = max(n, 1)
     committed = db.committed_chunks() if skip_committed else {}
+    registry = get_registry()
+    tracer = get_tracer()
     written = resumed = 0
     total_nodes = total_edges = 0
     for chunk, lo in enumerate(range(0, max(n, 1), every)):
@@ -128,13 +134,21 @@ def write_graph_chunks(
             resumed += 1
             total_nodes, total_edges = committed[chunk]
             continue
-        total_nodes += len(chunk_nodes)
-        db.append_nodes(chunk_nodes)
-        total_edges += db.append_edges(_chunk_edges(graph, positions, chunk_nodes))
-        db.record_checkpoint(chunk, total_nodes, total_edges)
-        db.commit()
+        with tracer.span("store.chunk", chunk=chunk, nodes=len(chunk_nodes)):
+            start = time.perf_counter()
+            total_nodes += len(chunk_nodes)
+            db.append_nodes(chunk_nodes)
+            total_edges += db.append_edges(
+                _chunk_edges(graph, positions, chunk_nodes)
+            )
+            db.record_checkpoint(chunk, total_nodes, total_edges)
+            db.commit()
+            registry.histogram("store.chunk.seconds").observe(
+                time.perf_counter() - start
+            )
         written += 1
-    get_registry().counter("store.chunks.written").inc(written)
+    registry.counter("store.chunks.written").inc(written)
+    registry.counter("store.chunks.resumed").inc(resumed)
     return {"written": written, "resumed": resumed}
 
 

@@ -35,6 +35,7 @@ from typing import Any, Dict, Optional, Sequence, Union
 import numpy as np
 
 from ..graph.csr import CSRView
+from ..obs.metrics import get_registry
 
 __all__ = [
     "save_csr_snapshot",
@@ -92,6 +93,8 @@ def save_csr_snapshot(
         "nodes": node_mode,
     }
     (staging / "meta.json").write_text(json.dumps(meta), encoding="utf-8")
+    written = sum(f.stat().st_size for f in staging.iterdir() if f.is_file())
+    get_registry().counter("store.snapshot.bytes_written").inc(written)
     if path.exists():
         shutil.rmtree(path)
     os.replace(staging, path)

@@ -25,17 +25,24 @@ Ingestion is bulk-only: :meth:`append_nodes` and :meth:`append_edges`
 take iterables shaped exactly like :meth:`repro.graph.graph.Graph.
 add_edges` batches (``(u, v)`` or ``(u, v, weight)`` node-id tuples) and
 feed ``executemany`` — the same batch-commit idiom the vector growth
-engine uses in memory.
+engine uses in memory.  Both paths publish to the ambient metrics
+registry: ``store.rows.nodes`` / ``store.rows.edges`` count inserted
+rows and the ``store.ingest.rows_per_second`` histogram tracks bulk
+throughput per ``executemany`` batch, so an ingest slowdown shows up in
+``repro perf`` records and ``--metrics-out`` dumps without any harness
+changes.
 """
 
 from __future__ import annotations
 
 import json
 import sqlite3
+import time
 from pathlib import Path
 from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple, Union
 
 from ..graph.graph import Graph
+from ..obs.metrics import get_registry
 
 __all__ = ["SQLiteGraphStore", "StoreError", "SCHEMA_VERSION"]
 
@@ -206,8 +213,8 @@ class SQLiteGraphStore:
             rows.append((next_pos, _encode_id(node)))
             next_pos += 1
         if rows:
-            self._conn.executemany(
-                "INSERT INTO nodes (pos, id) VALUES (?, ?)", rows
+            self._bulk_insert(
+                "INSERT INTO nodes (pos, id) VALUES (?, ?)", rows, "nodes"
             )
         return len(rows)
 
@@ -245,13 +252,26 @@ class SQLiteGraphStore:
                 ) from None
             rows.append((min(pu, pv), max(pu, pv), weight))
         if rows:
-            self._conn.executemany(
+            self._bulk_insert(
                 "INSERT INTO edges (u, v, weight) VALUES (?, ?, ?) "
                 "ON CONFLICT(u, v) DO UPDATE SET "
                 "weight = weight + excluded.weight",
                 rows,
+                "edges",
             )
         return len(rows)
+
+    def _bulk_insert(self, statement: str, rows: List[Tuple], kind: str) -> None:
+        """``executemany`` one batch, publishing rows + throughput metrics."""
+        start = time.perf_counter()
+        self._conn.executemany(statement, rows)
+        elapsed = time.perf_counter() - start
+        registry = get_registry()
+        registry.counter(f"store.rows.{kind}").inc(len(rows))
+        if elapsed > 0:
+            registry.histogram("store.ingest.rows_per_second").observe(
+                len(rows) / elapsed
+            )
 
     # ----------------------------------------------------------- checkpoints
 

@@ -96,6 +96,11 @@ class TestValidateChromeTrace:
         counts = validate_chrome_trace(to_chrome_trace(parent.spans))
         assert counts["nested"] == 1
 
+    def test_empty_tracer_produces_a_valid_empty_trace(self):
+        tracer = Tracer(enabled=True)  # enabled but never spanned
+        counts = validate_chrome_trace(to_chrome_trace(tracer.spans))
+        assert counts == {"events": 0, "spans": 0, "nested": 0}
+
     def test_not_a_trace_rejected(self):
         with pytest.raises(ValueError, match="traceEvents"):
             validate_chrome_trace({"wrong": []})

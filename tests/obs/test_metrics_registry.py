@@ -90,6 +90,26 @@ class TestSnapshotMerge:
         assert registry.histogram("never.observed").count == 0
         assert registry.histogram("never.observed").min is None
 
+    def test_merge_disjoint_keys_keeps_both_sides(self, registry):
+        registry.counter("parent.only").inc(2)
+        registry.histogram("parent.hist").observe(1.0)
+        worker = MetricsRegistry()
+        worker.counter("worker.only").inc(5)
+        worker.histogram("worker.hist").observe(3.0)
+        registry.merge(worker.snapshot())
+        snap = registry.snapshot()
+        assert snap["counters"] == {"parent.only": 2, "worker.only": 5}
+        assert set(snap["histograms"]) == {"parent.hist", "worker.hist"}
+        assert snap["histograms"]["worker.hist"]["count"] == 1
+
+    def test_merge_zero_count_histogram_leaves_minmax_alone(self, registry):
+        registry.histogram("unit.s").observe(2.0)
+        worker = MetricsRegistry()
+        worker.histogram("unit.s")  # zero observations
+        registry.merge(worker.snapshot())
+        hist = registry.histogram("unit.s")
+        assert (hist.count, hist.min, hist.max) == (1, 2.0, 2.0)
+
     def test_clear_drops_everything(self, registry):
         registry.counter("a").inc()
         registry.clear()
@@ -115,6 +135,22 @@ class TestDiffSnapshots:
         delta = diff_snapshots(registry.snapshot(), before)
         assert delta["histograms"]["unit.s"]["count"] == 1
         assert delta["histograms"]["unit.s"]["sum"] == 3.0
+
+    def test_diff_disjoint_keys_treat_missing_as_zero(self, registry):
+        registry.counter("old.counter").inc(3)
+        before = registry.snapshot()
+        registry.counter("new.counter").inc(4)
+        delta = diff_snapshots(registry.snapshot(), before)
+        # The untouched counter reports zero delta; the new one its count.
+        assert delta["counters"] == {"old.counter": 0, "new.counter": 4}
+
+    def test_diff_zero_count_histogram_is_zero_delta(self, registry):
+        hist = registry.histogram("unit.s")
+        before = registry.snapshot()
+        delta = diff_snapshots(registry.snapshot(), before)
+        assert delta["histograms"]["unit.s"]["count"] == 0
+        assert delta["histograms"]["unit.s"]["sum"] == 0.0
+        assert hist.count == 0
 
     def test_gauges_report_after_value(self, registry):
         registry.gauge("jobs").set(1)

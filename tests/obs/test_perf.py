@@ -1,0 +1,281 @@
+"""Tests for perf telemetry: records, floors, baseline comparison."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.obs.perf import (
+    BENCH_SCHEMA_VERSION,
+    BenchRecord,
+    build_baseline,
+    check_floors,
+    compare_records,
+    comparison_tables,
+    environment_fingerprint,
+    floors_for,
+    load_baseline,
+    load_floors,
+    load_records,
+    record_path,
+    sanitize_bench_id,
+    trajectory_table,
+    validate_record,
+)
+
+REPO_FLOORS = Path(__file__).resolve().parents[2] / "benchmarks" / "perf_floors.json"
+
+ENVIRONMENT = {
+    "git_commit": "abc1234",
+    "python": "3.11.7",
+    "numpy": "2.4.6",
+    "platform": "linux",
+    "cpu_count": 4,
+    "timestamp": 1.0,
+}
+
+
+def make_record(bench_id, values=None, wall=1.0, rss=100_000.0):
+    return BenchRecord(
+        bench_id=bench_id,
+        values=dict(values or {}),
+        wall_seconds=wall,
+        peak_rss_kb=rss,
+        environment=dict(ENVIRONMENT),
+    )
+
+
+class TestSanitize:
+    def test_passthrough_for_clean_ids(self):
+        assert sanitize_bench_id("full_scale_oocore_100000") == (
+            "full_scale_oocore_100000"
+        )
+
+    def test_collapses_unsafe_runs(self):
+        assert sanitize_bench_id("scale[n=1e5] / csr") == "scale_n_1e5_csr"
+
+    def test_empty_after_cleaning_raises(self):
+        with pytest.raises(ValueError):
+            sanitize_bench_id("///")
+
+
+class TestEnvironmentFingerprint:
+    def test_has_the_comparability_keys(self):
+        env = environment_fingerprint()
+        for key in ("git_commit", "python", "numpy", "platform", "cpu_count"):
+            assert key in env
+        assert env["cpu_count"] >= 1
+
+    def test_commit_resolves_inside_this_repo(self):
+        env = environment_fingerprint(REPO_FLOORS.parent)
+        assert env["git_commit"] != "unknown"
+
+
+class TestBenchRecord:
+    def test_write_then_load_round_trips(self, tmp_path):
+        record = make_record("alpha", values={"speedup": 3.5}, wall=2.25)
+        path = record.write(tmp_path)
+        assert path == record_path(tmp_path, "alpha")
+        loaded = load_records(tmp_path)
+        assert set(loaded) == {"alpha"}
+        assert loaded["alpha"].values == {"speedup": 3.5}
+        assert loaded["alpha"].wall_seconds == 2.25
+        assert loaded["alpha"].environment["git_commit"] == "abc1234"
+
+    def test_validate_names_every_problem_at_once(self):
+        with pytest.raises(ValueError) as exc:
+            validate_record({"schema": BENCH_SCHEMA_VERSION, "bench_id": "x y"})
+        message = str(exc.value)
+        assert "missing field 'wall_seconds'" in message
+        assert "missing field 'environment'" in message
+        assert "not a clean id" in message
+
+    def test_newer_schema_refused(self):
+        data = make_record("alpha").to_dict()
+        data["schema"] = BENCH_SCHEMA_VERSION + 1
+        with pytest.raises(ValueError, match="newer than this build"):
+            validate_record(data)
+
+    def test_non_numeric_value_refused(self):
+        data = make_record("alpha").to_dict()
+        data["values"]["speedup"] = "fast"
+        with pytest.raises(ValueError, match="not a number"):
+            validate_record(data)
+
+    def test_environment_keys_required(self):
+        data = make_record("alpha").to_dict()
+        del data["environment"]["git_commit"]
+        with pytest.raises(ValueError, match="environment missing 'git_commit'"):
+            validate_record(data)
+
+    def test_load_records_raises_on_corrupt_file(self, tmp_path):
+        make_record("good").write(tmp_path)
+        (tmp_path / "BENCH_bad.json").write_text("{not json", encoding="utf-8")
+        with pytest.raises(ValueError, match="BENCH_bad.json"):
+            load_records(tmp_path)
+
+
+class TestFloorsFile:
+    def test_committed_floors_file_parses(self):
+        floors = load_floors(REPO_FLOORS)
+        assert "generators-median-speedup" in floors
+        assert floors["resilience-median-speedup"]["min"] == 3.0
+
+    def test_floor_needs_exactly_one_bound(self, tmp_path):
+        path = tmp_path / "floors.json"
+        path.write_text(json.dumps({
+            "floors": {"both": {"bench": "a", "value": "v", "min": 1, "max": 2}}
+        }))
+        with pytest.raises(ValueError, match="exactly one of min/max"):
+            load_floors(path)
+
+    def test_top_level_floors_mapping_required(self, tmp_path):
+        path = tmp_path / "floors.json"
+        path.write_text(json.dumps({"floor": []}))
+        with pytest.raises(ValueError, match="'floors' mapping"):
+            load_floors(path)
+
+
+class TestCheckFloors:
+    """The committed floors file must reproduce the four gates that used
+    to live as ad-hoc asserts inside the bench scripts."""
+
+    @pytest.fixture(scope="class")
+    def floors(self):
+        return load_floors(REPO_FLOORS)
+
+    @pytest.mark.parametrize(
+        "bench_id, value_key, passing, failing",
+        [
+            ("generators", "median_speedup", 2.4, 1.9),
+            ("resilience", "median_speedup", 3.6, 2.9),
+            ("full_scale_serrano", "speedup", 4.0, 2.5),
+            ("full_scale_oocore_100000", "measure_peak_rss_kb", 250_000, 450_000),
+            ("full_scale_oocore_1000000", "measure_peak_rss_kb", 320_000, 600_000),
+            ("obs_overhead", "implied_overhead", 0.01, 0.09),
+        ],
+    )
+    def test_each_migrated_gate(self, floors, bench_id, value_key, passing, failing):
+        ok = check_floors(
+            {bench_id: make_record(bench_id, values={value_key: passing})},
+            floors_for(bench_id, floors),
+        )
+        assert [c.status for c in ok] == ["ok"]
+        bad = check_floors(
+            {bench_id: make_record(bench_id, values={value_key: failing})},
+            floors_for(bench_id, floors),
+        )
+        assert [c.status for c in bad] == ["violation"]
+        assert bench_id in bad[0].describe()
+
+    def test_absent_record_skips(self, floors):
+        checks = check_floors({}, floors)
+        assert checks and all(c.status == "skipped" for c in checks)
+
+    def test_present_record_missing_value_is_violation(self, floors):
+        checks = check_floors(
+            {"generators": make_record("generators")},
+            floors_for("generators", floors),
+        )
+        assert [c.status for c in checks] == ["violation"]
+        assert "missing" in checks[0].describe()
+
+    def test_floors_for_filters_by_bench(self, floors):
+        bound = floors_for("generators", floors)
+        assert set(bound) == {"generators-median-speedup"}
+
+
+class TestBaselineAndCompare:
+    def test_build_then_load_round_trips(self, tmp_path):
+        records = {"alpha": make_record("alpha", values={"speedup": 3.0})}
+        baseline = build_baseline(records, note="seed run")
+        path = tmp_path / "base.json"
+        path.write_text(json.dumps(baseline))
+        loaded = load_baseline(path)
+        assert loaded["benches"]["alpha"]["values"] == {"speedup": 3.0}
+        assert loaded["note"] == "seed run"
+
+    def test_not_a_baseline_raises(self, tmp_path):
+        path = tmp_path / "base.json"
+        path.write_text(json.dumps({"records": []}))
+        with pytest.raises(ValueError, match="'benches' mapping"):
+            load_baseline(path)
+
+    def test_within_tolerance_is_ok(self):
+        baseline = build_baseline({"a": make_record("a", wall=10.0)})
+        comparison = compare_records({"a": make_record("a", wall=14.0)}, baseline)
+        assert comparison.ok
+        assert [d.status for d in comparison.deltas] == ["ok"]
+
+    def test_injected_wall_regression_is_flagged(self):
+        baseline = build_baseline({"a": make_record("a", wall=2.0)})
+        comparison = compare_records({"a": make_record("a", wall=9.0)}, baseline)
+        assert not comparison.ok
+        assert [d.bench_id for d in comparison.regressions] == ["a"]
+        assert "wall" in comparison.regressions[0].detail
+
+    def test_big_ratio_tiny_absolute_is_noise(self):
+        # 10x slower but only 90ms absolute: below the slack, not a regression.
+        baseline = build_baseline({"a": make_record("a", wall=0.01)})
+        comparison = compare_records({"a": make_record("a", wall=0.1)}, baseline)
+        assert comparison.ok
+
+    def test_rss_regression_is_flagged(self):
+        baseline = build_baseline({"a": make_record("a", rss=100_000.0)})
+        comparison = compare_records({"a": make_record("a", rss=180_000.0)}, baseline)
+        assert not comparison.ok
+        assert "rss" in comparison.regressions[0].detail
+
+    def test_improvement_and_new_statuses(self):
+        baseline = build_baseline({"a": make_record("a", wall=10.0)})
+        comparison = compare_records(
+            {"a": make_record("a", wall=2.0), "b": make_record("b")}, baseline
+        )
+        assert comparison.ok
+        statuses = {d.bench_id: d.status for d in comparison.deltas}
+        assert statuses == {"a": "improvement", "b": "new"}
+
+    def test_floor_violation_fails_comparison(self):
+        floors = load_floors(REPO_FLOORS)
+        records = {
+            "generators": make_record(
+                "generators", values={"median_speedup": 1.2}
+            )
+        }
+        baseline = build_baseline(records)
+        comparison = compare_records(records, baseline, floors)
+        assert not comparison.ok
+        assert [v.floor for v in comparison.violations] == [
+            "generators-median-speedup"
+        ]
+
+    def test_comparison_tables_shape(self):
+        floors = load_floors(REPO_FLOORS)
+        records = {"a": make_record("a", wall=9.0)}
+        baseline = build_baseline({"a": make_record("a", wall=2.0)})
+        tables = comparison_tables(compare_records(records, baseline, floors))
+        titles = [title for title, _, _ in tables]
+        assert titles[0] == "benchmarks vs baseline"
+        assert "acceptance floors" in titles
+        delta_rows = tables[0][2]
+        assert delta_rows[0][0] == "a"
+        assert delta_rows[0][-1] == "regression"
+
+    def test_environment_drift_reported(self):
+        # build_baseline stamps the *live* machine's fingerprint, so the
+        # synthetic record environment always drifts from it.
+        baseline = build_baseline({"a": make_record("a")})
+        drifted = make_record("a")
+        drifted.environment["cpu_count"] = 64
+        tables = comparison_tables(compare_records({"a": drifted}, baseline))
+        drift = [t for t in tables if t[0] == "environment drift vs baseline"]
+        assert drift
+        now_by_field = {row[0]: row[2] for row in drift[0][2]}
+        assert now_by_field["cpu_count"] == 64
+
+    def test_trajectory_table_pairs_values(self):
+        records = {"a": make_record("a", values={"speedup": 4.0})}
+        baseline = build_baseline({"a": make_record("a", values={"speedup": 2.0})})
+        _, headers, rows = trajectory_table(records, baseline)
+        assert headers == ["value", "current", "baseline", "ratio"]
+        assert rows == [["a.speedup", 4.0, 2.0, "2.00x"]]

@@ -33,6 +33,22 @@ class TestPeakRss:
         assert peak > 0
         assert peak == pytest.approx(sample_rusage()["max_rss_kb"], rel=0.05)
 
+    def test_status_file_without_vmhwm_falls_back_to_rusage(self, tmp_path):
+        status = tmp_path / "status"
+        status.write_text("Name:\tpython\nVmRSS:\t  1234 kB\n")
+        peak = peak_rss_kb(status_path=str(status))
+        assert peak == sample_rusage()["max_rss_kb"]
+
+    def test_missing_status_file_falls_back_to_rusage(self, tmp_path):
+        peak = peak_rss_kb(status_path=str(tmp_path / "no-procfs"))
+        assert peak == sample_rusage()["max_rss_kb"]
+        assert peak > 0
+
+    def test_vmhwm_line_is_parsed_when_present(self, tmp_path):
+        status = tmp_path / "status"
+        status.write_text("Name:\tpython\nVmHWM:\t  4321 kB\n")
+        assert peak_rss_kb(status_path=str(status)) == 4321.0
+
     def test_subprocess_does_not_inherit_parent_peak(self):
         """A child forked from a deliberately bloated parent must report
         its own small peak, not the parent's (the ru_maxrss trap)."""

@@ -1,0 +1,83 @@
+"""Store-layer telemetry: ingest counters, chunk spans, snapshot bytes."""
+
+import pytest
+
+from repro.core.registry import make_generator
+from repro.obs import MetricsRegistry, Tracer, set_registry, set_tracer
+from repro.store import grow_to_store
+
+
+@pytest.fixture
+def obs():
+    """Fresh ambient tracer + registry, restored afterwards."""
+    tracer = Tracer(enabled=True)
+    registry = MetricsRegistry()
+    previous_tracer = set_tracer(tracer)
+    previous_registry = set_registry(registry)
+    try:
+        yield tracer, registry
+    finally:
+        set_tracer(previous_tracer)
+        set_registry(previous_registry)
+
+
+class TestStoreTelemetry:
+    def test_grow_publishes_rows_chunks_and_snapshot_bytes(self, tmp_path, obs):
+        tracer, registry = obs
+        report = grow_to_store(
+            make_generator("plrg", gamma=2.2),
+            400,
+            tmp_path / "g.db",
+            seed=5,
+            checkpoint_every=100,
+        )
+        counters = registry.snapshot()["counters"]
+        assert counters["store.rows.nodes"] == report.num_nodes
+        assert counters["store.rows.edges"] == report.num_edges
+        assert counters["store.chunks.written"] == report.chunks_written == 4
+        assert counters["store.chunks.resumed"] == 0
+        # The snapshot directory's arrays + sidecars all count as bytes.
+        assert counters["store.snapshot.bytes_written"] > 0
+
+        histograms = registry.snapshot()["histograms"]
+        assert histograms["store.chunk.seconds"]["count"] == 4
+        assert histograms["store.ingest.rows_per_second"]["count"] >= 4
+        assert histograms["store.ingest.rows_per_second"]["min"] > 0
+
+        names = [span.name for span in tracer.spans]
+        assert names.count("store.chunk") == 4
+        chunk_spans = [s for s in tracer.spans if s.name == "store.chunk"]
+        assert [s.attrs["chunk"] for s in chunk_spans] == [0, 1, 2, 3]
+        # Chunk spans nest under the store.grow span.
+        grow = next(s for s in tracer.spans if s.name == "store.grow")
+        assert all(s.parent_id == grow.span_id for s in chunk_spans)
+
+    def test_resume_counts_resumed_chunks(self, tmp_path, obs):
+        tracer, registry = obs
+        grow_to_store(
+            make_generator("plrg", gamma=2.2),
+            300,
+            tmp_path / "r.db",
+            seed=3,
+            checkpoint_every=100,
+        )
+        # Drop the completion stamp so the next call walks the chunks
+        # again and finds all of them committed.
+        from repro.store.sqlite import SQLiteGraphStore
+
+        with SQLiteGraphStore(tmp_path / "r.db") as db:
+            db.set_meta("complete", False)
+            db.commit()
+        registry.clear()
+        report = grow_to_store(
+            make_generator("plrg", gamma=2.2),
+            300,
+            tmp_path / "r.db",
+            seed=3,
+            checkpoint_every=100,
+        )
+        assert report.chunks_resumed == 3 and report.chunks_written == 0
+        counters = registry.snapshot()["counters"]
+        assert counters["store.chunks.resumed"] == 3
+        assert counters.get("store.chunks.written", 0) == 0
+        assert not any(s.name == "store.chunk" for s in tracer.spans[-3:])

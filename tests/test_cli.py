@@ -259,3 +259,154 @@ class TestStoreCommand:
         with pytest.raises(SystemExit) as excinfo:
             main(base + ["-s", "2"])
         assert "different identity" in str(excinfo.value)
+
+
+class TestJournalMissingAndEmpty:
+    def test_summarize_missing_journal_exits_with_message(self, tmp_path):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["journal", "summarize", str(tmp_path / "never.jsonl")])
+        assert "journal not found" in str(excinfo.value)
+
+    def test_tail_missing_journal_exits_with_message(self, tmp_path):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["journal", "tail", str(tmp_path / "never.jsonl")])
+        assert "journal not found" in str(excinfo.value)
+
+    def test_summarize_empty_journal_is_a_clean_no_events(self, tmp_path, capsys):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        assert main(["journal", "summarize", str(empty)]) == 0
+        assert "no events" in capsys.readouterr().out
+
+    def test_tail_empty_journal_is_a_clean_no_events(self, tmp_path, capsys):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        assert main(["journal", "tail", str(empty)]) == 0
+        assert "no events" in capsys.readouterr().out
+
+    def test_spans_missing_trace_exits_with_message(self, tmp_path):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["journal", "spans", str(tmp_path / "never.json")])
+        assert "repro:" in str(excinfo.value)
+
+    def test_spans_empty_trace_is_a_clean_no_spans(self, tmp_path, capsys):
+        import json as _json
+
+        trace = tmp_path / "empty-trace.json"
+        trace.write_text(_json.dumps({"traceEvents": []}))
+        assert main(["journal", "spans", str(trace)]) == 0
+        assert "no spans" in capsys.readouterr().out
+
+
+class TestPerfCommand:
+    @pytest.fixture
+    def records_dir(self, tmp_path):
+        from repro.obs.perf import BenchRecord, environment_fingerprint
+
+        directory = tmp_path / "records"
+        env = environment_fingerprint()
+        BenchRecord(
+            bench_id="generators",
+            values={"median_speedup": 2.5},
+            wall_seconds=4.0,
+            peak_rss_kb=150_000.0,
+            environment=env,
+        ).write(directory)
+        BenchRecord(
+            bench_id="resilience",
+            values={"median_speedup": 4.0},
+            wall_seconds=6.0,
+            peak_rss_kb=160_000.0,
+            environment=env,
+        ).write(directory)
+        return directory
+
+    def test_record_then_compare_round_trip(self, tmp_path, records_dir, capsys):
+        baseline = tmp_path / "base.json"
+        assert main([
+            "perf", "record", "--records", str(records_dir),
+            "-o", str(baseline), "--note", "test run",
+        ]) == 0
+        assert "2 benches" in capsys.readouterr().out
+        assert main([
+            "perf", "compare", "--records", str(records_dir),
+            "--baseline", str(baseline),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "benchmarks vs baseline" in out
+        assert "acceptance floors" in out
+        assert "perf: ok" in out
+
+    def test_compare_flags_injected_regression(self, tmp_path, records_dir, capsys):
+        from repro.obs.perf import load_records
+
+        baseline = tmp_path / "base.json"
+        main(["perf", "record", "--records", str(records_dir), "-o", str(baseline)])
+        capsys.readouterr()
+        # Inject a 5x / +16s wall regression into one record.
+        slow = load_records(records_dir)["generators"]
+        slow.wall_seconds = 20.0
+        slow.write(records_dir)
+        assert main([
+            "perf", "compare", "--records", str(records_dir),
+            "--baseline", str(baseline),
+        ]) == 1
+        assert "REGRESSION generators" in capsys.readouterr().out
+
+    def test_compare_flags_floor_violation(self, tmp_path, records_dir, capsys):
+        from repro.obs.perf import load_records
+
+        baseline = tmp_path / "base.json"
+        main(["perf", "record", "--records", str(records_dir), "-o", str(baseline)])
+        capsys.readouterr()
+        weak = load_records(records_dir)["generators"]
+        weak.values["median_speedup"] = 1.1
+        weak.write(records_dir)
+        assert main([
+            "perf", "compare", "--records", str(records_dir),
+            "--baseline", str(baseline),
+        ]) == 1
+        out = capsys.readouterr().out
+        assert "FLOOR VIOLATION" in out
+        assert "generators-median-speedup" in out
+
+    def test_compare_without_floors(self, tmp_path, records_dir, capsys):
+        baseline = tmp_path / "base.json"
+        main(["perf", "record", "--records", str(records_dir), "-o", str(baseline)])
+        capsys.readouterr()
+        assert main([
+            "perf", "compare", "--records", str(records_dir),
+            "--baseline", str(baseline), "--floors", "",
+        ]) == 0
+        assert "acceptance floors" not in capsys.readouterr().out
+
+    def test_report_prints_value_trajectory(self, tmp_path, records_dir, capsys):
+        assert main([
+            "perf", "report", "--records", str(records_dir),
+            "--baseline", str(tmp_path / "absent.json"),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "generators.median_speedup" in out
+        assert "published bench values" in out
+
+    def test_record_with_no_records_exits_with_message(self, tmp_path):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["perf", "record", "--records", str(tmp_path / "empty")])
+        assert "no BENCH_" in str(excinfo.value)
+
+    def test_compare_with_no_records_is_clean(self, tmp_path, capsys):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        assert main([
+            "perf", "compare", "--records", str(empty),
+            "--baseline", str(tmp_path / "absent.json"),
+        ]) == 0
+        assert "no BENCH_" in capsys.readouterr().out
+
+    def test_compare_missing_baseline_exits_cleanly(self, records_dir, tmp_path):
+        with pytest.raises(SystemExit) as excinfo:
+            main([
+                "perf", "compare", "--records", str(records_dir),
+                "--baseline", str(tmp_path / "absent.json"),
+            ])
+        assert "repro:" in str(excinfo.value)
