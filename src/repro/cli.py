@@ -323,6 +323,13 @@ def _add_battery_flags(parser: argparse.ArgumentParser) -> None:
         help="growth-kernel engine for the roster's generators (vector is "
         "the batch fast path; auto picks by target size)",
     )
+    parser.add_argument(
+        "--transport", default="auto", choices=("auto", "regenerate", "shared"),
+        help="graph transport for battery workers (shared publishes each "
+        "topology once as a zero-copy snapshot and splits metric groups "
+        "into independent units; results are identical either way; auto "
+        "picks by size and group count, env REPRO_TRANSPORT)",
+    )
 
 
 def _obs_setup(args):
@@ -440,6 +447,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             journal=args.journal,
             profile_dir=args.profile_dir,
             backend=args.backend,
+            transport=args.transport,
         )
         rows = [[model, mean] for model, mean in result.ranking()]
         spreads = {score.model: score.spread for score in result.scores}
@@ -487,6 +495,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             params.setdefault("backend", args.backend)
         if "engine" in accepted and args.engine != "auto":
             params.setdefault("engine", args.engine)
+        if "transport" in accepted and args.transport != "auto":
+            params.setdefault("transport", args.transport)
         obs_state = _obs_setup(args)
         result = runner(**params)
         print(result.render())

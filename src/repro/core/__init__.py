@@ -40,6 +40,15 @@ from .registry import (
     resolve_generator,
 )
 from .report import format_series, format_table, format_value, shorten
+from .transport import (
+    SharedGraphHandle,
+    SnapshotSpool,
+    attach_graph,
+    attach_view,
+    publish_graph,
+    resolve_mp_context,
+    resolve_transport,
+)
 
 __all__ = [
     "TopologySummary",
@@ -84,4 +93,11 @@ __all__ = [
     "ComparisonBattery",
     "run_battery",
     "compare_models",
+    "SharedGraphHandle",
+    "SnapshotSpool",
+    "publish_graph",
+    "attach_graph",
+    "attach_view",
+    "resolve_transport",
+    "resolve_mp_context",
 ]

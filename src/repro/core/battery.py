@@ -4,9 +4,16 @@ The validation battery — every model × replicate × metric group scored
 against a target map — is embarrassingly parallel and completely
 deterministic, so this module runs it that way:
 
-* **decomposition** — one work unit per (model, replicate); each unit
-  generates its topology once and computes only the metric *groups* not
-  already cached (see :data:`repro.core.metrics.METRIC_GROUPS`);
+* **decomposition** — under the default ``regenerate`` transport, one
+  work unit per (model, replicate): each unit generates its topology
+  once and computes only the metric *groups* not already cached (see
+  :data:`repro.core.metrics.METRIC_GROUPS`).  Under the ``shared``
+  transport (see :mod:`repro.core.transport`), generation becomes its
+  own journaled/cached unit per (model, seed) — published once as a
+  zero-copy snapshot that workers attach read-only — and each pending
+  metric group becomes an independent unit, so exact-paths-heavy
+  replicates parallelize group-by-group and retries/resumes never pay
+  generation twice;
 * **determinism** — each unit's seed is :func:`repro.stats.rng.derive_seed`
   of (model identity, params, n, base seed, replicate index), a pure
   function independent of scheduling, so results are bit-identical at any
@@ -74,6 +81,13 @@ from .metrics import (
 )
 from .registry import resolve_generator
 from .report import format_table, shorten
+from .transport import (
+    SnapshotSpool,
+    attach_graph,
+    publish_graph,
+    resolve_mp_context,
+    resolve_transport,
+)
 
 __all__ = [
     "UnitRecord",
@@ -154,6 +168,10 @@ class BatteryResult:
     metrics: Dict[str, Dict[str, Any]] = field(default_factory=dict)
     #: The journal run id this battery's events were stamped with.
     run_id: Optional[str] = None
+    #: The resolved graph transport this run used (``"regenerate"`` or
+    #: ``"shared"``); a scheduling detail — results and cache cells are
+    #: bit-identical either way.
+    transport: str = "regenerate"
 
     def entry(self, model: str) -> BatteryEntry:
         """Look up one model's entry by label."""
@@ -390,7 +408,17 @@ def _ambient_obs(tracer: Tracer):
 
 
 def _battery_task(task):
-    """Worker kernel: generate one topology, compute its missing groups.
+    """Worker kernel: one battery work unit, dispatched on ``task["kind"]``.
+
+    * ``"full"`` — generate one topology and compute its missing groups
+      (the ``regenerate`` transport's unit, and the historical shape);
+    * ``"generate"`` — generate one topology and publish it as a shared
+      snapshot at ``task["spool_path"]``; the resulting
+      :class:`~repro.core.transport.SharedGraphHandle` rides back in the
+      obs payload under ``"handle"``;
+    * ``"measure"`` — attach ``task["handle"]`` (served from this
+      process's transport attach cache after the first touch) and compute
+      ``task["groups"]`` on the shared topology.
 
     Module-level and argument-pure so it pickles under any multiprocessing
     start method.  Installs a fresh ambient tracer and metrics registry
@@ -401,25 +429,43 @@ def _battery_task(task):
     payload carries the unit's span dicts, metrics snapshot, and resource
     sample.
     """
-    index, generator, n, seed, groups, sum_params, obs_conf = task
+    index = task["index"]
+    kind = task["kind"]
+    obs_conf = task["obs"]
+    seed = task["seed"]
     model = obs_conf.get("model")
     tracer = Tracer(enabled=bool(obs_conf.get("trace")))
     registry = MetricsRegistry()
     prev_tracer = set_tracer(tracer)
     prev_registry = set_registry(registry)
     sampler = ResourceSampler().start()
+    values: Dict[str, Dict[str, float]] = {}
+    timings: Dict[str, float] = {}
+    gen_seconds = 0.0
+    handle = None
     try:
         with profile_unit(obs_conf.get("profile_dir"), obs_conf.get("label", f"unit-{index}")):
             with tracer.span(
-                "unit", model=model, replicate=obs_conf.get("replicate"), seed=seed
+                "unit", model=model, replicate=obs_conf.get("replicate"),
+                seed=seed, kind=kind,
             ):
-                start = time.perf_counter()
-                with tracer.span("generate", model=model, n=n):
-                    graph = generator.generate(n, seed=seed)
-                gen_seconds = time.perf_counter() - start
-                values, timings = compute_metric_groups(
-                    graph, groups, seed=seed, with_timings=True, **sum_params
-                )
+                if kind in ("full", "generate"):
+                    n = task["n"]
+                    start = time.perf_counter()
+                    with tracer.span("generate", model=model, n=n):
+                        graph = task["generator"].generate(n, seed=seed)
+                    gen_seconds = time.perf_counter() - start
+                else:
+                    graph = attach_graph(task["handle"])
+                if kind == "generate":
+                    handle = publish_graph(
+                        graph, task["spool_path"], name=model or ""
+                    )
+                else:
+                    values, timings = compute_metric_groups(
+                        graph, task["groups"], seed=seed, with_timings=True,
+                        **task["sum_params"],
+                    )
     finally:
         set_tracer(prev_tracer)
         set_registry(prev_registry)
@@ -429,6 +475,8 @@ def _battery_task(task):
         "metrics": registry.snapshot(),
         "rusage": usage.as_dict(),
     }
+    if handle is not None:
+        obs_payload["handle"] = handle
     return index, values, timings, gen_seconds, os.getpid(), obs_payload
 
 
@@ -487,7 +535,7 @@ def _run_serial(
     registry = get_registry()
     outcomes: Dict[int, _UnitOutcome] = {}
     for task in tasks:
-        index = task[0]
+        index = task["index"]
         info = meta[index]
         outcome: Optional[_UnitOutcome] = None
         for attempt in range(retries + 1):
@@ -539,12 +587,14 @@ def _run_serial(
 
 
 def _run_parallel(
-    tasks: Sequence[Tuple],
+    tasks: Sequence[Dict[str, Any]],
     jobs: int,
     timeout: Optional[float],
     retries: int,
     journal: Union[RunJournal, NullJournal],
     meta: Mapping[int, Dict[str, Any]],
+    mp_context=None,
+    on_rebuild=None,
 ) -> Dict[int, _UnitOutcome]:
     """Pooled execution with per-unit containment.
 
@@ -554,10 +604,18 @@ def _run_parallel(
     outright (:class:`BrokenExecutor`) charges the unit being waited on
     and rebuilds the pool for the rest.  Failed/timed-out attempts are
     re-submitted up to *retries* times before the unit is declared dead.
+
+    Pools are built from the explicit *mp_context* (see
+    :func:`repro.core.transport.resolve_mp_context`), and *on_rebuild* —
+    when given — runs after an abandoned pool (broken or hung) before the
+    replacement is built; the shared transport reaps orphaned snapshot
+    staging directories there.
     """
     registry = get_registry()
-    by_index = {task[0]: task for task in tasks}
-    pending: Dict[int, int] = {task[0]: 0 for task in tasks}  # index → attempts used
+    by_index = {task["index"]: task for task in tasks}
+    pending: Dict[int, int] = {
+        task["index"]: 0 for task in tasks
+    }  # index → attempts used
     outcomes: Dict[int, _UnitOutcome] = {}
 
     def charge(index: int, status: str, error: str, seconds: float) -> None:
@@ -577,7 +635,7 @@ def _run_parallel(
             journal.emit("unit_retry", attempt=attempts - 1, status=status, **info)
 
     while pending:
-        pool = ProcessPoolExecutor(max_workers=jobs)
+        pool = ProcessPoolExecutor(max_workers=jobs, mp_context=mp_context)
         broken = False
         hung = False
         futures = {}
@@ -637,6 +695,8 @@ def _run_parallel(
         # drained normally.  cancel_futures covers queued-but-unstarted
         # work after a break.
         pool.shutdown(wait=not (broken or hung), cancel_futures=True)
+        if (broken or hung) and on_rebuild is not None:
+            on_rebuild()
     return outcomes
 
 
@@ -657,6 +717,8 @@ def run_battery(
     path_samples: int = 400,
     min_tail: int = 50,
     backend: str = "auto",
+    transport: str = "auto",
+    mp_context=None,
 ) -> BatteryResult:
     """Run the metric battery over *models* × *seeds* replicates.
 
@@ -692,6 +754,19 @@ def run_battery(
     backends produce identical values, so the choice is deliberately
     excluded from cache keys: cells computed on one backend satisfy runs
     on the other.
+
+    *transport* picks how topologies reach their metric computations
+    (``auto``/``regenerate``/``shared``, env ``REPRO_TRANSPORT``; see
+    :mod:`repro.core.transport`).  Under ``shared``, each (model, seed)
+    topology is generated in its own journaled unit, published once as a
+    zero-copy snapshot — spooled under the cache directory when one is in
+    play, so later runs attach instead of regenerating — and each pending
+    metric group runs as an independent unit attaching read-only.  Like
+    *backend*, the transport is a pure scheduling choice: summaries are
+    bit-identical and cache cells carry no trace of it.  *mp_context*
+    pins the worker pools' multiprocessing start method
+    (``fork``/``spawn``/``forkserver`` or a context object, env
+    ``REPRO_MP_START``; default: the platform default).
     """
     if jobs < 1:
         raise ValueError("jobs must be >= 1")
@@ -711,6 +786,8 @@ def run_battery(
             f"unknown metric group(s) {unknown_groups!r}; available: {known}"
         )
     store = _resolve_cache(cache)
+    transport_used = resolve_transport(transport, n, len(group_names))
+    mp_ctx = resolve_mp_context(mp_context)
     stats_before = store.stats.snapshot()
     registry = get_registry()
     registry_before = registry.snapshot()
@@ -727,7 +804,7 @@ def run_battery(
         "battery_start",
         models=[label for label, _ in spec],
         n=n, seeds=seeds, jobs=jobs, groups=list(group_names),
-        timeout=timeout, retries=retries,
+        timeout=timeout, retries=retries, transport=transport_used,
     )
     registry.gauge("battery.jobs").set(jobs)
     sum_params = {
@@ -740,10 +817,43 @@ def run_battery(
 
     with _ambient_obs(trc), trc.span(
         "battery", models=[label for label, _ in spec], n=n,
-        seeds=seeds, jobs=jobs, run_id=run_id,
+        seeds=seeds, jobs=jobs, run_id=run_id, transport=transport_used,
     ) as battery_span:
+        # Shared transport publishes each generated topology once into a
+        # snapshot spool — persistent under the cache directory when one
+        # is in play (so later runs attach instead of regenerating),
+        # ephemeral tmpfs otherwise.
+        spool: Optional[SnapshotSpool] = None
+        if transport_used == "shared":
+            spool_root = (
+                store.root / "snapshots" if isinstance(store, ResultCache) else None
+            )
+            spool = SnapshotSpool(spool_root)
+
+        def run_units(task_list, task_meta):
+            if not task_list:
+                return {}
+            if jobs > 1:
+                return _run_parallel(
+                    task_list, jobs, timeout, retries, log, task_meta,
+                    mp_context=mp_ctx,
+                    on_rebuild=spool.reap_staging if spool is not None else None,
+                )
+            return _run_serial(task_list, timeout, retries, log, task_meta)
+
+        def absorb(outcome: _UnitOutcome) -> Dict[str, Any]:
+            extras = outcome.extras or {}
+            if extras.get("metrics"):
+                registry.merge(extras["metrics"])
+            if trc.enabled and extras.get("spans"):
+                trc.adopt(extras["spans"], parent=battery_span)
+            return extras
+
         records: List[UnitRecord] = []
-        tasks: List[Tuple] = []
+        tasks: List[Dict[str, Any]] = []
+        meta: Dict[int, Dict[str, Any]] = {}
+        gen_tasks: List[Dict[str, Any]] = []
+        gen_meta: Dict[int, Dict[str, Any]] = {}
         # One slot per (model, replicate): cached values plus pending cell keys.
         units: List[Dict[str, Any]] = []
         for label, generator in spec:
@@ -766,6 +876,9 @@ def run_battery(
                     "values": {},
                     "pending": {},
                     "task": None,
+                    "gen_task": None,
+                    "gen_key": None,
+                    "handle": None,
                 }
                 for group in group_names:
                     payload = _cell_payload(
@@ -785,49 +898,87 @@ def run_battery(
                         )
                     else:
                         unit["pending"][group] = (key, payload)
-                if unit["pending"]:
-                    unit["task"] = len(tasks)
+                if unit["pending"] and transport_used == "regenerate":
+                    index = len(tasks)
+                    unit["task"] = index
+                    meta[index] = {
+                        "model": label, "replicate": rep,
+                        "seed": unit_seed, "kind": "full",
+                    }
                     tasks.append(
-                        (
-                            len(tasks),
-                            generator,
-                            n,
-                            unit_seed,
-                            tuple(unit["pending"]),
-                            sum_params,
-                            dict(
+                        {
+                            "index": index,
+                            "kind": "full",
+                            "generator": generator,
+                            "n": n,
+                            "seed": unit_seed,
+                            "groups": tuple(unit["pending"]),
+                            "sum_params": sum_params,
+                            "obs": dict(
                                 obs_base,
                                 model=label,
                                 replicate=rep,
                                 label=f"{label}-rep{rep}",
                             ),
-                        )
+                        }
                     )
+                elif unit["pending"]:
+                    # Shared transport: the generation is its own cached
+                    # unit keyed on (model identity, params, n, seed) —
+                    # a spool hit (this run or a previous one sharing the
+                    # cache directory) skips it entirely.
+                    gen_payload = {
+                        "kind": "battery-generation",
+                        "model": identity,
+                        "params": dict(cache_params),
+                        "n": n,
+                        "seed": unit_seed,
+                    }
+                    gen_key = canonical_key(gen_payload)
+                    unit["gen_key"] = gen_key
+                    handle = spool.probe(gen_key)
+                    if handle is not None:
+                        unit["handle"] = handle
+                        records.append(
+                            UnitRecord(label, rep, "generate", unit_seed, True, 0.0)
+                        )
+                        registry.counter("battery.generations.cached").inc()
+                        log.emit(
+                            "snapshot_hit", model=label, replicate=rep,
+                            seed=unit_seed, key=gen_key,
+                        )
+                    else:
+                        index = len(gen_tasks)
+                        unit["gen_task"] = index
+                        gen_meta[index] = {
+                            "model": label, "replicate": rep,
+                            "seed": unit_seed, "kind": "generate",
+                        }
+                        gen_tasks.append(
+                            {
+                                "index": index,
+                                "kind": "generate",
+                                "generator": generator,
+                                "n": n,
+                                "seed": unit_seed,
+                                "spool_path": str(spool.path_for(gen_key)),
+                                "obs": dict(
+                                    obs_base,
+                                    model=label,
+                                    replicate=rep,
+                                    label=f"{label}-rep{rep}-gen",
+                                ),
+                            }
+                        )
                 units.append(unit)
 
-        if tasks:
-            meta = {
-                unit["task"]: {
-                    "model": unit["label"],
-                    "replicate": unit["replicate"],
-                    "seed": unit["seed"],
-                }
-                for unit in units
-                if unit["task"] is not None
-            }
-            if jobs > 1:
-                outcomes = _run_parallel(tasks, jobs, timeout, retries, log, meta)
-            else:
-                outcomes = _run_serial(tasks, timeout, retries, log, meta)
+        try:
+            outcomes = run_units(tasks, meta)
             for unit in units:
                 if unit["task"] is None:
                     continue
                 outcome = outcomes[unit["task"]]
-                extras = outcome.extras or {}
-                if extras.get("metrics"):
-                    registry.merge(extras["metrics"])
-                if trc.enabled and extras.get("spans"):
-                    trc.adopt(extras["spans"], parent=battery_span)
+                extras = absorb(outcome)
                 if outcome.status == "ok":
                     registry.counter("battery.units.completed").inc()
                     registry.counter("battery.cells.computed").inc(
@@ -873,6 +1024,132 @@ def run_battery(
                         )
                     )
 
+            # Shared transport, wave 1: run the missed generations; each
+            # publishes its topology into the spool and hands back only a
+            # handle.  A failed generation fails its whole replicate (no
+            # graph, nothing to measure).
+            gen_outcomes = run_units(gen_tasks, gen_meta)
+            for unit in units:
+                if unit["gen_task"] is None:
+                    continue
+                outcome = gen_outcomes[unit["gen_task"]]
+                extras = absorb(outcome)
+                handle = extras.get("handle")
+                if outcome.status == "ok" and handle is not None:
+                    spool.adopt(unit["gen_key"], handle)
+                    unit["handle"] = handle
+                    registry.counter("battery.generations.computed").inc()
+                    registry.counter("battery.units.completed").inc()
+                    registry.histogram("battery.unit.seconds").observe(
+                        outcome.seconds
+                    )
+                    rusage = extras.get("rusage") or {}
+                    records.append(
+                        UnitRecord(
+                            unit["label"], unit["replicate"], "generate",
+                            unit["seed"], False, outcome.gen_seconds,
+                            max_rss_kb=rusage.get("max_rss_kb"),
+                            cpu_seconds=rusage.get("cpu_seconds"),
+                        )
+                    )
+                else:
+                    registry.counter("battery.units.failed").inc()
+                    unit["error"] = outcome.error or "generation returned no handle"
+                    records.append(
+                        UnitRecord(
+                            unit["label"], unit["replicate"], "unit",
+                            unit["seed"], False, outcome.seconds,
+                            status=outcome.status if outcome.status != "ok" else "failed",
+                            error=unit["error"],
+                        )
+                    )
+
+            # Shared transport, wave 2: every pending metric group of every
+            # replicate with a published topology becomes its own unit —
+            # retries re-attach (a dict lookup after the first touch),
+            # never regenerate, and a failure costs one group, not the
+            # replicate.
+            measure_tasks: List[Dict[str, Any]] = []
+            measure_meta: Dict[int, Dict[str, Any]] = {}
+            owners: Dict[int, Tuple[Dict[str, Any], str]] = {}
+            for unit in units:
+                if unit["handle"] is None or not unit["pending"]:
+                    continue
+                for group in unit["pending"]:
+                    index = len(measure_tasks)
+                    owners[index] = (unit, group)
+                    measure_meta[index] = {
+                        "model": unit["label"], "replicate": unit["replicate"],
+                        "seed": unit["seed"], "kind": "measure", "group": group,
+                    }
+                    measure_tasks.append(
+                        {
+                            "index": index,
+                            "kind": "measure",
+                            "handle": unit["handle"],
+                            "seed": unit["seed"],
+                            "groups": (group,),
+                            "sum_params": sum_params,
+                            "obs": dict(
+                                obs_base,
+                                model=unit["label"],
+                                replicate=unit["replicate"],
+                                label=(
+                                    f"{unit['label']}-rep{unit['replicate']}-{group}"
+                                ),
+                            ),
+                        }
+                    )
+            measure_outcomes = run_units(measure_tasks, measure_meta)
+            for index, (unit, group) in owners.items():
+                outcome = measure_outcomes[index]
+                absorb(outcome)
+                key, payload = unit["pending"][group]
+                if outcome.status == "ok":
+                    registry.counter("battery.units.completed").inc()
+                    registry.counter("battery.cells.computed").inc()
+                    registry.histogram("battery.unit.seconds").observe(
+                        outcome.seconds
+                    )
+                    unit["values"][group] = outcome.values[group]
+                    store.put(key, outcome.values[group], payload)
+                    records.append(
+                        UnitRecord(
+                            unit["label"], unit["replicate"], group,
+                            unit["seed"], False, outcome.timings[group],
+                        )
+                    )
+                    giant_seconds = (outcome.timings or {}).get("giant")
+                    if giant_seconds is not None:
+                        records.append(
+                            UnitRecord(
+                                unit["label"], unit["replicate"], "giant",
+                                unit["seed"], False, giant_seconds,
+                            )
+                        )
+                else:
+                    registry.counter("battery.units.failed").inc()
+                    if not unit.get("error"):
+                        unit["error"] = outcome.error
+                    records.append(
+                        UnitRecord(
+                            unit["label"], unit["replicate"], group,
+                            unit["seed"], False, outcome.seconds,
+                            status=outcome.status, error=outcome.error,
+                        )
+                    )
+            if spool is not None:
+                # Refcounted cleanup: each replicate took one reference at
+                # probe/publish time; dropping it lets an ephemeral spool
+                # unlink the snapshot immediately (persistent spools keep
+                # theirs for the next run to attach).
+                for unit in units:
+                    if unit["gen_key"] is not None:
+                        spool.release(unit["gen_key"])
+        finally:
+            if spool is not None:
+                spool.cleanup()
+
         all_fields = {f for group_fields in METRIC_GROUPS.values() for f in group_fields}
         entries: List[BatteryEntry] = []
         for label, generator in spec:
@@ -917,6 +1194,7 @@ def run_battery(
         elapsed=time.perf_counter() - started,
         metrics=diff_snapshots(registry.snapshot(), registry_before),
         run_id=run_id,
+        transport=transport_used,
     )
     log.emit(
         "battery_end",
@@ -983,6 +1261,8 @@ def compare_models(
     path_samples: int = 400,
     min_tail: int = 50,
     backend: str = "auto",
+    transport: str = "auto",
+    mp_context=None,
 ) -> ComparisonBattery:
     """Score *models* against *target* over the full battery.
 
@@ -994,9 +1274,9 @@ def compare_models(
     *retries*) are skipped in scoring with a ``RuntimeWarning`` naming the
     model, never crashing the comparison, and the reported cache counters
     are per-run deltas even when a shared :class:`ResultCache` instance is
-    reused across calls.  *tracer* / *profile_dir* thread through to
-    :func:`run_battery`; the target-summary and scoring stages emit their
-    own spans.
+    reused across calls.  *tracer* / *profile_dir* / *transport* /
+    *mp_context* thread through to :func:`run_battery`; the target-summary
+    and scoring stages emit their own spans.
     """
     store = _resolve_cache(cache)
     log = resolve_journal(journal)
@@ -1027,6 +1307,8 @@ def compare_models(
             journal=log,
             tracer=trc,
             profile_dir=profile_dir,
+            transport=transport,
+            mp_context=mp_context,
             **sum_params,
         )
         # Report this run's counters spanning the target cells as well as

@@ -15,9 +15,12 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..generators.base import TopologyGenerator
+from ..obs.metrics import MetricsRegistry, get_registry, set_registry
+from ..obs.tracer import Tracer, get_tracer, set_tracer
 from .compare import ComparisonResult, compare_summaries
 from .experiment import seed_sequence
 from .metrics import TopologySummary, summarize
+from .transport import resolve_mp_context
 
 __all__ = ["CalibrationResult", "grid_calibrate"]
 
@@ -35,24 +38,45 @@ class CalibrationResult:
         return sorted(self.trials, key=lambda pair: pair[1])[:count]
 
 
-def _score_grid_point(spec) -> Optional[Tuple[Dict[str, Any], float]]:
+def _score_grid_point(spec):
     """Score one parameter point (module-level so it pickles to workers).
 
-    Returns None when the point's generator raises — the skip decision is
-    made where the exception happens, so parallel and serial grids skip
-    exactly the same points.
+    Returns ``(outcome, obs_payload)`` where *outcome* is ``(params,
+    mean score)`` — or ``None`` when the point's generator raises; the
+    skip decision is made where the exception happens, so parallel and
+    serial grids skip exactly the same points.  Like the battery's worker
+    kernel, a fresh ambient tracer and metrics registry are installed for
+    the point's duration and drained into the payload, so traced
+    calibrations keep their ``calibration.point`` span trees (and metric
+    counters) instead of silently dropping everything that happened in a
+    worker process.
     """
-    generator_factory, params, target, n, seeds, base_seed = spec
+    generator_factory, params, target, n, seeds, base_seed, trace = spec
+    tracer = Tracer(enabled=bool(trace))
+    registry = MetricsRegistry()
+    prev_tracer = set_tracer(tracer)
+    prev_registry = set_registry(registry)
+    outcome: Optional[Tuple[Dict[str, Any], float]] = None
     try:
-        generator = generator_factory(**params)
-        scores = []
-        for seed in seed_sequence(base_seed, seeds):
-            graph = generator.generate(n, seed=seed)
-            result = compare_summaries(summarize(graph, seed=seed), target)
-            scores.append(result.score)
-    except (ValueError, RuntimeError):
-        return None
-    return params, sum(scores) / len(scores)
+        with tracer.span("calibration.point", params=dict(params), n=n):
+            try:
+                generator = generator_factory(**params)
+                scores = []
+                for seed in seed_sequence(base_seed, seeds):
+                    graph = generator.generate(n, seed=seed)
+                    result = compare_summaries(summarize(graph, seed=seed), target)
+                    scores.append(result.score)
+                outcome = (params, sum(scores) / len(scores))
+            except (ValueError, RuntimeError):
+                outcome = None
+    finally:
+        set_tracer(prev_tracer)
+        set_registry(prev_registry)
+    payload = {
+        "spans": [span.as_dict() for span in tracer.drain()],
+        "metrics": registry.snapshot(),
+    }
+    return outcome, payload
 
 
 def grid_calibrate(
@@ -63,6 +87,7 @@ def grid_calibrate(
     seeds: int = 3,
     base_seed: int = 11,
     jobs: int = 1,
+    mp_context=None,
 ) -> CalibrationResult:
     """Exhaustive grid search minimizing the comparison score vs *target*.
 
@@ -71,22 +96,42 @@ def grid_calibrate(
     independent topologies of size *n*.  Parameter points whose generator
     raises (invalid combinations) are skipped — a fully failing grid raises.
     *jobs* > 1 scores grid points in parallel processes (bit-identical
-    trials in the same order; *generator_factory* must then be picklable).
+    trials in the same order; *generator_factory* must then be picklable),
+    built from the explicit *mp_context* (a start-method name or context
+    object, env ``REPRO_MP_START``; see
+    :func:`repro.core.transport.resolve_mp_context`).  Each point runs
+    under a fresh ambient tracer/registry whose spans and counters are
+    re-adopted here, so traced calibrations see every worker's
+    ``calibration.point`` subtree.
     """
     if not param_grid:
         raise ValueError("param_grid must have at least one axis")
     if jobs < 1:
         raise ValueError("jobs must be >= 1")
+    trc = get_tracer()
+    registry = get_registry()
     axes = sorted(param_grid)
     specs = [
-        (generator_factory, dict(zip(axes, combo)), target, n, seeds, base_seed)
+        (
+            generator_factory, dict(zip(axes, combo)), target, n, seeds,
+            base_seed, trc.enabled,
+        )
         for combo in itertools.product(*(param_grid[a] for a in axes))
     ]
-    if jobs == 1 or len(specs) <= 1:
-        outcomes = [_score_grid_point(spec) for spec in specs]
-    else:
-        with ProcessPoolExecutor(max_workers=jobs) as pool:
-            outcomes = list(pool.map(_score_grid_point, specs))
+    with trc.span("calibrate", points=len(specs), n=n, jobs=jobs) as cal_span:
+        if jobs == 1 or len(specs) <= 1:
+            raw = [_score_grid_point(spec) for spec in specs]
+        else:
+            context = resolve_mp_context(mp_context)
+            with ProcessPoolExecutor(max_workers=jobs, mp_context=context) as pool:
+                raw = list(pool.map(_score_grid_point, specs))
+        outcomes = []
+        for outcome, payload in raw:
+            if payload.get("metrics"):
+                registry.merge(payload["metrics"])
+            if trc.enabled and payload.get("spans"):
+                trc.adopt(payload["spans"], parent=cal_span)
+            outcomes.append(outcome)
     trials: List[Tuple[Dict[str, Any], float]] = [
         outcome for outcome in outcomes if outcome is not None
     ]

@@ -57,6 +57,7 @@ def run_a3(
     journal: Optional[str] = None,
     profile_dir: Optional[str] = None,
     backend: str = "auto",
+    transport: str = "auto",
 ) -> ExperimentResult:
     """Random vs targeted removal sweeps per model.
 
@@ -90,6 +91,7 @@ def run_a3(
             journal=journal,
             profile_dir=profile_dir,
             backend=backend,
+            transport=transport,
         )
     with stage("A3", "reference", n=n):
         reference_graph = reference_as_map(n)

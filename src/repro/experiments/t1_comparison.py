@@ -38,6 +38,7 @@ def run_t1(
     journal: Optional[str] = None,
     profile_dir: Optional[str] = None,
     backend: str = "auto",
+    transport: str = "auto",
 ) -> ExperimentResult:
     """Score every roster model against the reference map.
 
@@ -46,7 +47,11 @@ def run_t1(
     model is scored over the surviving replicates rather than aborting
     the whole comparison.  *journal* appends a JSONL event log of the run.
     *backend* selects the metric kernels (``auto``/``python``/``csr``);
-    every reported number is identical across backends.
+    every reported number is identical across backends.  *transport*
+    selects how topologies reach the metric workers
+    (``auto``/``regenerate``/``shared``, see
+    :mod:`repro.core.transport`); numbers are identical across transports
+    too.
     """
     result = ExperimentResult(
         experiment_id="T1",
@@ -67,6 +72,7 @@ def run_t1(
             journal=journal,
             profile_dir=profile_dir,
             backend=backend,
+            transport=transport,
         )
     reference_summary = comparison.target
 
@@ -107,6 +113,7 @@ def run_t1(
     for position, (name, score) in enumerate(ranking, start=1):
         result.notes[f"rank_{position:02d}_{name}"] = score
     result.notes["battery_jobs"] = battery.jobs
+    result.notes["battery_transport"] = battery.transport
     result.notes["battery_elapsed_s"] = round(battery.elapsed, 3)
     result.notes["battery_compute_s"] = round(battery.compute_seconds, 3)
     result.notes["battery_failures"] = len(battery.failures)

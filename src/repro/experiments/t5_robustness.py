@@ -120,6 +120,7 @@ def run_t5(
     profile_dir: Optional[str] = None,
     backend: str = "auto",
     engine: str = "auto",
+    transport: str = "auto",
 ) -> ExperimentResult:
     """Rank the roster by robustness divergence from the reference map.
 
@@ -155,6 +156,7 @@ def run_t5(
             journal=journal,
             profile_dir=profile_dir,
             backend=backend,
+            transport=transport,
         )
 
     with stage("T5", "tables"):

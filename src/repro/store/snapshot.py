@@ -152,4 +152,5 @@ def load_csr_snapshot(path: PathLike) -> CSRView:
             raise ValueError(
                 f"snapshot node map at {path} disagrees with meta.json"
             )
+    get_registry().counter("store.snapshot.attach").inc()
     return CSRView(indptr, indices, weights, nodes)
