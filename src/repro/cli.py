@@ -35,6 +35,12 @@ current records against that baseline (noise-tolerant wall/RSS
 thresholds) and against the declarative acceptance floors in
 ``benchmarks/perf_floors.json``, and ``report`` prints the trajectory of
 every bench-published value next to its baseline counterpart.
+
+``repro serve`` is the long-running serving layer (see
+``docs/serving.md``): ``run`` starts the warm-pool HTTP service,
+``call`` issues one request against a running service, and ``bench``
+replays heavy-tailed synthetic traffic and prints p50/p99 latency,
+throughput, and coalescing/generation evidence.
 """
 
 from __future__ import annotations
@@ -272,6 +278,94 @@ def build_parser() -> argparse.ArgumentParser:
         help="baseline for the comparison column (skipped when missing)",
     )
 
+    serve = sub.add_parser(
+        "serve",
+        help="topology-as-a-service: warm-pool HTTP serving layer",
+    )
+    vsub = serve.add_subparsers(dest="serve_command", required=True)
+
+    def _serve_flags(sub_parser):
+        sub_parser.add_argument(
+            "--jobs", type=int, default=2,
+            help="warm worker-pool size (processes, spawned once)",
+        )
+        sub_parser.add_argument(
+            "--root", default=None, metavar="DIR",
+            help="service state directory (result cells, snapshot spool, "
+            "named worlds); a private temp dir when omitted",
+        )
+        sub_parser.add_argument(
+            "--queue-limit", type=int, default=64,
+            help="bounded job-queue depth; excess load gets HTTP 503",
+        )
+        sub_parser.add_argument("--journal", default=None, metavar="PATH",
+                                help="append a JSONL service journal")
+        sub_parser.add_argument(
+            "--backend", default="auto", choices=("auto", "python", "csr")
+        )
+        sub_parser.add_argument(
+            "--engine", default="auto", choices=("auto", "python", "vector")
+        )
+        sub_parser.add_argument(
+            "--timeout", type=float, default=None, metavar="SECONDS",
+            help="per-unit timeout on the worker pool",
+        )
+
+    srun = vsub.add_parser("run", help="run the HTTP service until interrupted")
+    srun.add_argument("--host", default="127.0.0.1")
+    srun.add_argument("--port", type=int, default=8321)
+    _serve_flags(srun)
+
+    scall = vsub.add_parser(
+        "call", help="one request against a running service"
+    )
+    scall.add_argument(
+        "op",
+        choices=(
+            "health", "stats", "summarize", "generate", "compare", "worlds"
+        ),
+    )
+    scall.add_argument("--url", default="http://127.0.0.1:8321")
+    scall.add_argument("--model", default=None)
+    scall.add_argument("-n", "--nodes", type=int, default=1000)
+    scall.add_argument("-s", "--seed", type=int, default=0)
+    scall.add_argument("--param", action="append", metavar="KEY=VALUE")
+    scall.add_argument(
+        "--groups", default=None,
+        help="comma-separated metric groups (default: the full battery)",
+    )
+
+    sbench = vsub.add_parser(
+        "bench",
+        help="p50/p99 load harness (in-process server unless --url)",
+    )
+    sbench.add_argument(
+        "--url", default=None,
+        help="target an already-running service instead of an in-process one",
+    )
+    sbench.add_argument("--requests", type=int, default=100)
+    sbench.add_argument("--threads", type=int, default=8)
+    sbench.add_argument(
+        "--models", default="albert-barabasi,waxman",
+        help="comma-separated model names for the synthetic traffic",
+    )
+    sbench.add_argument("-n", "--nodes", type=int, default=400)
+    sbench.add_argument("--seeds", type=int, default=2)
+    sbench.add_argument(
+        "--compare-every", type=int, default=0, metavar="K",
+        help="every K-th request is a full-battery compare (0 = never)",
+    )
+    sbench.add_argument("--duplicate-rounds", type=int, default=3)
+    sbench.add_argument(
+        "--prime", action="store_true",
+        help="touch every (model, seed) key once before timing (warm path)",
+    )
+    sbench.add_argument(
+        "--require-coalesce", action="store_true",
+        help="exit 1 unless at least one request was coalesced",
+    )
+    _serve_flags(sbench)
+
     return parser
 
 
@@ -508,7 +602,106 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _journal_command(args)
     if args.command == "perf":
         return _perf_command(args)
+    if args.command == "serve":
+        return _serve_command(args)
     raise SystemExit(f"unknown command {args.command!r}")
+
+
+def _serve_dispatcher(args):
+    from .serve import ServeDispatcher
+
+    return ServeDispatcher(
+        jobs=args.jobs,
+        root=args.root,
+        queue_limit=args.queue_limit,
+        journal=args.journal,
+        backend=args.backend,
+        engine=args.engine,
+        unit_timeout=args.timeout,
+    )
+
+
+def _serve_command(args) -> int:
+    """Dispatch ``repro serve run|call|bench``."""
+    import json
+
+    if args.serve_command == "run":
+        from .serve import TopologyServer
+
+        dispatcher = _serve_dispatcher(args)
+        server = TopologyServer(dispatcher, host=args.host, port=args.port)
+        print(
+            f"serving on {server.url} (jobs={args.jobs}, "
+            f"root={dispatcher.root}); Ctrl-C to stop"
+        )
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:
+            print("\nshutting down")
+        finally:
+            server.server_close()
+            dispatcher.shutdown()
+        return 0
+
+    if args.serve_command == "call":
+        from .serve import ServeClient, ServeClientError
+
+        client = ServeClient(args.url)
+        try:
+            if args.op == "health":
+                result = client.health()
+            elif args.op == "stats":
+                result = client.stats()
+            elif args.op == "worlds":
+                result = client.worlds()
+            else:
+                if not args.model:
+                    raise SystemExit(f"repro serve call {args.op}: --model is required")
+                kwargs = {"params": _parse_params(args.param) or None}
+                if args.op == "summarize" and args.groups:
+                    kwargs["groups"] = args.groups.split(",")
+                method = getattr(client, args.op)
+                result = method(args.model, args.nodes, seed=args.seed, **kwargs)
+        except ServeClientError as exc:
+            raise SystemExit(f"repro: {exc}") from None
+        print(json.dumps(result, indent=2, sort_keys=True))
+        return 0
+
+    if args.serve_command == "bench":
+        from contextlib import ExitStack
+
+        from .serve import ServeClient, run_load, running_server
+
+        models = [name for name in args.models.split(",") if name]
+        with ExitStack() as stack:
+            if args.url:
+                url = args.url
+            else:
+                dispatcher = _serve_dispatcher(args)
+                stack.callback(dispatcher.shutdown)
+                url = stack.enter_context(running_server(dispatcher))
+            client = ServeClient(url)
+            if args.prime:
+                for model in models:
+                    for seed in range(args.seeds):
+                        client.summarize(model, args.nodes, seed=seed)
+            report = run_load(
+                client,
+                requests=args.requests,
+                threads=args.threads,
+                models=models,
+                n=args.nodes,
+                seeds=args.seeds,
+                compare_every=args.compare_every,
+                duplicate_rounds=args.duplicate_rounds,
+            )
+        print(report.table())
+        if args.require_coalesce and report.coalesce_hits < 1:
+            print("repro: expected at least one coalesced request, saw none")
+            return 1
+        return 0
+
+    raise SystemExit(f"unknown serve command {args.serve_command!r}")
 
 
 def _store_command(args) -> int:
@@ -660,10 +853,16 @@ def _perf_command(args) -> int:
     except (OSError, ValueError) as exc:
         raise SystemExit(f"repro: {exc}") from None
     if not records:
-        message = f"no BENCH_*.json records under {args.records}"
+        # Zero records is an everyday state (fresh clone, cleaned output
+        # dir), matching the journal-CLI convention: a friendly one-liner
+        # and exit 0 for the read-only commands, never an empty table.
+        message = (
+            f"no BENCH_*.json records under {args.records} — run the "
+            f"benchmark suite (pytest benchmarks/) to produce some"
+        )
         if args.perf_command == "record":
-            raise SystemExit(f"repro: {message}; run the benchmarks first")
-        print(message)
+            raise SystemExit(f"repro: {message}")
+        print(f"nothing to {args.perf_command}: {message}")
         return 0
 
     if args.perf_command == "record":

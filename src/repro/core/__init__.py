@@ -8,7 +8,10 @@ from .battery import (
     ComparisonBattery,
     ModelScore,
     UnitRecord,
+    WorkerPool,
+    cell_payload,
     compare_models,
+    generation_payload,
     run_battery,
 )
 from .cache import CacheStats, NullCache, ResultCache, canonical_key
@@ -93,6 +96,9 @@ __all__ = [
     "ComparisonBattery",
     "run_battery",
     "compare_models",
+    "WorkerPool",
+    "cell_payload",
+    "generation_payload",
     "SharedGraphHandle",
     "SnapshotSpool",
     "publish_graph",

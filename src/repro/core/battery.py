@@ -50,6 +50,8 @@ from __future__ import annotations
 
 import math
 import os
+import signal
+import threading
 import time
 import traceback
 import warnings
@@ -375,7 +377,7 @@ def _identity(generator: TopologyGenerator) -> Tuple[str, Dict[str, Any]]:
     return name, generator.params()
 
 
-def _cell_payload(
+def cell_payload(
     identity: str,
     params: Mapping[str, Any],
     n: int,
@@ -383,6 +385,14 @@ def _cell_payload(
     group: str,
     sum_params: Mapping[str, Any],
 ) -> Dict[str, Any]:
+    """Content-addressed identity of one battery cache cell.
+
+    This is the canonical-key contract shared by every consumer of the
+    :class:`~repro.core.cache.ResultCache` — the battery runner, and the
+    serving layer's request coalescer (:mod:`repro.serve`), which keys
+    in-flight requests on the same payloads so a served repeat is a cache
+    hit and a concurrent identical request collapses onto one computation.
+    """
     relevant = {key: sum_params[key] for key in _GROUP_PARAM_KEYS.get(group, ())}
     return {
         "kind": "battery-cell",
@@ -393,6 +403,33 @@ def _cell_payload(
         "group": group,
         "group_params": relevant,
         "version": METRICS_VERSION,
+    }
+
+
+# Historical private name, still imported by older call sites.
+_cell_payload = cell_payload
+
+
+def generation_payload(
+    identity: str,
+    params: Mapping[str, Any],
+    n: int,
+    seed: int,
+) -> Dict[str, Any]:
+    """Content-addressed identity of one published topology snapshot.
+
+    Shared between the battery's shared-transport generation wave and the
+    serving layer's snapshot probe: the same (model identity, params, n,
+    seed) always maps to the same :class:`SnapshotSpool` key, so a served
+    request attaches a topology the battery generated (or vice versa)
+    instead of regenerating it.
+    """
+    return {
+        "kind": "battery-generation",
+        "model": identity,
+        "params": dict(params),
+        "n": n,
+        "seed": seed,
     }
 
 
@@ -586,6 +623,81 @@ def _run_serial(
     return outcomes
 
 
+def _worker_ignore_sigint() -> None:
+    # Pool workers share the terminal's process group, so a Ctrl-C aimed
+    # at the battery CLI or `serve run` would also interrupt every worker
+    # mid-recv and spray KeyboardInterrupt tracebacks over the shutdown
+    # message.  The parent owns the pool's lifecycle; workers stay deaf
+    # to SIGINT and exit when the parent shuts the executor down.
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+
+
+class WorkerPool:
+    """A persistent handle on a battery worker pool.
+
+    Wraps a lazily-built :class:`ProcessPoolExecutor` whose workers run
+    :func:`_battery_task`, so the expensive part — spawning interpreter
+    processes that then fill their per-process transport attach caches —
+    is paid once and reused across battery waves, retry rounds, and (in
+    the serving layer) across requests for the life of the service.
+
+    * :meth:`submit` hands one task dict to a worker and returns its
+      future — the reusable submit path shared by :func:`_run_parallel`
+      and :class:`repro.serve.ServeDispatcher`.
+    * :meth:`rebuild` abandons a broken or hung pool without waiting for
+      it; the next submit builds a fresh one.
+    * :meth:`shutdown` releases the workers (idempotent).
+
+    The handle itself is thread-safe for submits; result collection is
+    the caller's business (futures are independent).
+    """
+
+    def __init__(self, jobs: int, mp_context=None):
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self.jobs = jobs
+        self.mp_context = mp_context
+        self._executor: Optional[ProcessPoolExecutor] = None
+        self._lock = threading.Lock()
+        self.rebuilds = 0
+
+    @property
+    def executor(self) -> ProcessPoolExecutor:
+        """The live executor, built lazily on first use (thread-safe)."""
+        with self._lock:
+            if self._executor is None:
+                self._executor = ProcessPoolExecutor(
+                    max_workers=self.jobs,
+                    mp_context=self.mp_context,
+                    initializer=_worker_ignore_sigint,
+                )
+            return self._executor
+
+    def submit(self, task: Dict[str, Any]):
+        """Submit one battery task dict; returns its future."""
+        return self.executor.submit(_battery_task, task)
+
+    def rebuild(self) -> None:
+        """Abandon the current executor (broken or hung) without waiting.
+
+        Queued-but-unstarted work is cancelled; in-flight workers finish
+        (or die) in the background.  The next :meth:`submit` lazily builds
+        a replacement pool.
+        """
+        with self._lock:
+            executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=False, cancel_futures=True)
+            self.rebuilds += 1
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Release the worker processes (idempotent; safe if never built)."""
+        with self._lock:
+            executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=wait, cancel_futures=True)
+
+
 def _run_parallel(
     tasks: Sequence[Dict[str, Any]],
     jobs: int,
@@ -595,6 +707,7 @@ def _run_parallel(
     meta: Mapping[int, Dict[str, Any]],
     mp_context=None,
     on_rebuild=None,
+    pool: Optional[WorkerPool] = None,
 ) -> Dict[int, _UnitOutcome]:
     """Pooled execution with per-unit containment.
 
@@ -605,11 +718,15 @@ def _run_parallel(
     and rebuilds the pool for the rest.  Failed/timed-out attempts are
     re-submitted up to *retries* times before the unit is declared dead.
 
-    Pools are built from the explicit *mp_context* (see
-    :func:`repro.core.transport.resolve_mp_context`), and *on_rebuild* —
-    when given — runs after an abandoned pool (broken or hung) before the
-    replacement is built; the shared transport reaps orphaned snapshot
-    staging directories there.
+    *pool* — when given — is a caller-owned :class:`WorkerPool` reused
+    across calls (run_battery shares one across its transport waves; the
+    serving layer keeps one warm for the life of the service); otherwise a
+    private pool is built here from the explicit *mp_context* (see
+    :func:`repro.core.transport.resolve_mp_context`) and shut down on
+    exit.  Healthy pools survive retry rounds — only a broken or hung
+    pool is abandoned and rebuilt.  *on_rebuild* — when given — runs
+    after each abandonment before the replacement is built; the shared
+    transport reaps orphaned snapshot staging directories there.
     """
     registry = get_registry()
     by_index = {task["index"]: task for task in tasks}
@@ -617,6 +734,9 @@ def _run_parallel(
         task["index"]: 0 for task in tasks
     }  # index → attempts used
     outcomes: Dict[int, _UnitOutcome] = {}
+    owned = pool is None
+    if owned:
+        pool = WorkerPool(jobs, mp_context)
 
     def charge(index: int, status: str, error: str, seconds: float) -> None:
         attempts = pending[index] + 1
@@ -635,12 +755,11 @@ def _run_parallel(
             journal.emit("unit_retry", attempt=attempts - 1, status=status, **info)
 
     while pending:
-        pool = ProcessPoolExecutor(max_workers=jobs, mp_context=mp_context)
         broken = False
         hung = False
         futures = {}
         for index in sorted(pending):
-            futures[index] = pool.submit(_battery_task, by_index[index])
+            futures[index] = pool.submit(by_index[index])
             journal.emit(
                 "unit_start", attempt=pending[index], jobs=jobs, **meta[index]
             )
@@ -691,12 +810,15 @@ def _run_parallel(
                 journal.emit(
                     "unit_finish", **_finish_fields(outcome), **meta[index]
                 )
-        # A hung or broken pool must not block shutdown; a healthy one is
-        # drained normally.  cancel_futures covers queued-but-unstarted
-        # work after a break.
-        pool.shutdown(wait=not (broken or hung), cancel_futures=True)
-        if (broken or hung) and on_rebuild is not None:
-            on_rebuild()
+        # Only a hung or broken pool is abandoned (without blocking on
+        # it); a healthy pool is kept warm for the next retry round — or,
+        # for a caller-owned pool, for whatever the caller runs next.
+        if broken or hung:
+            pool.rebuild()
+            if on_rebuild is not None:
+                on_rebuild()
+    if owned:
+        pool.shutdown(wait=True)
     return outcomes
 
 
@@ -830,14 +952,20 @@ def run_battery(
             )
             spool = SnapshotSpool(spool_root)
 
+        # One warm pool for the whole run: the generate and measure waves
+        # (and every retry round) reuse the same worker processes, so the
+        # per-process transport attach caches stay hot across waves.
+        pool = WorkerPool(jobs, mp_ctx) if jobs > 1 else None
+
         def run_units(task_list, task_meta):
             if not task_list:
                 return {}
-            if jobs > 1:
+            if pool is not None:
                 return _run_parallel(
                     task_list, jobs, timeout, retries, log, task_meta,
                     mp_context=mp_ctx,
                     on_rebuild=spool.reap_staging if spool is not None else None,
+                    pool=pool,
                 )
             return _run_serial(task_list, timeout, retries, log, task_meta)
 
@@ -927,13 +1055,9 @@ def run_battery(
                     # unit keyed on (model identity, params, n, seed) —
                     # a spool hit (this run or a previous one sharing the
                     # cache directory) skips it entirely.
-                    gen_payload = {
-                        "kind": "battery-generation",
-                        "model": identity,
-                        "params": dict(cache_params),
-                        "n": n,
-                        "seed": unit_seed,
-                    }
+                    gen_payload = generation_payload(
+                        identity, cache_params, n, unit_seed
+                    )
                     gen_key = canonical_key(gen_payload)
                     unit["gen_key"] = gen_key
                     handle = spool.probe(gen_key)
@@ -1147,6 +1271,8 @@ def run_battery(
                     if unit["gen_key"] is not None:
                         spool.release(unit["gen_key"])
         finally:
+            if pool is not None:
+                pool.shutdown(wait=True)
             if spool is not None:
                 spool.cleanup()
 

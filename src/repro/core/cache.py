@@ -77,13 +77,24 @@ class CacheStats:
             corrupt=self.corrupt - since.corrupt,
         )
 
-    def as_dict(self) -> Dict[str, int]:
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 when none yet).
+
+        The serving layer's ``/stats`` endpoint reports this as the
+        steady-state health number: a warm service trends toward 1.0.
+        """
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
+    def as_dict(self) -> Dict[str, Any]:
         """Counters as a plain dict (for report tables and notes)."""
         return {
             "hits": self.hits,
             "misses": self.misses,
             "writes": self.writes,
             "corrupt": self.corrupt,
+            "hit_rate": round(self.hit_rate, 6),
         }
 
     def __str__(self) -> str:

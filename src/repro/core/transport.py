@@ -72,6 +72,7 @@ __all__ = [
     "resolve_transport",
     "resolve_mp_context",
     "clear_attach_cache",
+    "set_attach_cache_limit",
     "TRANSPORTS",
     "AUTO_SHARED_NODES",
     "AUTO_SHARED_GROUPS",
@@ -496,9 +497,31 @@ def _attach_entry(handle: SharedGraphHandle) -> Dict[str, Any]:
     _attach_cache[key] = entry
     while len(_attach_cache) > _ATTACH_CACHE_SIZE:
         _, evicted = _attach_cache.popitem(last=False)
+        registry.counter("transport.attach.evicted").inc()
         for segment in evicted["segments"]:
             _quiet_close(segment)
     return entry
+
+
+def set_attach_cache_limit(size: int) -> int:
+    """Set the per-process attach-cache LRU bound; returns the old bound.
+
+    A long-lived serving worker cycling through more hot topologies than
+    the default bound (4) can raise it to keep its working set attached;
+    tests shrink it to exercise eviction.  Shrinking evicts the excess
+    oldest entries immediately (closing their shm segments — safe even
+    with views still in flight, see :func:`_quiet_close`).
+    """
+    global _ATTACH_CACHE_SIZE
+    if size < 1:
+        raise ValueError("attach cache limit must be >= 1")
+    previous, _ATTACH_CACHE_SIZE = _ATTACH_CACHE_SIZE, size
+    while len(_attach_cache) > _ATTACH_CACHE_SIZE:
+        _, evicted = _attach_cache.popitem(last=False)
+        get_registry().counter("transport.attach.evicted").inc()
+        for segment in evicted["segments"]:
+            _quiet_close(segment)
+    return previous
 
 
 def attach_view(handle: SharedGraphHandle) -> CSRView:

@@ -1,0 +1,35 @@
+"""Topology-as-a-service: the long-running serving layer (ISSUE 10).
+
+``repro.serve`` turns the batch substrate — parallel battery, result
+cache, shared-graph transport, graph store — into sustained request
+throughput:
+
+* :class:`ServeDispatcher` — warm worker pool, bounded job queue,
+  request coalescing on battery cache-cell keys, micro-batched metric
+  work (:mod:`repro.serve.dispatcher`);
+* :class:`TopologyServer` / :func:`running_server` — the stdlib
+  threaded HTTP front with ``/metrics`` and named-world endpoints
+  (:mod:`repro.serve.server`);
+* :class:`ServeClient` — a urllib client (:mod:`repro.serve.client`);
+* :func:`run_load` / :class:`LoadReport` — the heavy-tailed p50/p99
+  load harness behind ``repro serve bench`` and
+  ``benchmarks/bench_serve.py`` (:mod:`repro.serve.loadgen`).
+"""
+
+from .client import ServeClient, ServeClientError
+from .dispatcher import ServeBusy, ServeDispatcher, ServeError
+from .loadgen import LoadReport, percentile, run_load
+from .server import TopologyServer, running_server
+
+__all__ = [
+    "ServeDispatcher",
+    "ServeBusy",
+    "ServeError",
+    "TopologyServer",
+    "running_server",
+    "ServeClient",
+    "ServeClientError",
+    "LoadReport",
+    "run_load",
+    "percentile",
+]

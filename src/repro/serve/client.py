@@ -1,0 +1,169 @@
+"""A small stdlib client for the topology service.
+
+Wraps :mod:`urllib.request` with JSON encode/decode and error mapping:
+non-2xx responses raise :class:`ServeClientError` carrying the HTTP
+status and the server's ``error`` message, so callers (CLI, load
+generator, tests) never parse bodies twice.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from typing import Any, Dict, Optional, Sequence
+
+__all__ = ["ServeClient", "ServeClientError"]
+
+
+class ServeClientError(RuntimeError):
+    """A non-2xx response from the service."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.message = message
+
+
+class ServeClient:
+    """Typed calls against a running :class:`~repro.serve.TopologyServer`."""
+
+    def __init__(self, base_url: str, timeout: float = 120.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # ------------------------------------------------------------ transport
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[Dict[str, Any]] = None,
+    ) -> Any:
+        data = None
+        headers = {"Accept": "application/json"}
+        if body is not None:
+            data = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            self.base_url + path, data=data, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                raw = response.read().decode("utf-8")
+                content_type = response.headers.get("Content-Type", "")
+        except urllib.error.HTTPError as exc:
+            raw = exc.read().decode("utf-8", errors="replace")
+            try:
+                message = json.loads(raw).get("error", raw)
+            except (json.JSONDecodeError, AttributeError):
+                message = raw
+            raise ServeClientError(exc.code, str(message))
+        except urllib.error.URLError as exc:
+            raise ServeClientError(0, f"cannot reach {self.base_url}: {exc.reason}")
+        if content_type.startswith("application/json"):
+            return json.loads(raw)
+        return raw
+
+    # -------------------------------------------------------------- service
+
+    def health(self) -> Dict[str, Any]:
+        """``GET /health``."""
+        return self._request("GET", "/health")
+
+    def stats(self) -> Dict[str, Any]:
+        """``GET /stats``."""
+        return self._request("GET", "/stats")
+
+    def metrics_text(self) -> str:
+        """``GET /metrics`` — Prometheus text exposition."""
+        return self._request("GET", "/metrics")
+
+    # ------------------------------------------------------------- requests
+
+    def summarize(
+        self,
+        model: str,
+        n: int,
+        seed: int = 0,
+        params: Optional[Dict[str, Any]] = None,
+        groups: Optional[Sequence[str]] = None,
+        replicate: Optional[int] = None,
+    ) -> Dict[str, Any]:
+        """``POST /summarize`` — metric-group values for one topology."""
+        body: Dict[str, Any] = {"model": model, "n": n}
+        if replicate is not None:
+            body["replicate"] = replicate
+        else:
+            body["seed"] = seed
+        if params:
+            body["params"] = params
+        if groups:
+            body["groups"] = list(groups)
+        return self._request("POST", "/summarize", body)
+
+    def generate(
+        self,
+        model: str,
+        n: int,
+        seed: int = 0,
+        params: Optional[Dict[str, Any]] = None,
+    ) -> Dict[str, Any]:
+        """``POST /generate`` — publish (or probe) the shared snapshot."""
+        body: Dict[str, Any] = {"model": model, "n": n, "seed": seed}
+        if params:
+            body["params"] = params
+        return self._request("POST", "/generate", body)
+
+    def compare(
+        self,
+        model: str,
+        n: int,
+        seed: int = 0,
+        params: Optional[Dict[str, Any]] = None,
+    ) -> Dict[str, Any]:
+        """``POST /compare`` — full-battery score vs the reference map."""
+        body: Dict[str, Any] = {"model": model, "n": n, "seed": seed}
+        if params:
+            body["params"] = params
+        return self._request("POST", "/compare", body)
+
+    # --------------------------------------------------------------- worlds
+
+    def put_world(
+        self,
+        world: str,
+        model: str,
+        n: int,
+        seed: int = 0,
+        params: Optional[Dict[str, Any]] = None,
+        checkpoint_every: Optional[int] = None,
+    ) -> Dict[str, Any]:
+        """``PUT /worlds/<id>`` — grow a named world into its store."""
+        body: Dict[str, Any] = {"model": model, "n": n, "seed": seed}
+        if params:
+            body["params"] = params
+        if checkpoint_every is not None:
+            body["checkpoint_every"] = checkpoint_every
+        return self._request("PUT", f"/worlds/{world}", body)
+
+    def worlds(self) -> Dict[str, Any]:
+        """``GET /worlds`` — list named worlds."""
+        return self._request("GET", "/worlds")
+
+    def world_info(self, world: str) -> Dict[str, Any]:
+        """``GET /worlds/<id>`` — one world's store info."""
+        return self._request("GET", f"/worlds/{world}")
+
+    def world_summary(self, world: str) -> Dict[str, Any]:
+        """``GET /worlds/<id>/summary`` — the size group from the mmap view."""
+        return self._request("GET", f"/worlds/{world}/summary")
+
+    def world_summarize(
+        self, world: str, seed: int = 0, groups: Optional[Sequence[str]] = None
+    ) -> Dict[str, Any]:
+        """``GET /worlds/<id>/summarize`` — full metric groups on the warm pool."""
+        path = f"/worlds/{world}/summarize?seed={seed}"
+        if groups:
+            path += "&groups=" + ",".join(groups)
+        return self._request("GET", path)

@@ -1,0 +1,227 @@
+"""Synthetic heavy-tailed load for the topology service.
+
+The traffic model mirrors what a topology service actually sees: a small
+set of popular ``(model, seed)`` keys absorbing most summarize calls
+(Zipf-weighted repeats — the warm path the service optimizes), a long
+tail of colder keys, and the occasional full-battery ``compare`` (the
+heavy request class).  Interleaved **duplicate rounds** release a
+barrier-synchronized burst of identical requests from every worker
+thread at once, guaranteeing concurrent identical load so request
+coalescing is exercised, not just possible.
+
+:func:`run_load` returns a :class:`LoadReport` with per-op latency
+percentiles, overall p50/p99 and requests/second, plus the service-side
+deltas (coalesce hits, generations, cache hit rate) read from ``/stats``
+before and after — the evidence the serve benchmark and the CI smoke job
+gate on.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..core.report import format_table
+from .client import ServeClient, ServeClientError
+
+__all__ = ["LoadReport", "run_load", "percentile"]
+
+
+def percentile(latencies: Sequence[float], q: float) -> float:
+    """The *q*-th percentile (nearest-rank) of *latencies*; NaN if empty."""
+    if not latencies:
+        return float("nan")
+    ordered = sorted(latencies)
+    rank = max(1, int(-(-q / 100.0 * len(ordered) // 1)))  # ceil without math
+    return ordered[min(rank, len(ordered)) - 1]
+
+
+@dataclass
+class LoadReport:
+    """What one load run did and how the service held up."""
+
+    requests: int
+    errors: int
+    elapsed: float
+    latencies: Dict[str, List[float]] = field(default_factory=dict)
+    coalesce_hits: float = 0.0
+    generations: float = 0.0
+    cache_hit_rate: float = 0.0
+    stats_before: Dict[str, Any] = field(default_factory=dict)
+    stats_after: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def all_latencies(self) -> List[float]:
+        """Every recorded latency, all ops merged."""
+        merged: List[float] = []
+        for values in self.latencies.values():
+            merged.extend(values)
+        return merged
+
+    @property
+    def rps(self) -> float:
+        """Overall requests per second for the run."""
+        return self.requests / self.elapsed if self.elapsed > 0 else 0.0
+
+    def p(self, q: float, op: Optional[str] = None) -> float:
+        """Latency percentile, overall or for one op."""
+        values = self.latencies.get(op, []) if op else self.all_latencies
+        return percentile(values, q)
+
+    def table(self) -> str:
+        """Per-op p50/p99/max table plus the service-side counter deltas."""
+        rows = []
+        for op in sorted(self.latencies):
+            values = self.latencies[op]
+            rows.append(
+                [
+                    op, len(values),
+                    round(percentile(values, 50) * 1000, 2),
+                    round(percentile(values, 99) * 1000, 2),
+                    round(max(values) * 1000, 2) if values else float("nan"),
+                ]
+            )
+        rows.append(
+            [
+                "(all)", self.requests,
+                round(self.p(50) * 1000, 2),
+                round(self.p(99) * 1000, 2),
+                round(max(self.all_latencies) * 1000, 2)
+                if self.all_latencies else float("nan"),
+            ]
+        )
+        lines = [
+            format_table(
+                ["op", "requests", "p50 ms", "p99 ms", "max ms"], rows,
+                title="serve load",
+            ),
+            (
+                f"{self.rps:.1f} req/s over {self.elapsed:.2f}s; "
+                f"errors={self.errors} coalesce_hits={self.coalesce_hits:.0f} "
+                f"generations={self.generations:.0f} "
+                f"cache_hit_rate={self.cache_hit_rate:.3f}"
+            ),
+        ]
+        return "\n".join(lines)
+
+
+def _counter_delta(report: LoadReport, name: str) -> float:
+    before = report.stats_before.get("counters", {}).get(name, 0)
+    after = report.stats_after.get("counters", {}).get(name, 0)
+    return float(after) - float(before)
+
+
+def run_load(
+    client: ServeClient,
+    requests: int = 100,
+    threads: int = 8,
+    models: Sequence[str] = ("albert-barabasi", "waxman"),
+    n: int = 400,
+    seeds: int = 2,
+    compare_every: int = 0,
+    duplicate_rounds: int = 3,
+    groups: Optional[Sequence[str]] = None,
+    rng_seed: int = 7,
+) -> LoadReport:
+    """Replay heavy-tailed synthetic traffic against *client*'s service.
+
+    *requests* summarize/compare calls are Zipf-weighted over
+    ``models × seeds`` keys and split across *threads* workers; every
+    ``compare_every``-th scheduled call (0 = never) is a full-battery
+    compare.  *duplicate_rounds* barrier-synchronized bursts of
+    *threads* identical summarize calls are appended to exercise request
+    coalescing under genuinely concurrent identical load.
+    """
+    if requests < 1:
+        raise ValueError("requests must be >= 1")
+    if threads < 1:
+        raise ValueError("threads must be >= 1")
+    rng = random.Random(rng_seed)
+    keys: List[Tuple[str, int]] = [
+        (model, seed) for model in models for seed in range(seeds)
+    ]
+    # Zipf-ish popularity: key k drawn with weight 1/(k+1).
+    weights = [1.0 / (rank + 1) for rank in range(len(keys))]
+    schedule: List[Tuple[str, str, int]] = []
+    for i in range(requests):
+        model, seed = rng.choices(keys, weights=weights)[0]
+        op = "compare" if compare_every and (i + 1) % compare_every == 0 else "summarize"
+        schedule.append((op, model, seed))
+
+    lock = threading.Lock()
+    latencies: Dict[str, List[float]] = {}
+    errors = [0]
+    cursor = [0]
+
+    def record(op: str, seconds: float) -> None:
+        with lock:
+            latencies.setdefault(op, []).append(seconds)
+
+    def one(op: str, model: str, seed: int) -> None:
+        started = time.perf_counter()
+        try:
+            if op == "compare":
+                client.compare(model, n, seed=seed)
+            else:
+                client.summarize(model, n, seed=seed, groups=groups)
+        except ServeClientError:
+            with lock:
+                errors[0] += 1
+        record(op, time.perf_counter() - started)
+
+    def mixed_worker() -> None:
+        while True:
+            with lock:
+                if cursor[0] >= len(schedule):
+                    return
+                op, model, seed = schedule[cursor[0]]
+                cursor[0] += 1
+            one(op, model, seed)
+
+    stats_before = client.stats()
+    started = time.perf_counter()
+
+    pool = [threading.Thread(target=mixed_worker) for _ in range(threads)]
+    for thread in pool:
+        thread.start()
+    for thread in pool:
+        thread.join()
+
+    # Duplicate rounds: every thread fires the SAME request through one
+    # barrier, so identical requests are in flight simultaneously and the
+    # dispatcher's coalescer must collapse them.
+    burst_total = 0
+    for round_index in range(duplicate_rounds):
+        model, seed = keys[round_index % len(keys)]
+        barrier = threading.Barrier(threads)
+
+        def burst_worker() -> None:
+            barrier.wait()
+            one("summarize", model, seed)
+
+        burst = [threading.Thread(target=burst_worker) for _ in range(threads)]
+        for thread in burst:
+            thread.start()
+        for thread in burst:
+            thread.join()
+        burst_total += threads
+
+    elapsed = time.perf_counter() - started
+    stats_after = client.stats()
+    report = LoadReport(
+        requests=len(schedule) + burst_total,
+        errors=errors[0],
+        elapsed=elapsed,
+        latencies=latencies,
+        stats_before=stats_before,
+        stats_after=stats_after,
+    )
+    report.coalesce_hits = _counter_delta(report, "serve.coalesce.hits")
+    report.generations = _counter_delta(report, "serve.generations.computed")
+    report.cache_hit_rate = float(
+        stats_after.get("cache", {}).get("hit_rate", 0.0)
+    )
+    return report

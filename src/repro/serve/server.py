@@ -1,0 +1,251 @@
+"""Topology-as-a-service HTTP layer (stdlib only).
+
+A thin, threaded front over :class:`~repro.serve.dispatcher.
+ServeDispatcher`: every connection handler parses/serializes JSON and
+blocks on the dispatcher's (possibly coalesced) future; all actual work
+happens on the dispatcher threads and the warm worker pool.
+
+Endpoints
+---------
+``GET /health``
+    Liveness: uptime, pool size, queue depth.
+``GET /metrics``
+    The ambient metrics registry in Prometheus text exposition format.
+``GET /stats``
+    Dispatcher health as JSON (queue, coalescing, cache hit rate,
+    filtered counters).
+``POST /summarize`` ``{"model", "n", "seed"|"replicate", "params", "groups"}``
+    Metric-group values for one (model, n, seed) topology — cache-first,
+    coalesced, micro-batched on the warm pool.
+``POST /generate``
+    Publish (or probe) the topology's shared snapshot; returns handle
+    metadata, no metrics.
+``POST /compare``
+    Full-battery score of the model against the frozen reference map.
+``PUT /worlds/<id>`` ``{"model", "n", "seed", "params", "checkpoint_every"}``
+    Grow a named world into its :class:`~repro.store.store.GraphStore`
+    (checkpointed; an identical complete store is reused, not re-grown).
+``GET /worlds`` · ``GET /worlds/<id>``
+    List worlds / one world's store info.
+``GET /worlds/<id>/summary``
+    The ``size`` group straight from the store's mmap view.
+``GET /worlds/<id>/summarize?seed=N&groups=a,b``
+    Full metric groups for the stored world via the warm pool
+    (fingerprint-keyed cells, zero generations).
+
+Error mapping: malformed requests → 400, unknown paths/worlds → 404,
+store conflicts → 409, a full job queue → 503 with ``Retry-After``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from contextlib import contextmanager
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlparse
+
+from ..obs.exporters import render_prometheus
+from ..obs.metrics import get_registry
+from ..store.sqlite import StoreError
+from .dispatcher import ServeBusy, ServeDispatcher, ServeError
+
+__all__ = ["TopologyServer", "running_server"]
+
+_MAX_BODY = 1 << 20  # 1 MiB of JSON is plenty for any request we accept
+
+
+class TopologyServer(ThreadingHTTPServer):
+    """A :class:`ThreadingHTTPServer` bound to one dispatcher."""
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        dispatcher: ServeDispatcher,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        request_timeout: Optional[float] = None,
+    ):
+        super().__init__((host, port), _Handler)
+        self.dispatcher = dispatcher
+        self.request_timeout = request_timeout
+
+    @property
+    def url(self) -> str:
+        """The service's base URL (resolved host and bound port)."""
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "repro-serve/1"
+    protocol_version = "HTTP/1.1"
+
+    # ------------------------------------------------------------- plumbing
+
+    def log_message(self, format: str, *args: Any) -> None:
+        # Access logging is the journal's and /metrics' job; stderr noise
+        # per request would drown the terminal the service runs in.
+        pass
+
+    def _send_json(self, status: int, body: Dict[str, Any], retry: bool = False) -> None:
+        data = json.dumps(body).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(data)))
+        if retry:
+            self.send_header("Retry-After", "1")
+        self.end_headers()
+        self.wfile.write(data)
+
+    def _send_text(self, status: int, text: str, content_type: str) -> None:
+        data = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
+    def _body(self) -> Dict[str, Any]:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length > _MAX_BODY:
+            raise ServeError(f"request body too large ({length} bytes)")
+        if length == 0:
+            return {}
+        raw = self.rfile.read(length)
+        try:
+            body = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ServeError(f"request body is not valid JSON: {exc}")
+        if not isinstance(body, dict):
+            raise ServeError("request body must be a JSON object")
+        return body
+
+    def _dispatch(self, op: str, params: Dict[str, Any]) -> None:
+        """Run one dispatcher op and map its failure modes onto HTTP."""
+        server: TopologyServer = self.server  # type: ignore[assignment]
+        try:
+            result = server.dispatcher.call(
+                op, params, timeout=server.request_timeout
+            )
+        except ServeBusy as exc:
+            self._send_json(503, {"error": str(exc)}, retry=True)
+        except ServeError as exc:
+            self._send_json(400, {"error": str(exc)})
+        except KeyError as exc:
+            self._send_json(404, {"error": str(exc.args[0] if exc.args else exc)})
+        except StoreError as exc:
+            self._send_json(409, {"error": str(exc)})
+        except Exception as exc:
+            get_registry().counter("serve.http.errors").inc()
+            self._send_json(500, {"error": f"{type(exc).__name__}: {exc}"})
+        else:
+            self._send_json(200, result)
+
+    def _route(self) -> Tuple[str, Dict[str, str]]:
+        parsed = urlparse(self.path)
+        query = {
+            key: values[-1]
+            for key, values in parse_qs(parsed.query).items()
+            if values
+        }
+        return parsed.path.rstrip("/") or "/", query
+
+    # -------------------------------------------------------------- methods
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server contract)
+        path, query = self._route()
+        server: TopologyServer = self.server  # type: ignore[assignment]
+        if path == "/health":
+            self._send_json(
+                200,
+                {
+                    "status": "ok",
+                    "uptime_seconds": round(server.dispatcher.uptime, 3),
+                    "jobs": server.dispatcher.pool.jobs,
+                    "queue_depth": server.dispatcher.stats()["queue_depth"],
+                },
+            )
+            return
+        if path == "/metrics":
+            self._send_text(
+                200, render_prometheus(get_registry()), "text/plain; version=0.0.4"
+            )
+            return
+        if path == "/stats":
+            self._send_json(200, server.dispatcher.stats())
+            return
+        if path == "/worlds":
+            self._dispatch("world_list", {})
+            return
+        parts = path.strip("/").split("/")
+        if parts[0] == "worlds" and len(parts) == 2:
+            self._dispatch("world_info", {"world": parts[1]})
+            return
+        if parts[0] == "worlds" and len(parts) == 3 and parts[2] == "summary":
+            self._dispatch("world_summary", {"world": parts[1]})
+            return
+        if parts[0] == "worlds" and len(parts) == 3 and parts[2] == "summarize":
+            params: Dict[str, Any] = {"world": parts[1]}
+            if "seed" in query:
+                params["seed"] = query["seed"]
+            if "groups" in query:
+                params["groups"] = query["groups"]
+            self._dispatch("world_summarize", params)
+            return
+        self._send_json(404, {"error": f"no route for GET {path}"})
+
+    def do_POST(self) -> None:  # noqa: N802
+        path, _ = self._route()
+        try:
+            body = self._body()
+        except ServeError as exc:
+            self._send_json(400, {"error": str(exc)})
+            return
+        if path in ("/summarize", "/generate", "/compare"):
+            self._dispatch(path.lstrip("/"), body)
+            return
+        self._send_json(404, {"error": f"no route for POST {path}"})
+
+    def do_PUT(self) -> None:  # noqa: N802
+        path, _ = self._route()
+        try:
+            body = self._body()
+        except ServeError as exc:
+            self._send_json(400, {"error": str(exc)})
+            return
+        parts = path.strip("/").split("/")
+        if parts[0] == "worlds" and len(parts) == 2:
+            self._dispatch("world_save", dict(body, world=parts[1]))
+            return
+        self._send_json(404, {"error": f"no route for PUT {path}"})
+
+
+@contextmanager
+def running_server(
+    dispatcher: ServeDispatcher,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    request_timeout: Optional[float] = None,
+):
+    """Serve *dispatcher* on a background thread; yields the base URL.
+
+    Shuts the HTTP layer down on exit; the dispatcher's lifecycle stays
+    with the caller (so one dispatcher can outlive several servers in
+    tests, and ``serve run`` can own both).
+    """
+    server = TopologyServer(
+        dispatcher, host=host, port=port, request_timeout=request_timeout
+    )
+    thread = threading.Thread(
+        target=server.serve_forever, name="serve-http", daemon=True
+    )
+    thread.start()
+    try:
+        yield server.url
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=5)

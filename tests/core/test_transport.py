@@ -34,6 +34,7 @@ from repro.core.transport import (
     publish_graph,
     resolve_mp_context,
     resolve_transport,
+    set_attach_cache_limit,
     unlink_shared,
 )
 from repro.generators.barabasi_albert import BarabasiAlbertGenerator
@@ -142,6 +143,99 @@ class TestHandleRoundTrip:
         clone = pickle.loads(pickle.dumps(handle))
         assert clone == handle
         assert attach_graph(clone).fingerprint() == g.fingerprint()
+
+
+class TestAttachCacheLRU:
+    """The per-process attach cache is a bounded LRU (satellite of PR 10):
+    a worker cycling through many distinct publications must hold a fixed
+    number of attachments, and eviction must never invalidate a view a
+    caller is still reading."""
+
+    @pytest.fixture(autouse=True)
+    def _bounded_cache(self):
+        clear_attach_cache()
+        previous = set_attach_cache_limit(2)
+        yield
+        set_attach_cache_limit(previous)
+        clear_attach_cache()
+
+    def _publish_many(self, tmp_path, count):
+        handles = []
+        for i in range(count):
+            g = BarabasiAlbertGenerator(m=2).generate(40 + i, seed=i)
+            handles.append(publish_graph(g, tmp_path / f"graph-{i}"))
+        return handles
+
+    def test_bound_evicts_under_many_fingerprints(self, tmp_path):
+        from repro.core.transport import _attach_cache
+        from repro.obs import get_registry
+
+        handles = self._publish_many(tmp_path, 5)
+        evicted_before = get_registry().counter("transport.attach.evicted").value
+        for handle in handles:
+            attach_view(handle)
+        assert len(_attach_cache) == 2
+        evictions = (
+            get_registry().counter("transport.attach.evicted").value
+            - evicted_before
+        )
+        assert evictions == 3
+
+    def test_lru_order_keeps_recently_used(self, tmp_path):
+        handles = self._publish_many(tmp_path, 3)
+        first = attach_graph(handles[0])
+        attach_graph(handles[1])
+        # Touch [0] so it is most-recent; attaching [2] must evict [1].
+        assert attach_graph(handles[0]) is first
+        attach_graph(handles[2])
+        assert attach_graph(handles[0]) is first
+        assert attach_graph(handles[1]) is not None  # re-opened, not stale
+
+    def test_eviction_does_not_invalidate_in_use_views(self, tmp_path):
+        """A view handed out before its entry was evicted must keep
+        reading valid data: eviction closes the shm segment quietly
+        (BufferError-tolerant) rather than tearing pages out from under
+        live readers."""
+        graphs = [
+            BarabasiAlbertGenerator(m=2).generate(40 + i, seed=i)
+            for i in range(4)
+        ]
+        token = f"repro-lru-{os.getpid():x}"
+        handles = [
+            publish_graph(g, f"{token}-{i}", method="shm")
+            for i, g in enumerate(graphs)
+        ]
+        try:
+            live = attach_view(handles[0])
+            expected = live.edge_arrays()[0].sum()
+            for handle in handles[1:]:  # overflows the bound of 2
+                attach_view(handle)
+            # handles[0] has been evicted; the live view must still read.
+            assert live.edge_arrays()[0].sum() == expected
+            assert live.num_nodes == graphs[0].num_nodes
+            # Re-attach after eviction produces a fresh, equivalent view.
+            fresh = attach_view(handles[0])
+            assert fresh is not live
+            assert fresh.num_nodes == live.num_nodes
+        finally:
+            clear_attach_cache()
+            for handle in handles:
+                unlink_shared(handle)
+
+    def test_shrinking_limit_evicts_excess_immediately(self, tmp_path):
+        from repro.core.transport import _attach_cache
+
+        set_attach_cache_limit(4)
+        handles = self._publish_many(tmp_path, 4)
+        for handle in handles:
+            attach_view(handle)
+        assert len(_attach_cache) == 4
+        assert set_attach_cache_limit(2) == 4
+        assert len(_attach_cache) == 2
+
+    def test_limit_must_be_positive(self):
+        with pytest.raises(ValueError):
+            set_attach_cache_limit(0)
 
 
 class TestResolveTransport:

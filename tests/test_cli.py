@@ -410,3 +410,73 @@ class TestPerfCommand:
                 "--baseline", str(tmp_path / "absent.json"),
             ])
         assert "repro:" in str(excinfo.value)
+
+    def test_report_with_no_records_is_clean(self, tmp_path, capsys):
+        """A fresh checkout has no BENCH records; `perf report` must say
+        so helpfully and exit 0, never stack-trace (PR 10 satellite)."""
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        assert main([
+            "perf", "report", "--records", str(empty),
+            "--baseline", str(tmp_path / "absent.json"),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "nothing to report" in out
+        assert "no BENCH_" in out
+        assert "pytest benchmarks/" in out  # tells the user what to run
+
+    def test_report_zero_records_names_the_directory(self, tmp_path, capsys):
+        empty = tmp_path / "elsewhere"
+        empty.mkdir()
+        main([
+            "perf", "report", "--records", str(empty),
+            "--baseline", str(tmp_path / "absent.json"),
+        ])
+        assert str(empty) in capsys.readouterr().out
+
+
+class TestServeCommand:
+    def test_bench_in_process_smoke(self, tmp_path, capsys):
+        # No --prime and a single (model, seed) key: the first requests
+        # hit the slow cold path together, so identical requests are
+        # reliably in flight at once and --require-coalesce is
+        # deterministic (primed requests finish in ~3 ms and can race
+        # past each other).
+        assert main([
+            "serve", "bench", "--jobs", "1", "--requests", "4",
+            "--threads", "4", "--models", "albert-barabasi", "-n", "150",
+            "--seeds", "1", "--duplicate-rounds", "1",
+            "--root", str(tmp_path / "root"), "--require-coalesce",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "serve load" in out
+        assert "p99 ms" in out
+        assert "coalesce_hits" in out
+
+    def test_call_against_dead_server_exits_cleanly(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["serve", "call", "health", "--url", "http://127.0.0.1:9"])
+        assert "repro:" in str(excinfo.value)
+
+    def test_call_summarize_requires_model(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["serve", "call", "summarize", "--url", "http://127.0.0.1:9"])
+        assert "--model is required" in str(excinfo.value)
+
+    def test_call_round_trip(self, tmp_path, capsys):
+        from repro.serve import ServeDispatcher, running_server
+
+        dispatcher = ServeDispatcher(jobs=1, root=tmp_path / "root")
+        try:
+            with running_server(dispatcher) as url:
+                assert main([
+                    "serve", "call", "summarize", "--url", url,
+                    "--model", "albert-barabasi", "-n", "150", "-s", "1",
+                    "--groups", "size",
+                ]) == 0
+                out = capsys.readouterr().out
+                assert '"num_nodes": 150' in out
+                assert main(["serve", "call", "health", "--url", url]) == 0
+                assert '"status": "ok"' in capsys.readouterr().out
+        finally:
+            dispatcher.shutdown()
